@@ -1,0 +1,106 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace vs::benchutil {
+
+namespace {
+
+bool parse_flag(const char* arg, const char* name, std::string& value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+[[noreturn]] void usage_and_exit(const char* bad) {
+  std::fprintf(stderr,
+               "unknown argument: %s\n"
+               "usage: [--frames=N] [--injections=N] [--sdc-injections=N]\n"
+               "       [--threads=N] [--seed=N] [--quick] [--out-dir=PATH]\n",
+               bad);
+  std::exit(2);
+}
+
+}  // namespace
+
+options parse_options(int argc, char** argv) {
+  options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+    } else if (parse_flag(argv[i], "--frames", value)) {
+      opt.frames = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--injections", value)) {
+      opt.injections = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--sdc-injections", value)) {
+      opt.sdc_injections = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--threads", value)) {
+      opt.threads = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--seed", value)) {
+      opt.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(argv[i], "--out-dir", value)) {
+      opt.out_dir = value;
+    } else {
+      usage_and_exit(argv[i]);
+    }
+  }
+  if (opt.quick) {
+    opt.frames = std::min(opt.frames, 18);
+    opt.injections = std::min(opt.injections, 120);
+    opt.sdc_injections = std::min(opt.sdc_injections, 300);
+  }
+  if (opt.frames < 4 || opt.injections < 1) {
+    throw std::runtime_error("options: frames must be >=4, injections >= 1");
+  }
+  return opt;
+}
+
+app::pipeline_config variant_config(app::algorithm alg) {
+  app::pipeline_config config;
+  config.approx.alg = alg;
+  config.approx.rfd_drop_fraction = 0.10;
+  config.approx.kds_keypoint_fraction = 1.0 / 3.0;
+  config.approx.sm_max_distance = 30;
+  return config;
+}
+
+fault::workload vs_workload(std::shared_ptr<const video::video_source> source,
+                            const app::pipeline_config& config) {
+  return [source = std::move(source), config]() {
+    return app::summarize(*source, config).panorama;
+  };
+}
+
+const std::vector<app::algorithm>& all_variants() {
+  static const std::vector<app::algorithm> variants = {
+      app::algorithm::vs, app::algorithm::vs_rfd, app::algorithm::vs_kds,
+      app::algorithm::vs_sm};
+  return variants;
+}
+
+const std::vector<video::input_id>& all_inputs() {
+  static const std::vector<video::input_id> inputs = {
+      video::input_id::input1, video::input_id::input2};
+  return inputs;
+}
+
+std::string pct(double fraction, int decimals) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, fraction * 100.0);
+  return buffer;
+}
+
+void heading(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  for (std::size_t i = 0; i < title.size(); ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace vs::benchutil

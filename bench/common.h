@@ -1,0 +1,53 @@
+// Shared helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/pipeline.h"
+#include "fault/campaign.h"
+#include "video/generator.h"
+
+namespace vs::benchutil {
+
+/// Command-line options common to every figure harness.  Defaults reproduce
+/// the paper-scale campaign counts at laptop-scale inputs; --quick shrinks
+/// everything for smoke runs.
+struct options {
+  int frames = 40;        ///< frames per input clip
+  int injections = 1000;  ///< per register class per variant (paper: 1000)
+  int sdc_injections = 5000;  ///< for the Fig 12 SDC-quality study
+  int threads = 0;        ///< 0 = hardware concurrency
+  std::uint64_t seed = 2018;
+  bool quick = false;
+  std::string out_dir;  ///< when set, harnesses save PNM artifacts here
+};
+
+/// Parses --frames=N --injections=N --sdc-injections=N --threads=N --seed=N
+/// --quick --out-dir=PATH.  Unknown flags abort with a usage message.
+[[nodiscard]] options parse_options(int argc, char** argv);
+
+/// The standard pipeline configuration for a variant (paper Section IV
+/// knobs: RFD 10%, KDS 1/3, SM bounded distance).
+[[nodiscard]] app::pipeline_config variant_config(app::algorithm alg);
+
+/// Builds the VS workload closure for a campaign: summarize(input, config)
+/// returning the output panorama.
+[[nodiscard]] fault::workload vs_workload(
+    std::shared_ptr<const video::video_source> source,
+    const app::pipeline_config& config);
+
+/// All four variants in paper order.
+[[nodiscard]] const std::vector<app::algorithm>& all_variants();
+
+/// Both paper inputs.
+[[nodiscard]] const std::vector<video::input_id>& all_inputs();
+
+/// Formats a fraction as a fixed-width percentage ("42.3%").
+[[nodiscard]] std::string pct(double fraction, int decimals = 1);
+
+/// Prints an underlined section heading.
+void heading(const std::string& title);
+
+}  // namespace vs::benchutil

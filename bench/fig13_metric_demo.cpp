@@ -1,0 +1,76 @@
+// Fig 13 reproduction: the SDC-quality-metric discussion (Section VII).
+//
+// Compares the baseline VS golden output with the VS_SM golden output for
+// both inputs, reporting the raw relative_l2_norm, the metric's corrective
+// alignment, the absolute pixel difference (panel c) and the >128
+// thresholded difference (panel d).  Paper reference: the VS_SM outputs are
+// visually equivalent to the baseline yet score relative_l2_norm ~37%
+// (Input 1) and ~8% (Input 2) — the metric is conservative because shifted
+// pixels count as differences.
+
+#include <cstdio>
+
+#include "common.h"
+#include "image/image_io.h"
+#include "quality/metric.h"
+
+int main(int argc, char** argv) {
+  using namespace vs;
+  auto opt = benchutil::parse_options(argc, argv);
+
+  benchutil::heading("Fig 13: metric behaviour on approximate goldens");
+  std::printf("%-8s %-8s %12s %12s %10s %12s %12s\n", "input", "variant",
+              "raw_l2%", "aligned_l2%", "ED", "diff>0 px%", "diff>128 px%");
+
+  for (const auto input : benchutil::all_inputs()) {
+    const auto source = video::make_input(input, opt.frames);
+    const auto vs_result =
+        app::summarize(*source, benchutil::variant_config(app::algorithm::vs));
+
+    for (const auto alg : {app::algorithm::vs_sm, app::algorithm::vs_rfd,
+                           app::algorithm::vs_kds}) {
+      const auto approx_result =
+          app::summarize(*source, benchutil::variant_config(alg));
+
+      // Pad to common size, as the metric does.
+      const int w = std::max(vs_result.panorama.width(),
+                             approx_result.panorama.width());
+      const int h = std::max(vs_result.panorama.height(),
+                             approx_result.panorama.height());
+      const auto g = quality::pad_to(vs_result.panorama, w, h);
+      const auto f = quality::pad_to(approx_result.panorama, w, h);
+
+      const double raw = quality::relative_l2_norm(g, f, 128);
+      const auto aligned = quality::compare_images(g, f);
+      const auto diff = quality::absdiff_image(g, f);
+      const auto thresholded = quality::threshold_diff_image(g, f, 128);
+      std::size_t nonzero = 0;
+      std::size_t above = 0;
+      for (std::size_t i = 0; i < diff.size(); ++i) {
+        nonzero += diff[i] > 0 ? 1u : 0u;
+        above += thresholded[i] > 0 ? 1u : 0u;
+      }
+
+      std::printf("%-8s %-8s %11.1f%% %11.1f%% %10s %11.1f%% %11.1f%%\n",
+                  video::input_name(input), app::algorithm_name(alg), raw,
+                  aligned.relative_l2_norm,
+                  aligned.ed ? std::to_string(*aligned.ed).c_str() : ">100",
+                  100.0 * nonzero / diff.size(), 100.0 * above / diff.size());
+
+      if (!opt.out_dir.empty() && alg == app::algorithm::vs_sm) {
+        const std::string prefix =
+            opt.out_dir + "/fig13_" + video::input_name(input) + "_";
+        img::save_pnm(g, prefix + "vs_golden.pgm");
+        img::save_pnm(f, prefix + "sm_golden.pgm");
+        img::save_pnm(diff, prefix + "absdiff.pgm");
+        img::save_pnm(thresholded, prefix + "threshdiff.pgm");
+      }
+    }
+  }
+
+  std::printf(
+      "\npaper reference: VS_SM relative_l2_norm ~37%% (Input 1) and ~8%%\n"
+      "(Input 2) despite visually equivalent panoramas — the pixel-shift\n"
+      "conservatism discussed in Section VII.\n");
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Wall-clock microbenchmarks of the CV kernels (google-benchmark).
+//
+// These complement the deterministic op-count model with real host timings:
+// the relative cost ordering (warp > match > FAST > ORB per unit work)
+// should mirror the modelled Fig 8 profile.
+
+#include <benchmark/benchmark.h>
+
+#include "app/pipeline.h"
+#include "features/harris.h"
+#include "features/pyramid.h"
+#include "quality/metrics_extra.h"
+#include "app/wp.h"
+#include "core/rng.h"
+#include "features/orb.h"
+#include "geometry/homography.h"
+#include "geometry/ransac.h"
+#include "geometry/warp.h"
+#include "match/matcher.h"
+#include "video/generator.h"
+
+namespace {
+
+using namespace vs;
+
+const img::image_u8& test_frame() {
+  static const img::image_u8 frame = [] {
+    const auto source = video::make_input(video::input_id::input1, 4);
+    return source->frame(0);
+  }();
+  return frame;
+}
+
+const feat::frame_features& test_features() {
+  static const feat::frame_features features =
+      feat::orb_extract(test_frame(), feat::orb_params{});
+  return features;
+}
+
+void bm_fast_detect(benchmark::State& state) {
+  const auto& frame = test_frame();
+  feat::fast_params params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::fast_detect(frame, params));
+  }
+}
+BENCHMARK(bm_fast_detect);
+
+void bm_orb_extract(benchmark::State& state) {
+  const auto& frame = test_frame();
+  feat::orb_params params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::orb_extract(frame, params));
+  }
+}
+BENCHMARK(bm_orb_extract);
+
+void bm_match_descriptors(benchmark::State& state) {
+  const auto& features = test_features();
+  match::match_params params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        match::match_descriptors(features, features, params));
+  }
+}
+BENCHMARK(bm_match_descriptors);
+
+void bm_warp_perspective(benchmark::State& state) {
+  const auto& frame = test_frame();
+  const auto transform = app::wp_default_transform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app::run_wp(frame, transform));
+  }
+}
+BENCHMARK(bm_warp_perspective);
+
+void bm_homography_estimate(benchmark::State& state) {
+  // Synthetic exact correspondences under a known homography.
+  const geo::mat3 truth =
+      geo::mat3::translation(4.0, -2.0) * geo::mat3::rotation(0.05);
+  std::vector<geo::point_pair> pairs;
+  for (int i = 0; i < 32; ++i) {
+    const geo::vec2 p{static_cast<double>(13 + 7 * i % 80),
+                      static_cast<double>(11 + 5 * i % 60)};
+    pairs.push_back({p, truth.apply(p)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_homography(pairs));
+  }
+}
+BENCHMARK(bm_homography_estimate);
+
+void bm_ransac_homography(benchmark::State& state) {
+  const geo::mat3 truth =
+      geo::mat3::translation(4.0, -2.0) * geo::mat3::rotation(0.05);
+  rng noise(5);
+  std::vector<geo::point_pair> pairs;
+  for (int i = 0; i < 64; ++i) {
+    const geo::vec2 p{noise.uniform_real(0, 96), noise.uniform_real(0, 72)};
+    if (i % 4 == 0) {
+      pairs.push_back({p, {noise.uniform_real(0, 96), noise.uniform_real(0, 72)}});
+    } else {
+      pairs.push_back({p, truth.apply(p)});
+    }
+  }
+  geo::ransac_params params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::ransac_homography(pairs, params, 7));
+  }
+}
+BENCHMARK(bm_ransac_homography);
+
+void bm_hamming_distance(benchmark::State& state) {
+  rng gen(1);
+  feat::descriptor a;
+  feat::descriptor b;
+  for (auto& w : a.bits) w = gen.next();
+  for (auto& w : b.bits) w = gen.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::hamming_distance(a, b));
+  }
+}
+BENCHMARK(bm_hamming_distance);
+
+void bm_box_blur(benchmark::State& state) {
+  const auto& frame = test_frame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img::box_blur3(frame));
+  }
+}
+BENCHMARK(bm_box_blur);
+
+void bm_resize_bilinear(benchmark::State& state) {
+  const auto& frame = test_frame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::resize_bilinear(frame, 96, 72));
+  }
+}
+BENCHMARK(bm_resize_bilinear);
+
+void bm_harris_response(benchmark::State& state) {
+  const auto& frame = test_frame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::harris_response(frame, 40, 40));
+  }
+}
+BENCHMARK(bm_harris_response);
+
+void bm_ssim(benchmark::State& state) {
+  const auto& frame = test_frame();
+  const auto blurred = img::box_blur3(frame);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quality::ssim(frame, blurred));
+  }
+}
+BENCHMARK(bm_ssim);
+
+void bm_pyramid(benchmark::State& state) {
+  const auto& frame = test_frame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::build_pyramid(frame));
+  }
+}
+BENCHMARK(bm_pyramid);
+
+void bm_full_pipeline(benchmark::State& state) {
+  const auto source = video::make_input(video::input_id::input2,
+                                        static_cast<int>(state.range(0)));
+  app::pipeline_config config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app::summarize(*source, config));
+  }
+}
+BENCHMARK(bm_full_pipeline)->Arg(8)->Arg(16);
+
+}  // namespace

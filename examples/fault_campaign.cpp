@@ -1,0 +1,71 @@
+// Run a fault-injection campaign from the command line — the AFI workflow
+// of Section V in miniature.
+//
+//   $ ./fault_campaign [algorithm] [gpr|fpr] [injections] [frames]
+//
+// Example: ./fault_campaign VS_RFD gpr 500 20
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "app/pipeline.h"
+#include "fault/campaign.h"
+#include "fault/coverage.h"
+#include "quality/sdc.h"
+#include "video/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace vs;
+  const std::string alg_name = argc > 1 ? argv[1] : "VS";
+  const bool fpr = argc > 2 && std::strcmp(argv[2], "fpr") == 0;
+  const int injections = argc > 3 ? std::atoi(argv[3]) : 300;
+  const int frames = argc > 4 ? std::atoi(argv[4]) : 20;
+
+  app::pipeline_config config;
+  config.approx.alg = app::parse_algorithm(alg_name);
+  const auto source = video::make_input(video::input_id::input1, frames);
+
+  std::printf("campaign: %s, %s, %d injections, %d-frame Input1 clip\n",
+              app::algorithm_name(config.approx.alg), fpr ? "FPR" : "GPR",
+              injections, frames);
+
+  fault::campaign_config campaign;
+  campaign.cls = fpr ? rt::reg_class::fpr : rt::reg_class::gpr;
+  campaign.injections = injections;
+  campaign.keep_sdc_outputs = true;
+
+  const auto result = fault::run_campaign(
+      [&] { return app::summarize(*source, config).panorama; }, campaign);
+
+  const auto& r = result.rates;
+  std::printf("\noutcomes over %zu experiments:\n", r.experiments);
+  std::printf("  masked          %6.2f%%\n",
+              100.0 * r.rate(fault::outcome::masked));
+  std::printf("  crash           %6.2f%%  (segfault %zu, abort %zu)\n",
+              100.0 * r.crash_rate(), r.crash_segfault, r.crash_abort);
+  std::printf("  sdc             %6.2f%%\n",
+              100.0 * r.rate(fault::outcome::sdc));
+  std::printf("  hang            %6.2f%%\n",
+              100.0 * r.rate(fault::outcome::hang));
+
+  // SDC severity, as Section V-D defines it.
+  std::vector<quality::sdc_quality> sdcs;
+  for (const auto& [index, faulty] : result.sdc_outputs) {
+    (void)index;
+    sdcs.push_back({quality::compare_images(result.golden, faulty)});
+  }
+  const auto cdf = quality::build_ed_cdf(sdcs);
+  if (cdf.total_sdcs > 0) {
+    std::printf("\nSDC egregiousness (%zu SDCs, %zu egregious):\n",
+                cdf.total_sdcs, cdf.egregious);
+    for (int ed : {0, 1, 2, 5, 10, 20, 50, 100}) {
+      std::printf("  ED <= %3d: %5.1f%%\n", ed, cdf.percent_at(ed));
+    }
+  }
+
+  const auto coverage = fault::analyze_coverage(result.records);
+  std::printf("\ncoverage: register CV %.3f, bit CV %.3f\n",
+              coverage.register_cv, coverage.bit_cv);
+  return 0;
+}

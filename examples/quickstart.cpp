@@ -1,0 +1,39 @@
+// Quickstart: generate a synthetic aerial clip, run the VS pipeline on it,
+// and save the summary panorama.
+//
+//   $ ./quickstart [output.pgm]
+
+#include <cstdio>
+
+#include "app/pipeline.h"
+#include "image/image_io.h"
+#include "video/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace vs;
+  const std::string output = argc > 1 ? argv[1] : "quickstart_panorama.pgm";
+
+  // 1. A frame source.  Input 2 is the smooth-flight VIRAT stand-in; 24
+  //    frames keeps this instant.
+  const auto source = video::make_input(video::input_id::input2, 24);
+  std::printf("clip: %d frames of %dx%d\n", source->frame_count(),
+              source->frame_width(), source->frame_height());
+
+  // 2. The baseline (precise) pipeline configuration.
+  app::pipeline_config config;
+
+  // 3. Run the summarization.
+  const auto result = app::summarize(*source, config);
+
+  std::printf("stitched %d/%d frames into %d mini-panorama(s); "
+              "%d discarded\n",
+              result.stats.frames_stitched, result.stats.frames_total,
+              result.stats.mini_panoramas, result.stats.frames_discarded);
+  std::printf("panorama: %dx%d\n", result.panorama.width(),
+              result.panorama.height());
+
+  // 4. Save the output.
+  img::save_pnm(result.panorama, output);
+  std::printf("saved %s\n", output.c_str());
+  return 0;
+}

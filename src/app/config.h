@@ -1,0 +1,62 @@
+// Configuration of the end-to-end VS application and its approximations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "features/orb.h"
+#include "match/matcher.h"
+#include "stitch/stitcher.h"
+
+namespace vs::app {
+
+/// The four algorithm variants evaluated in the paper (Section IV).
+enum class algorithm {
+  vs,      ///< baseline precise pipeline
+  vs_rfd,  ///< Random Frame Dropping (input sampling)
+  vs_kds,  ///< Key-point Down-Sampling (selective computation)
+  vs_sm,   ///< Simple Matching (algorithmic transformation)
+};
+
+[[nodiscard]] const char* algorithm_name(algorithm alg) noexcept;
+
+/// Parses "VS" / "VS_RFD" / "VS_KDS" / "VS_SM" (case-insensitive).
+/// Throws invalid_argument on unknown names.
+[[nodiscard]] algorithm parse_algorithm(const std::string& name);
+
+/// Approximation knobs (only the knob selected by `alg` is active).
+struct approx_config {
+  algorithm alg = algorithm::vs;
+  double rfd_drop_fraction = 0.10;        ///< paper: up to 10% frames dropped
+  double kds_keypoint_fraction = 1.0 / 3.0;  ///< paper: match 1/3 of keypoints
+  int sm_max_distance = 30;               ///< paper: fixed distance bound
+};
+
+/// Full pipeline configuration.  Defaults reproduce the baseline VS.
+struct pipeline_config {
+  approx_config approx;
+  feat::orb_params orb;
+  stitch::alignment_params alignment;
+  double match_ratio = 0.75;  ///< Lowe ratio for the baseline 2-NN test
+  int discard_limit = 2;  ///< consecutive discards that close a mini-panorama
+  std::size_t max_panorama_pixels = 4u << 20;
+  /// Exposure compensation between frames while compositing (off in the
+  /// calibrated experiments; useful on real footage with auto-gain).
+  bool gain_compensation = false;
+  std::uint64_t seed = 42;  ///< seeds RANSAC sampling and RFD dropping
+
+  /// Derives the matcher configuration implied by the approximation.
+  [[nodiscard]] match::match_params matcher() const {
+    match::match_params p;
+    if (approx.alg == algorithm::vs_sm) {
+      p.mode = match::match_mode::simple;
+      p.max_distance = approx.sm_max_distance;
+    } else {
+      p.mode = match::match_mode::ratio_test;
+      p.ratio = match_ratio;
+    }
+    return p;
+  }
+};
+
+}  // namespace vs::app

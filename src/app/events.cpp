@@ -1,0 +1,88 @@
+#include "app/events.h"
+
+#include "image/draw.h"
+
+namespace vs::app {
+
+img::image_u8 overlay_tracks(const img::image_u8& panorama,
+                             const geo::rect& content_bounds,
+                             const std::vector<track::object_track>& tracks,
+                             bool confirmed_only) {
+  img::image_u8 annotated = img::gray_to_rgb(panorama);
+  const img::color trail{230, 40, 40};
+  const img::color head{255, 220, 40};
+  for (const auto& track : tracks) {
+    if (confirmed_only && track.state == track::track_state::tentative) {
+      continue;
+    }
+    if (track.path.size() < 2) continue;
+    for (std::size_t i = 1; i < track.path.size(); ++i) {
+      const auto a = track.path[i - 1];
+      const auto b = track.path[i];
+      img::draw_line(annotated, static_cast<int>(a.x) - content_bounds.x0,
+                     static_cast<int>(a.y) - content_bounds.y0,
+                     static_cast<int>(b.x) - content_bounds.x0,
+                     static_cast<int>(b.y) - content_bounds.y0, trail);
+    }
+    const auto last = track.path.back();
+    img::draw_rect(annotated, static_cast<int>(last.x) - content_bounds.x0 - 2,
+                   static_cast<int>(last.y) - content_bounds.y0 - 2, 5, 5,
+                   head);
+  }
+  return annotated;
+}
+
+event_summary summarize_events(const video::video_source& source,
+                               const pipeline_config& config,
+                               const event_config& events) {
+  event_summary summary;
+  summary.coverage = summarize(source, config);
+  const auto& coverage = summary.coverage;
+
+  summary.tracks.resize(coverage.mini_panoramas.size());
+
+  // Walk the placements per mini-panorama; consecutive placements within
+  // one panorama give the inter-frame model needed for motion detection.
+  std::vector<track::tracker> trackers(coverage.mini_panoramas.size(),
+                                       track::tracker(events.tracking));
+  for (std::size_t i = 1; i < coverage.placements.size(); ++i) {
+    const auto& prev = coverage.placements[i - 1];
+    const auto& cur = coverage.placements[i];
+    if (cur.panorama_index != prev.panorama_index || cur.panorama_index < 0) {
+      continue;
+    }
+    // prev_to_cur = cur_to_anchor^-1 * prev_to_anchor.
+    const auto cur_inverse = cur.frame_to_anchor.inverse();
+    if (!cur_inverse) continue;
+    const geo::mat3 prev_to_cur = (*cur_inverse) * prev.frame_to_anchor;
+
+    const auto current = source.frame(cur.frame_index);
+    const auto previous = source.frame(prev.frame_index);
+    const auto detections =
+        track::detect_motion(current, previous, prev_to_cur, events.motion);
+    summary.detections_total += static_cast<int>(detections.size());
+
+    // Lift detections into anchor coordinates for the tracker.
+    std::vector<geo::vec2> anchored;
+    anchored.reserve(detections.size());
+    for (const auto& d : detections) {
+      anchored.push_back(cur.frame_to_anchor.apply(d.centroid));
+    }
+    trackers[static_cast<std::size_t>(cur.panorama_index)].observe(
+        cur.frame_index, anchored);
+  }
+
+  // Collect tracks and build the annotated montage.
+  std::vector<img::image_u8> annotated_panos;
+  annotated_panos.reserve(coverage.mini_panoramas.size());
+  for (std::size_t p = 0; p < coverage.mini_panoramas.size(); ++p) {
+    summary.tracks[p] = trackers[p].tracks();
+    annotated_panos.push_back(overlay_tracks(
+        coverage.mini_panoramas[p], coverage.panorama_bounds[p],
+        summary.tracks[p], events.confirmed_only));
+  }
+  summary.annotated = stitch::montage(annotated_panos);
+  return summary;
+}
+
+}  // namespace vs::app

@@ -1,0 +1,46 @@
+// Event summarization (Fig 2's second branch) and the integrated summary.
+//
+// Runs the coverage pipeline, detects moving objects between consecutive
+// stitched frames (alignment-compensated differencing), tracks them per
+// mini-panorama in anchor coordinates, and overlays the confirmed tracks on
+// the coverage montage — "a comprehensive and concise summarization of a
+// whole UAV video" (Section II-A).
+#pragma once
+
+#include <vector>
+
+#include "app/pipeline.h"
+#include "track/motion.h"
+#include "track/tracker.h"
+
+namespace vs::app {
+
+struct event_config {
+  track::motion_params motion;
+  track::tracker_params tracking;
+  bool confirmed_only = true;  ///< overlay only confirmed tracks
+};
+
+/// Event summary output.
+struct event_summary {
+  summary_result coverage;  ///< the coverage summarization result
+  /// All tracks, per mini-panorama (anchor coordinates).
+  std::vector<std::vector<track::object_track>> tracks;
+  /// The integrated summary: coverage montage with tracks drawn over it
+  /// (RGB: track polylines in red, current positions boxed).
+  img::image_u8 annotated;
+  int detections_total = 0;
+};
+
+/// Runs coverage + event summarization over `source`.
+[[nodiscard]] event_summary summarize_events(const video::video_source& source,
+                                             const pipeline_config& config,
+                                             const event_config& events = {});
+
+/// Draws tracks (anchor coordinates) onto an RGB copy of a mini-panorama
+/// whose rendered content starts at `content_origin`.  Exposed for tests.
+[[nodiscard]] img::image_u8 overlay_tracks(
+    const img::image_u8& panorama, const geo::rect& content_bounds,
+    const std::vector<track::object_track>& tracks, bool confirmed_only);
+
+}  // namespace vs::app

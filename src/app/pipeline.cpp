@@ -1,0 +1,228 @@
+#include "app/pipeline.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "rt/instrument.h"
+
+namespace vs::app {
+
+const char* algorithm_name(algorithm alg) noexcept {
+  switch (alg) {
+    case algorithm::vs:
+      return "VS";
+    case algorithm::vs_rfd:
+      return "VS_RFD";
+    case algorithm::vs_kds:
+      return "VS_KDS";
+    case algorithm::vs_sm:
+      return "VS_SM";
+  }
+  return "?";
+}
+
+algorithm parse_algorithm(const std::string& name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) upper.push_back(static_cast<char>(std::toupper(c)));
+  if (upper == "VS") return algorithm::vs;
+  if (upper == "VS_RFD" || upper == "RFD") return algorithm::vs_rfd;
+  if (upper == "VS_KDS" || upper == "KDS") return algorithm::vs_kds;
+  if (upper == "VS_SM" || upper == "SM") return algorithm::vs_sm;
+  throw invalid_argument("unknown algorithm: " + name);
+}
+
+namespace {
+
+// VS_KDS: match on only a fraction of the keypoints.  Matching cost —
+// O(n^2) in keypoints — falls by ~fraction^2.  The subset is chosen as the
+// spatially-dominant corners: greedily take the strongest keypoint whose
+// distance to every already-kept keypoint is at least a spacing radius.
+// Local dominance is far more stable between consecutive frames than a raw
+// score ranking (scores jitter with noise and subpixel motion, but the
+// strongest corner of a neighbourhood stays the strongest), so the retained
+// third keeps supporting alignment most of the time.
+feat::frame_features subsample_features(const feat::frame_features& features,
+                                        double fraction) {
+  if (fraction >= 1.0 || features.empty()) return features;
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(features.size()) * fraction + 0.5));
+
+  feat::frame_features out;
+  out.keypoints.reserve(keep);
+  out.descriptors.reserve(keep);
+  // Pass 1: enforce a spacing radius among the score-ordered keypoints.
+  constexpr float spacing2 = 10.0f * 10.0f;
+  std::vector<std::size_t> rejected;
+  for (std::size_t i = 0; i < features.size() && out.size() < keep; ++i) {
+    const auto& kp = features.keypoints[i];
+    bool spaced = true;
+    for (const auto& kept : out.keypoints) {
+      const float dx = kept.x - kp.x;
+      const float dy = kept.y - kp.y;
+      if (dx * dx + dy * dy < spacing2) {
+        spaced = false;
+        break;
+      }
+    }
+    if (spaced) {
+      out.keypoints.push_back(kp);
+      out.descriptors.push_back(features.descriptors[i]);
+    } else {
+      rejected.push_back(i);
+    }
+  }
+  // Pass 2: top up from the strongest rejected ones if spacing was too
+  // aggressive to reach the requested fraction.
+  for (std::size_t i = 0; i < rejected.size() && out.size() < keep; ++i) {
+    out.keypoints.push_back(features.keypoints[rejected[i]]);
+    out.descriptors.push_back(features.descriptors[rejected[i]]);
+  }
+  rt::account(rt::op::int_alu, features.size() * 8);
+  return out;
+}
+
+}  // namespace
+
+summary_result summarize(const video::video_source& source,
+                         const pipeline_config& config) {
+  summary_result result;
+  result.stats.frames_total = source.frame_count();
+
+  const match::match_params matcher = config.matcher();
+  rng drop_rng(config.seed ^ 0xd20bULL);
+
+  // State of the currently-open mini-panorama.
+  stitch::mini_panorama_builder builder(config.max_panorama_pixels,
+                                        config.gain_compensation);
+  geo::mat3 cumulative = geo::mat3::identity();  // current frame -> anchor
+  feat::frame_features prev_features;            // features of last aligned frame
+  bool have_reference = false;
+  int consecutive_discards = 0;
+  std::vector<frame_placement> pending_placements;
+
+  auto record_placement = [&](int frame_index, const geo::mat3& transform) {
+    frame_placement placement;
+    placement.frame_index = frame_index;
+    placement.frame_to_anchor = transform;
+    pending_placements.push_back(placement);
+  };
+
+  auto close_mini_panorama = [&] {
+    if (!builder.empty()) {
+      auto pano = builder.render();
+      if (!pano.empty()) {
+        const int pano_index = result.stats.mini_panoramas;
+        for (auto& placement : pending_placements) {
+          placement.panorama_index = pano_index;
+          result.placements.push_back(placement);
+        }
+        result.panorama_bounds.push_back(builder.content_bounds());
+        result.mini_panoramas.push_back(std::move(pano));
+        ++result.stats.mini_panoramas;
+      }
+    }
+    pending_placements.clear();
+    builder = stitch::mini_panorama_builder(config.max_panorama_pixels,
+                                            config.gain_compensation);
+    cumulative = geo::mat3::identity();
+    have_reference = false;
+    consecutive_discards = 0;
+  };
+
+  const int frame_count =
+      static_cast<int>(rt::ctrl(source.frame_count()));
+  for (int index = 0; index < frame_count; ++index) {
+    // --- VS_RFD: random input sampling ---------------------------------
+    // The drop decision is drawn for every frame (whatever the variant) so
+    // all variants see identical RNG streams downstream.
+    const bool drop = drop_rng.chance(config.approx.rfd_drop_fraction);
+    if (config.approx.alg == algorithm::vs_rfd && drop) {
+      ++result.stats.frames_dropped_rfd;
+      continue;
+    }
+
+    const img::image_u8 frame = source.frame(index);
+    feat::frame_features features = feat::orb_extract(frame, config.orb);
+    result.stats.keypoints_detected += features.size();
+
+    // --- VS_KDS: selective computation ----------------------------------
+    if (config.approx.alg == algorithm::vs_kds) {
+      features =
+          subsample_features(features, config.approx.kds_keypoint_fraction);
+    }
+    result.stats.keypoints_matched_on += features.size();
+
+    if (!have_reference) {
+      // First (usable) frame anchors the mini-panorama.
+      if (builder.add_frame(frame, geo::mat3::identity())) {
+        ++result.stats.frames_stitched;
+        record_placement(index, geo::mat3::identity());
+        prev_features = std::move(features);
+        have_reference = true;
+        consecutive_discards = 0;
+      } else {
+        ++result.stats.frames_discarded;
+      }
+      continue;
+    }
+
+    const auto aligned = stitch::align_frames(
+        features, prev_features, matcher, config.alignment,
+        config.seed + static_cast<std::uint64_t>(index) * 7919u);
+
+    if (!aligned) {
+      ++result.stats.frames_discarded;
+      if (++consecutive_discards > config.discard_limit) {
+        // The view changed beyond recovery: close this mini-panorama and
+        // anchor a new one at the next usable frame.
+        close_mini_panorama();
+        if (builder.add_frame(frame, geo::mat3::identity())) {
+          ++result.stats.frames_stitched;
+          --result.stats.frames_discarded;  // it became the new anchor
+          record_placement(index, geo::mat3::identity());
+          prev_features = std::move(features);
+          have_reference = true;
+        }
+      }
+      continue;
+    }
+
+    result.stats.total_matches += aligned->matches;
+    if (aligned->kind == stitch::model_kind::homography) {
+      ++result.stats.homography_alignments;
+    } else {
+      ++result.stats.affine_alignments;
+    }
+
+    const geo::mat3 frame_to_anchor = cumulative * aligned->transform;
+    if (builder.add_frame(frame, frame_to_anchor)) {
+      cumulative = frame_to_anchor;
+      record_placement(index, frame_to_anchor);
+      prev_features = std::move(features);
+      ++result.stats.frames_stitched;
+      consecutive_discards = 0;
+    } else {
+      // Implausible accumulated drift or canvas overflow: treat like a hard
+      // view change.
+      ++result.stats.frames_discarded;
+      close_mini_panorama();
+      if (builder.add_frame(frame, geo::mat3::identity())) {
+        ++result.stats.frames_stitched;
+        --result.stats.frames_discarded;
+        record_placement(index, geo::mat3::identity());
+        prev_features = std::move(features);
+        have_reference = true;
+      }
+    }
+  }
+  close_mini_panorama();
+
+  result.panorama = stitch::montage(result.mini_panoramas);
+  return result;
+}
+
+}  // namespace vs::app

@@ -1,0 +1,25 @@
+#include "app/wp.h"
+
+#include "core/error.h"
+
+namespace vs::app {
+
+geo::mat3 wp_default_transform() {
+  const geo::mat3 rigid =
+      geo::mat3::translation(6.0, -3.0) * geo::mat3::rotation(0.06);
+  geo::mat3 m = rigid;
+  m(2, 0) = 2e-4;  // slight perspective tilt
+  m(2, 1) = -1e-4;
+  return m;
+}
+
+img::image_u8 run_wp(const img::image_u8& input, const geo::mat3& transform) {
+  const auto bounds = geo::projected_bounds(transform, input.width(),
+                                            input.height(), 32768.0);
+  if (!bounds || bounds->empty()) {
+    throw invalid_argument("run_wp: transform projects nowhere");
+  }
+  return geo::warp_perspective(input, transform, *bounds).pixels;
+}
+
+}  // namespace vs::app

@@ -1,0 +1,27 @@
+// WP — the stand-alone "hot function" toy benchmark of Section V-C.
+//
+// WP takes an image and a transformation matrix, calls WarpPerspective on
+// them and returns the transformed image: the workflow *ends* at the hot
+// function's output.  Comparing fault outcomes between WP and the same
+// functions inside the full VS application quantifies the compositional
+// masking that makes hot-kernel studies unrepresentative (Fig 11b).
+#pragma once
+
+#include "geometry/mat3.h"
+#include "geometry/warp.h"
+#include "image/image.h"
+
+namespace vs::app {
+
+/// A representative perspective transform for the WP benchmark: mild
+/// rotation + translation + slight projective tilt, like an inter-frame
+/// homography the VS pipeline would feed to WarpPerspective.
+[[nodiscard]] geo::mat3 wp_default_transform();
+
+/// Runs the toy benchmark: warps `input` through `transform` into the
+/// projected bounding box and returns the result (the program output AFI's
+/// result checker would compare).
+[[nodiscard]] img::image_u8 run_wp(const img::image_u8& input,
+                                   const geo::mat3& transform);
+
+}  // namespace vs::app

@@ -1,0 +1,47 @@
+#include "core/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace vs::log {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(level::warn)};
+std::mutex g_emit_mutex;
+
+const char* label(level lvl) noexcept {
+  switch (lvl) {
+    case level::debug:
+      return "DEBUG";
+    case level::info:
+      return "INFO";
+    case level::warn:
+      return "WARN";
+    case level::error:
+      return "ERROR";
+    case level::off:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(level lvl) noexcept {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+level get_level() noexcept {
+  return static_cast<level>(g_level.load(std::memory_order_relaxed));
+}
+
+bool enabled(level lvl) noexcept {
+  return static_cast<int>(lvl) >= g_level.load(std::memory_order_relaxed);
+}
+
+void emit(level lvl, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s\n", label(lvl), message.c_str());
+}
+
+}  // namespace vs::log

@@ -1,0 +1,123 @@
+#include "fault/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "core/error.h"
+
+namespace vs::fault {
+
+namespace {
+
+std::vector<site_class> group_records(
+    const std::vector<injection_record>& records, bool use_kind,
+    bool use_band) {
+  std::map<std::tuple<int, int, int>, site_class> classes;
+  for (const auto& record : records) {
+    if (!record.fired) continue;
+    const int scope = static_cast<int>(record.fired_scope);
+    const int kind = use_kind ? static_cast<int>(record.fired_kind) : 0;
+    const int band = use_band ? static_cast<int>(record.plan.bit / 16) : 0;
+    auto& cls = classes[{scope, kind, band}];
+    cls.scope = record.fired_scope;
+    cls.kind = record.fired_kind;
+    cls.bit_band = band;
+    cls.rates.add(record.result);
+  }
+  std::vector<site_class> out;
+  out.reserve(classes.size());
+  for (auto& [key, cls] : classes) {
+    (void)key;
+    out.push_back(cls);
+  }
+  std::sort(out.begin(), out.end(), [](const site_class& a,
+                                       const site_class& b) {
+    return a.rates.experiments > b.rates.experiments;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<site_class> site_breakdown(
+    const std::vector<injection_record>& records) {
+  return group_records(records, /*use_kind=*/true, /*use_band=*/true);
+}
+
+std::vector<site_class> scope_breakdown(
+    const std::vector<injection_record>& records) {
+  return group_records(records, /*use_kind=*/false, /*use_band=*/false);
+}
+
+pruning_estimate estimate_pruning(const std::vector<injection_record>& records,
+                                  double purity) {
+  pruning_estimate estimate;
+  const auto classes = site_breakdown(records);
+  for (const auto& cls : classes) {
+    estimate.fired_experiments += cls.rates.experiments;
+    const std::size_t dominant = std::max(
+        {cls.rates.masked, cls.rates.sdc,
+         cls.rates.crash_segfault + cls.rates.crash_abort, cls.rates.hang});
+    // A class only predicts reliably once it has a few samples.
+    if (cls.rates.experiments >= 5 &&
+        static_cast<double>(dominant) >=
+            purity * static_cast<double>(cls.rates.experiments)) {
+      estimate.prunable_experiments += cls.rates.experiments;
+    }
+  }
+  estimate.prunable_fraction =
+      estimate.fired_experiments > 0
+          ? static_cast<double>(estimate.prunable_experiments) /
+                static_cast<double>(estimate.fired_experiments)
+          : 0.0;
+  return estimate;
+}
+
+protection_report analyze_protection(
+    const std::vector<injection_record>& records,
+    const std::vector<std::optional<int>>& sdc_eds, int ed_tolerance) {
+  protection_report report;
+  report.experiments = records.size();
+  if (records.empty()) return report;
+
+  std::size_t masked = 0;
+  std::size_t detectable = 0;
+  std::size_t tolerable = 0;
+  std::size_t must_protect = 0;
+  std::size_t sdc_cursor = 0;
+  for (const auto& record : records) {
+    switch (record.result) {
+      case outcome::masked:
+        ++masked;
+        break;
+      case outcome::crash_segfault:
+      case outcome::crash_abort:
+      case outcome::hang:
+        // Symptom-based detectors catch these cheaply (Section V-D).
+        ++detectable;
+        break;
+      case outcome::sdc: {
+        if (sdc_cursor >= sdc_eds.size()) {
+          throw invalid_argument(
+              "analyze_protection: fewer EDs than SDC records");
+        }
+        const auto& ed = sdc_eds[sdc_cursor++];
+        if (ed.has_value() && *ed <= ed_tolerance) {
+          ++tolerable;
+        } else {
+          ++must_protect;
+        }
+        break;
+      }
+    }
+  }
+  const auto n = static_cast<double>(records.size());
+  report.masked_fraction = masked / n;
+  report.detectable_fraction = detectable / n;
+  report.tolerable_fraction = tolerable / n;
+  report.must_protect_fraction = must_protect / n;
+  return report;
+}
+
+}  // namespace vs::fault

@@ -1,0 +1,73 @@
+// Fault-site analysis beyond raw outcome rates.
+//
+// Two analyses the paper points at but leaves open:
+//  * a Relyzer-flavoured site breakdown (Hari et al., ASPLOS 2012 — the
+//    paper's Section V-A "left to future work"): group injections into
+//    equivalence classes (function scope, operation kind, bit band) and
+//    estimate per-class outcome profiles, which is what lets a smart
+//    campaign prune equivalent sites instead of sampling blindly;
+//  * the protection-cost analysis of Section VI-D: given SDC severities,
+//    how many error sites actually need (expensive) protection once
+//    crashes are covered by cheap symptom detectors and benign SDCs are
+//    tolerated up to an ED budget.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.h"
+#include "quality/sdc.h"
+
+namespace vs::fault {
+
+/// Outcome profile of one site equivalence class.
+struct site_class {
+  rt::fn scope = rt::fn::other;
+  rt::op kind = rt::op::int_alu;
+  int bit_band = 0;  ///< bit / 16 (0..3)
+  outcome_rates rates;
+};
+
+/// Groups fired injections by (scope, op kind, 16-bit band) and returns
+/// per-class outcome rates, most-populated classes first.  Dead-register
+/// and never-fired experiments are excluded (they are masked by
+/// construction and carry no site information).
+[[nodiscard]] std::vector<site_class> site_breakdown(
+    const std::vector<injection_record>& records);
+
+/// Per-scope outcome rates (a coarser view of the same grouping).
+[[nodiscard]] std::vector<site_class> scope_breakdown(
+    const std::vector<injection_record>& records);
+
+/// Relyzer-style pruning estimate: with per-class profiles available, how
+/// many of the `budget` experiments would a stratified campaign need to
+/// reach the same confidence as `records` — i.e. the fraction of
+/// experiments that landed in classes whose outcome is (nearly)
+/// deterministic (>= `purity` of one outcome) and could be predicted
+/// instead of run.
+struct pruning_estimate {
+  std::size_t fired_experiments = 0;
+  std::size_t prunable_experiments = 0;  ///< in >= purity-pure classes
+  double prunable_fraction = 0.0;
+};
+[[nodiscard]] pruning_estimate estimate_pruning(
+    const std::vector<injection_record>& records, double purity = 0.95);
+
+/// Protection-cost analysis (Section VI-D): fractions of error sites by
+/// the cheapest mechanism that covers them at an ED tolerance.
+struct protection_report {
+  std::size_t experiments = 0;
+  double masked_fraction = 0.0;      ///< no action needed
+  double detectable_fraction = 0.0;  ///< crash/hang: symptom detectors
+  double tolerable_fraction = 0.0;   ///< SDC with ED <= tolerance
+  double must_protect_fraction = 0.0;  ///< SDC beyond tolerance / egregious
+};
+
+/// `sdc_eds` must align with the campaign's SDC outputs in order (one
+/// entry per SDC record, nullopt = egregious).
+[[nodiscard]] protection_report analyze_protection(
+    const std::vector<injection_record>& records,
+    const std::vector<std::optional<int>>& sdc_eds, int ed_tolerance);
+
+}  // namespace vs::fault

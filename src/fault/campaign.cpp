@@ -1,0 +1,194 @@
+#include "fault/campaign.h"
+
+#include <atomic>
+#include <thread>
+
+#include "core/error.h"
+#include "core/log.h"
+#include "core/rng.h"
+
+namespace vs::fault {
+
+namespace {
+
+// In-scope fault-site count for the campaign's register class.  Targets
+// are drawn over executed hooks (the values injections can actually
+// strike), not over the bulk-accounted cost model ops.
+std::uint64_t class_ops(const rt::counters& c, const campaign_config& cfg) {
+  if (!cfg.scoped) return c.hooks(cfg.cls);
+  std::uint64_t sites = c.hooks(cfg.cls, cfg.scope);
+  if (cfg.include_remap_scope && cfg.scope != rt::fn::remap) {
+    sites += c.hooks(cfg.cls, rt::fn::remap);
+  }
+  return sites;
+}
+
+}  // namespace
+
+injection_record run_one_injection(const workload& work,
+                                   const rt::fault_plan& plan,
+                                   std::uint64_t step_budget,
+                                   const img::image_u8& golden,
+                                   img::image_u8* faulty_out) {
+  injection_record record;
+  record.plan = plan;
+  record.register_live = true;
+  {
+    rt::session session(plan, step_budget);
+    try {
+      img::image_u8 output = work();
+      record.fired = session.fired();
+      if (output == golden) {
+        record.result = outcome::masked;
+      } else {
+        record.result = outcome::sdc;
+        if (faulty_out != nullptr) *faulty_out = std::move(output);
+      }
+    } catch (const crash_error& e) {
+      record.fired = true;
+      record.result = e.kind() == crash_kind::segfault
+                          ? outcome::crash_segfault
+                          : outcome::crash_abort;
+    } catch (const hang_error&) {
+      record.fired = true;
+      record.result = outcome::hang;
+    } catch (const invalid_argument&) {
+      // A library precondition tripped.  After a fired injection that is
+      // corrupted state hitting an internal assert — an abort.  Without
+      // one it is a genuine bug and must not be swallowed.
+      if (!rt::tls.fired) throw;
+      record.fired = true;
+      record.result = outcome::crash_abort;
+    } catch (const std::logic_error&) {
+      // A guarded access failed without an injected fault: that is a
+      // library bug, not a fault outcome — never swallow it.
+      throw;
+    } catch (const std::exception&) {
+      // Any other exception escaping the workload after an injection is
+      // the application aborting on a violated internal invariant.
+      record.fired = true;
+      record.result = outcome::crash_abort;
+    }
+    // Where the flip landed (valid when record.fired): read before the
+    // session restores the previous thread state.
+    record.fired_scope = rt::tls.fired_scope;
+    record.fired_kind = rt::tls.fired_kind;
+  }
+  return record;
+}
+
+campaign_result run_campaign(const workload& work,
+                             const campaign_config& config) {
+  if (config.injections < 0) throw invalid_argument("campaign: injections < 0");
+
+  campaign_result result;
+
+  // --- golden run -------------------------------------------------------
+  std::uint64_t total_ops = 0;
+  std::uint64_t step_budget = 0;
+  {
+    rt::session session;
+    result.golden = work();
+    result.golden_counters = session.stats();
+    total_ops = class_ops(result.golden_counters, config);
+    const double budget =
+        static_cast<double>(result.golden_counters.steps()) *
+        config.step_budget_factor;
+    step_budget = budget < 1e18 ? static_cast<std::uint64_t>(budget) : ~0ULL;
+  }
+  if (total_ops == 0) {
+    throw invalid_argument(
+        "campaign: workload executed no dynamic ops of the targeted class");
+  }
+
+  // --- plan all experiments up front (deterministic, order-independent) --
+  const auto n = static_cast<std::size_t>(config.injections);
+  std::vector<injection_record> records(n);
+  std::vector<img::image_u8> faulty(config.keep_sdc_outputs ? n : 0);
+
+  struct planned {
+    rt::fault_plan plan;
+    bool live = false;
+  };
+  std::vector<planned> plans(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t stream = config.seed + 0x1000 * static_cast<std::uint64_t>(i);
+    rng gen(splitmix64(stream));
+    planned p;
+    p.plan.cls = config.cls;
+    p.plan.target = gen.uniform(total_ops);
+    p.plan.bit = static_cast<std::uint32_t>(gen.uniform(64));
+    p.plan.reg_id = static_cast<std::uint32_t>(
+        gen.uniform(static_cast<std::uint64_t>(config.liveness.register_count)));
+    p.plan.scoped = config.scoped;
+    p.plan.scope = config.scope;
+    p.plan.scope_b =
+        config.scoped && config.include_remap_scope ? rt::fn::remap
+                                                    : config.scope;
+    p.live = gen.chance(config.liveness.live_probability(config.cls));
+    plans[i] = p;
+  }
+
+  // --- execute (parallel, deterministic results) -------------------------
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1);
+      if (i >= n) return;
+      const planned& p = plans[i];
+      if (!p.live) {
+        // Dead-register strike: architecturally masked without execution.
+        records[i].plan = p.plan;
+        records[i].register_live = false;
+        records[i].result = outcome::masked;
+        continue;
+      }
+      records[i] = run_one_injection(
+          work, p.plan, step_budget, result.golden,
+          config.keep_sdc_outputs ? &faulty[i] : nullptr);
+    }
+  };
+
+  unsigned thread_count = config.threads > 0
+                              ? static_cast<unsigned>(config.threads)
+                              : std::thread::hardware_concurrency();
+  if (thread_count == 0) thread_count = 1;
+  thread_count = std::min<unsigned>(thread_count, 64);
+  if (thread_count <= 1 || n < 2) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(thread_count);
+    for (unsigned t = 0; t < thread_count; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  // --- aggregate ----------------------------------------------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    result.rates.add(records[i].result);
+    if (config.keep_sdc_outputs && records[i].result == outcome::sdc) {
+      result.sdc_outputs.emplace_back(i, std::move(faulty[i]));
+    }
+  }
+  result.records = std::move(records);
+  log::info("campaign done: ", result.rates.to_string());
+  return result;
+}
+
+std::vector<outcome_rates> campaign_result::convergence(
+    const std::vector<std::size_t>& checkpoints) const {
+  std::vector<outcome_rates> curves;
+  curves.reserve(checkpoints.size());
+  outcome_rates running;
+  std::size_t next = 0;
+  for (std::size_t count : checkpoints) {
+    while (next < records.size() && next < count) {
+      running.add(records[next].result);
+      ++next;
+    }
+    curves.push_back(running);
+  }
+  return curves;
+}
+
+}  // namespace vs::fault

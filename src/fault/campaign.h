@@ -1,0 +1,64 @@
+// Statistical fault-injection campaigns (the AFI driver + Fault Monitor).
+//
+// A campaign measures a golden run of a workload, then performs N
+// independent experiments, each injecting one single-bit flip into the
+// virtual register file at a uniformly random dynamic operation, and
+// classifies every experiment as Mask / SDC / Crash / Hang exactly as the
+// paper's Fault Monitor does (run-to-completion + output comparison).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fault/model.h"
+#include "image/image.h"
+
+namespace vs::fault {
+
+/// A workload is any deterministic computation producing an image output
+/// (the full VS pipeline, an approximate variant, or the WP toy benchmark).
+using workload = std::function<img::image_u8()>;
+
+struct campaign_config {
+  rt::reg_class cls = rt::reg_class::gpr;
+  int injections = 1000;      ///< the paper's per-class experiment count
+  std::uint64_t seed = 2018;  ///< derives every experiment's plan
+  liveness_model liveness;
+  double step_budget_factor = 25.0;  ///< hang watchdog: x golden steps
+  bool scoped = false;               ///< restrict injections to hot functions
+  rt::fn scope = rt::fn::warp;       ///< primary scope when scoped
+  bool include_remap_scope = true;   ///< also target remapBilinear ops
+  bool keep_sdc_outputs = false;     ///< retain faulty images for ED analysis
+  int threads = 0;                   ///< 0 = hardware concurrency
+};
+
+struct campaign_result {
+  outcome_rates rates;
+  std::vector<injection_record> records;  ///< in experiment order
+  img::image_u8 golden;
+  rt::counters golden_counters;
+  /// Faulty outputs of SDC experiments (when keep_sdc_outputs), paired with
+  /// the index of their record.
+  std::vector<std::pair<std::size_t, img::image_u8>> sdc_outputs;
+
+  /// Running outcome rates after the first k experiments, for k in
+  /// `checkpoints` — the Fig 9a convergence curves.
+  [[nodiscard]] std::vector<outcome_rates> convergence(
+      const std::vector<std::size_t>& checkpoints) const;
+};
+
+/// Runs a campaign.  Deterministic given (workload determinism, config).
+/// Experiments run on `threads` parallel workers; results are identical to
+/// the sequential order regardless of thread count.
+[[nodiscard]] campaign_result run_campaign(const workload& work,
+                                           const campaign_config& config);
+
+/// Classifies a single planned injection against a known golden output.
+/// Exposed for tests; run_campaign uses the same logic.
+[[nodiscard]] injection_record run_one_injection(
+    const workload& work, const rt::fault_plan& plan,
+    std::uint64_t step_budget, const img::image_u8& golden,
+    img::image_u8* faulty_out = nullptr);
+
+}  // namespace vs::fault

@@ -1,0 +1,38 @@
+#include "fault/coverage.h"
+
+#include <cmath>
+
+namespace vs::fault {
+
+double coefficient_of_variation(const std::vector<std::size_t>& histogram) {
+  if (histogram.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t v : histogram) sum += static_cast<double>(v);
+  const double mean = sum / static_cast<double>(histogram.size());
+  if (mean == 0.0) return 0.0;
+  double variance = 0.0;
+  for (std::size_t v : histogram) {
+    const double d = static_cast<double>(v) - mean;
+    variance += d * d;
+  }
+  variance /= static_cast<double>(histogram.size());
+  return std::sqrt(variance) / mean;
+}
+
+coverage_report analyze_coverage(const std::vector<injection_record>& records,
+                                 int register_count) {
+  coverage_report report;
+  report.per_register.assign(static_cast<std::size_t>(register_count), 0);
+  report.per_bit.assign(64, 0);
+  for (const auto& r : records) {
+    if (r.plan.reg_id < report.per_register.size()) {
+      ++report.per_register[r.plan.reg_id];
+    }
+    if (r.plan.bit < 64) ++report.per_bit[r.plan.bit];
+  }
+  report.register_cv = coefficient_of_variation(report.per_register);
+  report.bit_cv = coefficient_of_variation(report.per_bit);
+  return report;
+}
+
+}  // namespace vs::fault

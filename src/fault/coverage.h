@@ -1,0 +1,26 @@
+// Error-site coverage analysis (Fig 9b): are the planned injections
+// uniformly distributed over registers and bit positions?
+#pragma once
+
+#include <vector>
+
+#include "fault/model.h"
+
+namespace vs::fault {
+
+struct coverage_report {
+  std::vector<std::size_t> per_register;  ///< injections per register id
+  std::vector<std::size_t> per_bit;       ///< injections per bit 0..63
+  double register_cv = 0.0;  ///< coefficient of variation across registers
+  double bit_cv = 0.0;       ///< coefficient of variation across bits
+};
+
+/// Histograms the plans of a campaign's records.
+[[nodiscard]] coverage_report analyze_coverage(
+    const std::vector<injection_record>& records, int register_count = 32);
+
+/// Coefficient of variation (stddev / mean) of a histogram; 0 for empty.
+[[nodiscard]] double coefficient_of_variation(
+    const std::vector<std::size_t>& histogram);
+
+}  // namespace vs::fault

@@ -1,0 +1,131 @@
+#include "fault/detectors.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace vs::fault {
+
+namespace {
+
+struct image_stats {
+  double mean = 0.0;
+  double nonzero = 0.0;
+};
+
+image_stats measure(const img::image_u8& image) {
+  image_stats stats;
+  if (image.empty()) return stats;
+  std::uint64_t sum = 0;
+  std::uint64_t nonzero = 0;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    sum += image[i];
+    nonzero += image[i] > 8 ? 1u : 0u;
+  }
+  stats.mean = static_cast<double>(sum) / static_cast<double>(image.size());
+  stats.nonzero =
+      static_cast<double>(nonzero) / static_cast<double>(image.size());
+  return stats;
+}
+
+}  // namespace
+
+detector_calibration calibrate_detectors(
+    const std::vector<img::image_u8>& golden_outputs) {
+  if (golden_outputs.empty()) {
+    throw invalid_argument("calibrate_detectors: no golden outputs");
+  }
+  detector_calibration calibration;
+  double mean_sum = 0.0;
+  double nonzero_sum = 0.0;
+  for (const auto& golden : golden_outputs) {
+    calibration.width += golden.width();
+    calibration.height += golden.height();
+    const auto stats = measure(golden);
+    mean_sum += stats.mean;
+    nonzero_sum += stats.nonzero;
+  }
+  const auto n = static_cast<double>(golden_outputs.size());
+  calibration.width = static_cast<int>(calibration.width / n);
+  calibration.height = static_cast<int>(calibration.height / n);
+  calibration.mean_intensity = mean_sum / n;
+  calibration.nonzero_fraction = nonzero_sum / n;
+  return calibration;
+}
+
+const char* detection_verdict_name(detection_verdict verdict) noexcept {
+  switch (verdict) {
+    case detection_verdict::clean:
+      return "clean";
+    case detection_verdict::geometry:
+      return "geometry";
+    case detection_verdict::coverage:
+      return "coverage";
+    case detection_verdict::intensity:
+      return "intensity";
+  }
+  return "?";
+}
+
+detection_verdict run_detectors(const img::image_u8& output,
+                                const detector_calibration& calibration) {
+  // Geometry: output size within (1 +- slack) of the calibrated size.
+  const double w_ratio =
+      calibration.width > 0
+          ? std::abs(output.width() - calibration.width) /
+                static_cast<double>(calibration.width)
+          : 1.0;
+  const double h_ratio =
+      calibration.height > 0
+          ? std::abs(output.height() - calibration.height) /
+                static_cast<double>(calibration.height)
+          : 1.0;
+  if (output.empty() || w_ratio > calibration.dimension_slack ||
+      h_ratio > calibration.dimension_slack) {
+    return detection_verdict::geometry;
+  }
+
+  const auto stats = measure(output);
+  if (calibration.nonzero_fraction > 0.0 &&
+      stats.nonzero <
+          calibration.nonzero_fraction * (1.0 - calibration.coverage_slack)) {
+    return detection_verdict::coverage;
+  }
+  if (calibration.mean_intensity > 0.0) {
+    const double deviation =
+        std::abs(stats.mean - calibration.mean_intensity) /
+        calibration.mean_intensity;
+    if (deviation > calibration.intensity_slack) {
+      return detection_verdict::intensity;
+    }
+  }
+  return detection_verdict::clean;
+}
+
+detection_summary evaluate_detectors(
+    const std::vector<img::image_u8>& sdc_outputs,
+    const detector_calibration& calibration) {
+  detection_summary summary;
+  summary.sdcs = sdc_outputs.size();
+  for (const auto& output : sdc_outputs) {
+    switch (run_detectors(output, calibration)) {
+      case detection_verdict::clean:
+        break;
+      case detection_verdict::geometry:
+        ++summary.detected;
+        ++summary.by_geometry;
+        break;
+      case detection_verdict::coverage:
+        ++summary.detected;
+        ++summary.by_coverage;
+        break;
+      case detection_verdict::intensity:
+        ++summary.detected;
+        ++summary.by_intensity;
+        break;
+    }
+  }
+  return summary;
+}
+
+}  // namespace vs::fault

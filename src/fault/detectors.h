@@ -1,0 +1,76 @@
+// Symptom-based SDC detectors (SWAT-style, Li et al. ASPLOS'08 — the
+// "low cost symptom-based detectors" of the paper's Section V-D).
+//
+// Crashes and hangs announce themselves; the hard outcomes are SDCs.  This
+// module simulates cheap application-level output checks that convert a
+// fraction of SDCs into detected errors without golden knowledge:
+//
+//   * geometry check   — output dimensions within an expected envelope
+//                        (panorama geometry is predictable from the mission)
+//   * coverage check   — fraction of non-background pixels above a floor
+//   * intensity check  — output mean within the scene's plausible band
+//
+// Each check knows nothing about the golden image; its reference envelope
+// is calibrated from fault-free runs (as a deployed system would do).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+
+namespace vs::fault {
+
+/// Reference envelope calibrated from fault-free outputs.
+struct detector_calibration {
+  int width = 0;
+  int height = 0;
+  double mean_intensity = 0.0;
+  double nonzero_fraction = 0.0;
+
+  /// Tolerances (fractions of the calibrated values).
+  double dimension_slack = 0.5;
+  double intensity_slack = 0.35;
+  double coverage_slack = 0.4;
+};
+
+/// Builds the envelope from one (or the average of several) golden outputs.
+[[nodiscard]] detector_calibration calibrate_detectors(
+    const std::vector<img::image_u8>& golden_outputs);
+
+/// Which check (if any) flags an output as corrupted.
+enum class detection_verdict {
+  clean,        ///< passes every check (an SDC stays silent)
+  geometry,     ///< dimensions outside the envelope
+  coverage,     ///< too little content
+  intensity,    ///< brightness outside the envelope
+};
+
+[[nodiscard]] const char* detection_verdict_name(
+    detection_verdict verdict) noexcept;
+
+/// Runs the checks on one output image.
+[[nodiscard]] detection_verdict run_detectors(
+    const img::image_u8& output, const detector_calibration& calibration);
+
+/// Aggregate over a set of SDC outputs: how many would the cheap checks
+/// have caught (turning an undetectable SDC into a detected error)?
+struct detection_summary {
+  std::size_t sdcs = 0;
+  std::size_t detected = 0;
+  std::size_t by_geometry = 0;
+  std::size_t by_coverage = 0;
+  std::size_t by_intensity = 0;
+
+  [[nodiscard]] double coverage() const noexcept {
+    return sdcs > 0 ? static_cast<double>(detected) /
+                          static_cast<double>(sdcs)
+                    : 0.0;
+  }
+};
+
+[[nodiscard]] detection_summary evaluate_detectors(
+    const std::vector<img::image_u8>& sdc_outputs,
+    const detector_calibration& calibration);
+
+}  // namespace vs::fault

@@ -1,0 +1,82 @@
+#include "fault/model.h"
+
+#include <sstream>
+
+namespace vs::fault {
+
+const char* outcome_name(outcome o) noexcept {
+  switch (o) {
+    case outcome::masked:
+      return "Masked";
+    case outcome::sdc:
+      return "SDC";
+    case outcome::crash_segfault:
+      return "Crash(segfault)";
+    case outcome::crash_abort:
+      return "Crash(abort)";
+    case outcome::hang:
+      return "Hang";
+  }
+  return "?";
+}
+
+void outcome_rates::add(outcome o) noexcept {
+  ++experiments;
+  switch (o) {
+    case outcome::masked:
+      ++masked;
+      break;
+    case outcome::sdc:
+      ++sdc;
+      break;
+    case outcome::crash_segfault:
+      ++crash_segfault;
+      break;
+    case outcome::crash_abort:
+      ++crash_abort;
+      break;
+    case outcome::hang:
+      ++hang;
+      break;
+  }
+}
+
+double outcome_rates::rate(outcome o) const noexcept {
+  if (experiments == 0) return 0.0;
+  std::size_t n = 0;
+  switch (o) {
+    case outcome::masked:
+      n = masked;
+      break;
+    case outcome::sdc:
+      n = sdc;
+      break;
+    case outcome::crash_segfault:
+      n = crash_segfault;
+      break;
+    case outcome::crash_abort:
+      n = crash_abort;
+      break;
+    case outcome::hang:
+      n = hang;
+      break;
+  }
+  return static_cast<double>(n) / static_cast<double>(experiments);
+}
+
+double outcome_rates::crash_rate() const noexcept {
+  if (experiments == 0) return 0.0;
+  return static_cast<double>(crash_segfault + crash_abort) /
+         static_cast<double>(experiments);
+}
+
+std::string outcome_rates::to_string() const {
+  std::ostringstream out;
+  out << "n=" << experiments << " mask=" << rate(outcome::masked) * 100.0
+      << "% sdc=" << rate(outcome::sdc) * 100.0
+      << "% crash=" << crash_rate() * 100.0
+      << "% hang=" << rate(outcome::hang) * 100.0 << "%";
+  return out.str();
+}
+
+}  // namespace vs::fault

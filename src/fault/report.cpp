@@ -1,0 +1,52 @@
+#include "fault/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace vs::fault {
+
+std::string records_to_csv(const campaign_result& result) {
+  std::ostringstream out;
+  out << "index,cls,target,bit,reg_id,live,fired,outcome,scope,kind\n";
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const auto& r = result.records[i];
+    out << i << ','
+        << (r.plan.cls == rt::reg_class::gpr ? "gpr" : "fpr") << ','
+        << r.plan.target << ',' << r.plan.bit << ',' << r.plan.reg_id << ','
+        << (r.register_live ? 1 : 0) << ',' << (r.fired ? 1 : 0) << ','
+        << outcome_name(r.result) << ',' << rt::fn_name(r.fired_scope) << ','
+        << rt::op_name(r.fired_kind) << '\n';
+  }
+  return out.str();
+}
+
+std::string rates_to_json(const campaign_result& result,
+                          const std::string& label) {
+  const auto& r = result.rates;
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"label\": \"" << label << "\",\n"
+      << "  \"experiments\": " << r.experiments << ",\n"
+      << "  \"masked\": " << r.masked << ",\n"
+      << "  \"sdc\": " << r.sdc << ",\n"
+      << "  \"crash_segfault\": " << r.crash_segfault << ",\n"
+      << "  \"crash_abort\": " << r.crash_abort << ",\n"
+      << "  \"hang\": " << r.hang << ",\n"
+      << "  \"mask_rate\": " << r.rate(outcome::masked) << ",\n"
+      << "  \"sdc_rate\": " << r.rate(outcome::sdc) << ",\n"
+      << "  \"crash_rate\": " << r.crash_rate() << ",\n"
+      << "  \"hang_rate\": " << r.rate(outcome::hang) << "\n"
+      << "}\n";
+  return out.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw io_error("write_text_file: cannot open " + path);
+  out << text;
+  if (!out) throw io_error("write_text_file: write failed for " + path);
+}
+
+}  // namespace vs::fault

@@ -1,0 +1,23 @@
+// Machine-readable exports of campaign results (CSV and a minimal JSON),
+// so downstream analysis (plots, spreadsheets) doesn't have to scrape the
+// benchmark harnesses' console tables.
+#pragma once
+
+#include <string>
+
+#include "fault/campaign.h"
+
+namespace vs::fault {
+
+/// CSV with one row per experiment:
+/// index,cls,target,bit,reg_id,live,fired,outcome,scope,kind
+[[nodiscard]] std::string records_to_csv(const campaign_result& result);
+
+/// Compact JSON object with the aggregate rates and campaign metadata.
+[[nodiscard]] std::string rates_to_json(const campaign_result& result,
+                                        const std::string& label);
+
+/// Writes `text` to `path` (throws io_error on failure).
+void write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace vs::fault

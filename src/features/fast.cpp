@@ -1,0 +1,155 @@
+#include "features/fast.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "features/harris.h"
+#include "rt/instrument.h"
+
+namespace vs::feat {
+
+namespace {
+
+// Bresenham circle of radius 3: the 16 segment-test offsets, in order.
+constexpr int circle_dx[16] = {0, 1, 2, 3, 3, 3, 2, 1, 0, -1, -2, -3, -3, -3, -2, -1};
+constexpr int circle_dy[16] = {-3, -3, -2, -1, 0, 1, 2, 3, 3, 3, 2, 1, 0, -1, -2, -3};
+constexpr int segment_length = 9;  // FAST-9
+
+// Classifies circle pixel i against center p with threshold t:
+// +1 brighter, -1 darker, 0 similar.
+inline int classify(int value, int center, int threshold) {
+  if (value >= center + threshold) return 1;
+  if (value <= center - threshold) return -1;
+  return 0;
+}
+
+// True when >= segment_length contiguous circle pixels share `sign`.
+bool has_contiguous_arc(const int (&cls)[16], int sign) {
+  int run = 0;
+  // Scan twice around the circle to handle wrap-around runs.
+  for (int i = 0; i < 32; ++i) {
+    if (cls[i & 15] == sign) {
+      if (++run >= segment_length) return true;
+    } else {
+      run = 0;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int fast_score(const img::image_u8& gray, int x, int y, int threshold) {
+  const int center = gray.at(x, y);
+  int cls[16];
+  int sum_bright = 0;
+  int sum_dark = 0;
+  for (int i = 0; i < 16; ++i) {
+    const int v = gray.at(x + circle_dx[i], y + circle_dy[i]);
+    cls[i] = classify(v, center, threshold);
+    if (cls[i] > 0) sum_bright += v - center - threshold;
+    if (cls[i] < 0) sum_dark += center - threshold - v;
+  }
+  const bool bright = has_contiguous_arc(cls, 1);
+  const bool dark = has_contiguous_arc(cls, -1);
+  if (!bright && !dark) return 0;
+  if (bright && !dark) return sum_bright;
+  if (dark && !bright) return sum_dark;
+  return std::max(sum_bright, sum_dark);
+}
+
+std::vector<keypoint> fast_detect(const img::image_u8& gray,
+                                  const fast_params& params) {
+  if (gray.channels() != 1) throw invalid_argument("fast_detect: need gray");
+  rt::scope attributed(rt::fn::fast_detect);
+
+  const int border = std::max(3, params.border);
+  const int w = gray.width();
+  const int h = gray.height();
+  if (w <= 2 * border || h <= 2 * border) return {};
+
+  // The detection threshold lives in a register across the whole scan: a
+  // single GPR fault site covers it.
+  const int threshold =
+      std::max(1, rt::g32(params.threshold));
+
+  img::basic_image<float> scores(w, h, 1);
+  const std::uint8_t* data = gray.data();
+  const std::size_t n = gray.size();
+
+  for (int y = border; y < h - border; ++y) {
+    // Row bound: a long-lived control register for the whole scan line.
+    const auto row_end = static_cast<std::int64_t>(rt::ctrl(w - border));
+    for (std::int64_t x = border; x < row_end; ++x) {
+      // High-speed test: of the 4 compass pixels, at least 3 must differ for
+      // a FAST-9 corner to be possible (standard early-exit).  Every read
+      // goes through guarded address arithmetic: a corrupted row bound or
+      // offset becomes a wild (wrapped or faulting) load, not silent UB.
+      const std::int64_t center_off = static_cast<std::int64_t>(y) * w + x;
+      const int center = data[rt::idx(center_off, n)];
+      const int top =
+          data[rt::idx(center_off - 3 * static_cast<std::int64_t>(w), n)];
+      const int bottom =
+          data[rt::idx(center_off + 3 * static_cast<std::int64_t>(w), n)];
+      const int left = data[rt::idx(center_off - 3, n)];
+      const int right = data[rt::idx(center_off + 3, n)];
+      int extreme = 0;
+      extreme += classify(top, center, threshold) != 0;
+      extreme += classify(bottom, center, threshold) != 0;
+      extreme += classify(left, center, threshold) != 0;
+      extreme += classify(right, center, threshold) != 0;
+      rt::account(rt::op::int_alu, 10);
+      // A 9-of-16 contiguous arc always covers at least 2 of the 4 compass
+      // points (FAST-9 quick test; 3-of-4 is only valid for FAST-12).
+      if (extreme < 2) continue;
+      if (x >= w - border) continue;  // only reachable via a corrupted bound
+      const int score =
+          fast_score(gray, static_cast<int>(x), y, threshold);
+      rt::account(rt::op::int_alu, 48);
+      if (score <= 0) continue;
+      scores.at(static_cast<int>(x), y) =
+          params.score == corner_score::harris
+              ? static_cast<float>(
+                    1e6 * harris_response(gray, static_cast<int>(x), y))
+              : static_cast<float>(score);
+    }
+    rt::account(rt::op::branch, static_cast<std::uint64_t>(w));
+  }
+
+  std::vector<keypoint> found;
+  for (int y = border; y < h - border; ++y) {
+    for (int x = border; x < w - border; ++x) {
+      const float s = scores.at(x, y);
+      if (s <= 0.0f) continue;
+      if (params.nonmax_suppression) {
+        bool is_max = true;
+        for (int dy = -1; dy <= 1 && is_max; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            const float neighbour = scores.at(x + dx, y + dy);
+            // Strict on earlier raster positions keeps exactly one of a tie.
+            if (neighbour > s ||
+                (neighbour == s && (dy < 0 || (dy == 0 && dx < 0)))) {
+              is_max = false;
+              break;
+            }
+          }
+        }
+        if (!is_max) continue;
+      }
+      found.push_back(keypoint{static_cast<float>(x), static_cast<float>(y),
+                               s, 0.0f});
+    }
+  }
+  rt::account(rt::op::branch, found.size() * 9);
+
+  std::stable_sort(found.begin(), found.end(),
+                   [](const keypoint& a, const keypoint& b) {
+                     return a.score > b.score;
+                   });
+  const auto cap = rt::alloc_size(params.max_keypoints, 1 << 20);
+  if (found.size() > cap) found.resize(cap);
+  return found;
+}
+
+}  // namespace vs::feat

@@ -1,0 +1,36 @@
+// FAST (Features from Accelerated Segment Test) corner detection —
+// Rosten & Drummond's FAST-9/16 variant, as used by the VS application.
+#pragma once
+
+#include <vector>
+
+#include "features/keypoint.h"
+#include "image/image.h"
+
+namespace vs::feat {
+
+/// How detected corners are scored (for NMS and strongest-first ranking).
+enum class corner_score {
+  segment_test,  ///< FAST's own SAD score (this reproduction's default)
+  harris,        ///< Harris response, as ORB proper ranks FAST corners
+};
+
+struct fast_params {
+  int threshold = 10;        ///< intensity delta for the segment test
+  int max_keypoints = 300;   ///< keep the strongest N after NMS
+  bool nonmax_suppression = true;
+  int border = 17;           ///< keep-out margin (descriptor patch + 1)
+  corner_score score = corner_score::segment_test;
+};
+
+/// Detects FAST-9 corners on a grayscale image.  Keypoints are returned
+/// strongest-first; ties broken by raster order for determinism.
+[[nodiscard]] std::vector<keypoint> fast_detect(const img::image_u8& gray,
+                                                const fast_params& params);
+
+/// Segment-test score of a single pixel (0 when not a corner).  Exposed for
+/// tests and for the detector's own scoring.
+[[nodiscard]] int fast_score(const img::image_u8& gray, int x, int y,
+                             int threshold);
+
+}  // namespace vs::feat

@@ -1,0 +1,51 @@
+#include "features/harris.h"
+
+#include "core/error.h"
+#include "rt/instrument.h"
+
+namespace vs::feat {
+
+namespace {
+
+// Sobel gradients at (x, y) via clamped sampling.
+inline void sobel(const img::image_u8& gray, int x, int y, double& gx,
+                  double& gy) {
+  const auto p = [&](int dx, int dy) {
+    return static_cast<double>(gray.sample_clamped(x + dx, y + dy));
+  };
+  gx = (p(1, -1) + 2.0 * p(1, 0) + p(1, 1)) -
+       (p(-1, -1) + 2.0 * p(-1, 0) + p(-1, 1));
+  gy = (p(-1, 1) + 2.0 * p(0, 1) + p(1, 1)) -
+       (p(-1, -1) + 2.0 * p(0, -1) + p(1, -1));
+}
+
+}  // namespace
+
+double harris_response(const img::image_u8& gray, int x, int y, int radius,
+                       double k) {
+  if (gray.channels() != 1) throw invalid_argument("harris: need gray");
+  rt::scope attributed(rt::fn::fast_detect);
+  double sum_xx = 0.0;
+  double sum_yy = 0.0;
+  double sum_xy = 0.0;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      double gx = 0.0;
+      double gy = 0.0;
+      sobel(gray, x + dx, y + dy, gx, gy);
+      sum_xx += gx * gx;
+      sum_yy += gy * gy;
+      sum_xy += gx * gy;
+    }
+  }
+  const auto window = static_cast<std::uint64_t>(2 * radius + 1);
+  rt::account(rt::op::int_alu, window * window * 12);
+  rt::account(rt::op::fp_alu, window * window * 6);
+  const double det = sum_xx * sum_yy - sum_xy * sum_xy;
+  const double trace = sum_xx + sum_yy;
+  // Normalized so values are comparable across window sizes.
+  const double norm = static_cast<double>(window * window) * 255.0;
+  return (det - k * trace * trace) / (norm * norm);
+}
+
+}  // namespace vs::feat

@@ -1,0 +1,19 @@
+// Harris corner response — the scoring ORB uses to rank FAST candidates
+// (Rublee et al. §3.1: "FAST does not produce a measure of cornerness ...
+// we employ the Harris corner measure to order the FAST keypoints").
+//
+// Off by default in this reproduction (the calibrated experiments use the
+// segment-test score); enable via fast_params::score.
+#pragma once
+
+#include "image/image.h"
+
+namespace vs::feat {
+
+/// Harris corner response at (x, y): det(M) - k * trace(M)^2 over a
+/// (2*radius+1)^2 window of Sobel gradients.  Positive for corners,
+/// negative for edges, ~0 for flat regions.
+[[nodiscard]] double harris_response(const img::image_u8& gray, int x, int y,
+                                     int radius = 3, double k = 0.04);
+
+}  // namespace vs::feat

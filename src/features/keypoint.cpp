@@ -1,0 +1,25 @@
+#include "features/keypoint.h"
+
+#include <bit>
+
+namespace vs::feat {
+
+int hamming_distance(const descriptor& a, const descriptor& b) noexcept {
+  int distance = 0;
+  for (std::size_t i = 0; i < a.bits.size(); ++i) {
+    distance += std::popcount(a.bits[i] ^ b.bits[i]);
+  }
+  return distance;
+}
+
+int hamming_distance_bounded(const descriptor& a, const descriptor& b,
+                             int bound) noexcept {
+  int distance = 0;
+  for (std::size_t i = 0; i < a.bits.size(); ++i) {
+    distance += std::popcount(a.bits[i] ^ b.bits[i]);
+    if (distance > bound) return bound + 1;
+  }
+  return distance;
+}
+
+}  // namespace vs::feat

@@ -1,0 +1,45 @@
+// Keypoint and descriptor types shared by detection and matching.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace vs::feat {
+
+/// A detected corner with its FAST score and ORB orientation.
+struct keypoint {
+  float x = 0.0f;
+  float y = 0.0f;
+  float score = 0.0f;  ///< FAST corner score (sum of absolute differences)
+  float angle = 0.0f;  ///< orientation in radians (intensity centroid)
+};
+
+/// 256-bit binary descriptor (rotated BRIEF), stored as 4 words.
+struct descriptor {
+  std::array<std::uint64_t, 4> bits = {};
+
+  bool operator==(const descriptor&) const = default;
+};
+
+/// Hamming distance between two 256-bit descriptors (0..256).
+[[nodiscard]] int hamming_distance(const descriptor& a,
+                                   const descriptor& b) noexcept;
+
+/// Hamming distance with early exit: returns bound + 1 as soon as the
+/// partial distance exceeds `bound`.  This is what makes VS_SM's bounded
+/// 1-NN search cheaper than the full 2-NN ratio-test search.
+[[nodiscard]] int hamming_distance_bounded(const descriptor& a,
+                                           const descriptor& b,
+                                           int bound) noexcept;
+
+/// Keypoints plus their descriptors for one frame.
+struct frame_features {
+  std::vector<keypoint> keypoints;
+  std::vector<descriptor> descriptors;
+
+  [[nodiscard]] std::size_t size() const noexcept { return keypoints.size(); }
+  [[nodiscard]] bool empty() const noexcept { return keypoints.empty(); }
+};
+
+}  // namespace vs::feat

@@ -1,0 +1,199 @@
+#include "features/orb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "rt/instrument.h"
+
+namespace vs::feat {
+
+namespace {
+
+constexpr int pattern_size = 256;
+
+// The BRIEF sampling pattern: 256 point pairs inside the patch.  Generated
+// once, deterministically, from an isotropic Gaussian clipped to the patch
+// square (the construction Calonder's BRIEF used; ORB's learned pattern is
+// equivalent for this reproduction and not redistributable as data).
+struct brief_pattern {
+  float ax[pattern_size];
+  float ay[pattern_size];
+  float bx[pattern_size];
+  float by[pattern_size];
+};
+
+const brief_pattern& pattern_for_radius(int radius) {
+  static const brief_pattern pattern = [] {
+    brief_pattern p{};
+    rng gen(0x0b5e55ed5eedULL);
+    constexpr int build_radius = 1024;  // normalized; scaled at sample time
+    const double sigma = build_radius / 2.0;
+    auto clip = [&](double v) {
+      return std::clamp(v, -static_cast<double>(build_radius),
+                        static_cast<double>(build_radius));
+    };
+    for (int i = 0; i < pattern_size; ++i) {
+      p.ax[i] = static_cast<float>(clip(gen.normal() * sigma) / build_radius);
+      p.ay[i] = static_cast<float>(clip(gen.normal() * sigma) / build_radius);
+      p.bx[i] = static_cast<float>(clip(gen.normal() * sigma) / build_radius);
+      p.by[i] = static_cast<float>(clip(gen.normal() * sigma) / build_radius);
+    }
+    return p;
+  }();
+  (void)radius;
+  return pattern;
+}
+
+}  // namespace
+
+float intensity_centroid_angle(const img::image_u8& gray, int x, int y,
+                               int radius) {
+  rt::scope attributed(rt::fn::orb_describe);
+  const std::uint8_t* data = gray.data();
+  const std::size_t n = gray.size();
+  const int w = gray.width();
+  std::int64_t m01 = 0;
+  std::int64_t m10 = 0;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx * dx + dy * dy > radius * radius) continue;
+      const std::int64_t off =
+          static_cast<std::int64_t>(y + dy) * w + (x + dx);
+      const int v = data[rt::idx(off, n)];
+      m10 += static_cast<std::int64_t>(dx) * v;
+      m01 += static_cast<std::int64_t>(dy) * v;
+    }
+  }
+  rt::account(rt::op::int_alu,
+              static_cast<std::uint64_t>((2 * radius + 1) * (2 * radius + 1)) *
+                  4);
+  // The moments feed an FPR op (atan2): one representative FP fault site.
+  const double angle =
+      std::atan2(rt::f64(static_cast<double>(m01)),
+                 static_cast<double>(rt::g64(m10)));
+  rt::account(rt::op::fp_alu, 6);
+  return static_cast<float>(angle);
+}
+
+namespace {
+
+// Pre-rotated integer sampling offsets for every orientation bin, as OpenCV
+// does with its precomputed pattern tables: the per-keypoint cost is then
+// two guarded loads and a compare per pair, with no per-pair trigonometry.
+struct rotated_pattern {
+  std::int16_t ax[pattern_size];
+  std::int16_t ay[pattern_size];
+  std::int16_t bx[pattern_size];
+  std::int16_t by[pattern_size];
+};
+
+constexpr int orientation_bins = 30;
+
+const rotated_pattern& rotated_for(int bin, int patch_radius) {
+  // The pattern is scale-fixed per process (one patch radius in practice);
+  // built lazily once for the first radius seen (magic-static, thread-safe).
+  static const int built_radius = patch_radius;
+  static const std::array<rotated_pattern, orientation_bins> bins = [] {
+    std::array<rotated_pattern, orientation_bins> out{};
+    const brief_pattern& pat = pattern_for_radius(built_radius);
+    for (int b = 0; b < orientation_bins; ++b) {
+      const double angle = 2.0 * 3.14159265358979323846 * b / orientation_bins;
+      const double c = std::cos(angle);
+      const double s = std::sin(angle);
+      for (int i = 0; i < pattern_size; ++i) {
+        const double scale = built_radius;
+        out[b].ax[i] = static_cast<std::int16_t>(
+            std::lround((pat.ax[i] * c - pat.ay[i] * s) * scale));
+        out[b].ay[i] = static_cast<std::int16_t>(
+            std::lround((pat.ax[i] * s + pat.ay[i] * c) * scale));
+        out[b].bx[i] = static_cast<std::int16_t>(
+            std::lround((pat.bx[i] * c - pat.by[i] * s) * scale));
+        out[b].by[i] = static_cast<std::int16_t>(
+            std::lround((pat.bx[i] * s + pat.by[i] * c) * scale));
+      }
+    }
+    return out;
+  }();
+  return bins[static_cast<std::size_t>(bin % orientation_bins)];
+}
+
+}  // namespace
+
+descriptor orb_describe_one(const img::image_u8& gray, const keypoint& kp,
+                            int patch_radius) {
+  rt::scope attributed(rt::fn::orb_describe);
+  constexpr double two_pi = 2.0 * 3.14159265358979323846;
+  const double positive = kp.angle < 0 ? kp.angle + two_pi : kp.angle;
+  const int bin = static_cast<int>(positive / two_pi * orientation_bins + 0.5) %
+                  orientation_bins;
+  const rotated_pattern& pat = rotated_for(bin, patch_radius);
+
+  const std::uint8_t* data = gray.data();
+  const std::size_t n = gray.size();
+  const int w = gray.width();
+  const auto cx = static_cast<int>(kp.x);
+  const auto cy = static_cast<int>(kp.y);
+
+  descriptor d;
+  for (int i = 0; i < pattern_size; ++i) {
+    const std::int64_t off_a =
+        static_cast<std::int64_t>(cy + pat.ay[i]) * w + (cx + pat.ax[i]);
+    const std::int64_t off_b =
+        static_cast<std::int64_t>(cy + pat.by[i]) * w + (cx + pat.bx[i]);
+    const std::uint8_t va = data[rt::idx(off_a, n)];
+    const std::uint8_t vb = data[rt::idx(off_b, n)];
+    if (va < vb) {
+      d.bits[static_cast<std::size_t>(i >> 6)] |= 1ULL << (i & 63);
+    }
+  }
+  rt::account(rt::op::int_alu, pattern_size * 4);
+  // The packed descriptor words are long-lived register values while the
+  // frame is matched; expose each as a GPR fault site once.
+  for (auto& word : d.bits) {
+    word = static_cast<std::uint64_t>(
+        rt::g64(static_cast<std::int64_t>(word)));
+  }
+  return d;
+}
+
+frame_features orb_extract(const img::image_u8& gray,
+                           const orb_params& params) {
+  if (gray.channels() != 1) throw invalid_argument("orb_extract: need gray");
+  fast_params fp = params.fast;
+  fp.border = std::max(fp.border, params.patch_radius * 2 + 2);
+
+  frame_features out;
+  out.keypoints = fast_detect(gray, fp);
+  out.descriptors.reserve(out.keypoints.size());
+  // Describe on a smoothed image (detection stays on the raw one): BRIEF
+  // comparisons on an unsmoothed image are flipped by sensor noise.
+  const img::image_u8 smooth = [&] {
+    rt::scope attributed(rt::fn::orb_describe);
+    rt::account(rt::op::int_alu,
+                static_cast<std::uint64_t>(gray.width()) * gray.height() * 4);
+    rt::account(rt::op::mem,
+                static_cast<std::uint64_t>(gray.width()) * gray.height() * 2);
+    return img::box_blur3(gray);
+  }();
+  // ORB quantizes orientation (OpenCV uses ~12 degree steps via its
+  // precomputed pattern tables); quantizing here keeps descriptors of the
+  // same physical corner bit-identical under small orientation jitter.
+  constexpr double two_pi = 2.0 * 3.14159265358979323846;
+  constexpr int angle_bins = 30;
+  for (auto& kp : out.keypoints) {
+    const float raw = intensity_centroid_angle(
+        gray, static_cast<int>(kp.x), static_cast<int>(kp.y),
+        params.patch_radius);
+    const double positive = raw < 0 ? raw + two_pi : raw;
+    const int bin =
+        static_cast<int>(positive / two_pi * angle_bins + 0.5) % angle_bins;
+    kp.angle = static_cast<float>(bin * two_pi / angle_bins);
+    out.descriptors.push_back(
+        orb_describe_one(smooth, kp, params.patch_radius));
+  }
+  return out;
+}
+
+}  // namespace vs::feat

@@ -1,0 +1,80 @@
+#include "features/pyramid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "geometry/warp.h"
+#include "rt/instrument.h"
+
+namespace vs::feat {
+
+img::image_u8 resize_bilinear(const img::image_u8& src, int width,
+                              int height) {
+  if (src.empty() || width <= 0 || height <= 0) {
+    throw invalid_argument("resize_bilinear: bad arguments");
+  }
+  if (src.channels() != 1) {
+    throw invalid_argument("resize_bilinear: grayscale only");
+  }
+  img::image_u8 out(width, height, 1);
+  const double sx = static_cast<double>(src.width()) / width;
+  const double sy = static_cast<double>(src.height()) / height;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double u = std::min((x + 0.5) * sx - 0.5,
+                                src.width() - 1.001);
+      const double v = std::min((y + 0.5) * sy - 0.5,
+                                src.height() - 1.001);
+      const auto sample =
+          geo::sample_bilinear(src, std::max(0.0, u), std::max(0.0, v));
+      out.at(x, y) = sample ? *sample : src.sample_clamped(
+                                            static_cast<int>(u),
+                                            static_cast<int>(v));
+    }
+  }
+  rt::account(rt::op::fp_alu,
+              static_cast<std::uint64_t>(width) * height * 4);
+  return out;
+}
+
+std::vector<pyramid_level> build_pyramid(const img::image_u8& gray,
+                                         const pyramid_params& params) {
+  if (gray.channels() != 1) throw invalid_argument("build_pyramid: need gray");
+  if (params.levels < 1 || params.scale_factor <= 1.0) {
+    throw invalid_argument("build_pyramid: levels >= 1, factor > 1 required");
+  }
+  std::vector<pyramid_level> pyramid;
+  pyramid.push_back({gray, 1.0});
+  for (int level = 1; level < params.levels; ++level) {
+    const double scale = std::pow(params.scale_factor, level);
+    const int w = static_cast<int>(std::lround(gray.width() / scale));
+    const int h = static_cast<int>(std::lround(gray.height() / scale));
+    if (w < params.min_dimension || h < params.min_dimension) break;
+    // Smooth before resampling to avoid aliasing the high frequencies.
+    pyramid.push_back(
+        {resize_bilinear(img::box_blur3(pyramid.back().image), w, h),
+         static_cast<double>(gray.width()) / w});
+  }
+  return pyramid;
+}
+
+frame_features orb_extract_pyramid(const img::image_u8& gray,
+                                   const orb_params& params,
+                                   const pyramid_params& pyramid_config) {
+  const auto pyramid = build_pyramid(gray, pyramid_config);
+  frame_features combined;
+  for (const auto& level : pyramid) {
+    const auto features = orb_extract(level.image, params);
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      keypoint kp = features.keypoints[i];
+      kp.x = static_cast<float>(kp.x * level.scale);
+      kp.y = static_cast<float>(kp.y * level.scale);
+      combined.keypoints.push_back(kp);
+      combined.descriptors.push_back(features.descriptors[i]);
+    }
+  }
+  return combined;
+}
+
+}  // namespace vs::feat

@@ -1,0 +1,45 @@
+// Image pyramids and multi-scale ORB extraction.
+//
+// ORB proper detects on a scale pyramid (factor ~1.2, 8 levels) so matching
+// survives zoom changes.  The calibrated experiments in this reproduction
+// run single-scale (orb_params defaults) — the synthetic inputs bound their
+// zoom range — but the pyramid path is provided (and tested) for real
+// footage with stronger scale variation.
+#pragma once
+
+#include <vector>
+
+#include "features/orb.h"
+#include "image/image.h"
+
+namespace vs::feat {
+
+struct pyramid_level {
+  img::image_u8 image;
+  double scale = 1.0;  ///< base-image coords = level coords * scale
+};
+
+struct pyramid_params {
+  int levels = 4;
+  double scale_factor = 1.25;  ///< per-level downscale
+  int min_dimension = 48;      ///< stop before either side shrinks below
+};
+
+/// Builds the pyramid: level 0 is the input; each subsequent level is the
+/// previous one smoothed (3x3 box) and resampled by 1/scale_factor.
+[[nodiscard]] std::vector<pyramid_level> build_pyramid(
+    const img::image_u8& gray, const pyramid_params& params = {});
+
+/// Bilinear resize to an explicit size (used by the pyramid; exposed as a
+/// general imaging utility).
+[[nodiscard]] img::image_u8 resize_bilinear(const img::image_u8& src,
+                                            int width, int height);
+
+/// Multi-scale ORB: detects and describes per level, mapping keypoint
+/// coordinates back to base-image coordinates.  With levels == 1 this is
+/// exactly orb_extract.
+[[nodiscard]] frame_features orb_extract_pyramid(
+    const img::image_u8& gray, const orb_params& params,
+    const pyramid_params& pyramid = {});
+
+}  // namespace vs::feat

@@ -1,0 +1,36 @@
+// Homography (planar projective) estimation from point correspondences.
+//
+// Implements the normalized direct linear transform with the h22 == 1
+// parameterization: 8 unknowns solved by least squares over the 2n
+// linearized constraint rows — the same estimator cv::findHomography uses
+// inside its RANSAC loop.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "geometry/mat3.h"
+#include "geometry/vec2.h"
+
+namespace vs::geo {
+
+/// Minimum correspondences for a homography (4) and affine (3) estimate.
+inline constexpr std::size_t homography_min_pairs = 4;
+
+/// Estimates H such that dst ~ H * src from >= 4 correspondences.
+/// Input points are Hartley-normalized (centroid 0, mean distance sqrt(2))
+/// for conditioning.  Returns nullopt for degenerate configurations
+/// (collinear samples, near-singular systems).
+[[nodiscard]] std::optional<mat3> estimate_homography(
+    std::span<const point_pair> pairs);
+
+/// Symmetric measure of how far `h` moves `p.src` from `p.dst` (forward
+/// reprojection error in destination pixels).
+[[nodiscard]] double reprojection_error(const mat3& h, const point_pair& p);
+
+/// True when H keeps a unit square's orientation and does not collapse or
+/// explode scale beyond [1/limit, limit] — the plausibility gate the
+/// stitcher applies before accepting a model.
+[[nodiscard]] bool plausible_homography(const mat3& h, double limit = 4.0);
+
+}  // namespace vs::geo

@@ -1,0 +1,76 @@
+#include "geometry/linalg.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace vs::geo {
+
+std::optional<std::vector<double>> solve_gaussian(std::vector<double> a,
+                                                  std::vector<double> b,
+                                                  double pivot_eps) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n) throw invalid_argument("solve_gaussian: shape");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: swap in the row with the largest magnitude pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double mag = std::abs(a[row * n + col]);
+      if (mag > best) {
+        best = mag;
+        pivot = row;
+      }
+    }
+    if (!(best > pivot_eps)) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[col * n + j], a[pivot * n + j]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) {
+        a[row * n + j] -= factor * a[col * n + j];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= a[i * n + j] * x[j];
+    x[i] = sum / a[i * n + i];
+    if (!std::isfinite(x[i])) return std::nullopt;
+  }
+  return x;
+}
+
+std::optional<std::vector<double>> solve_least_squares(
+    const std::vector<double>& a, const std::vector<double>& b,
+    std::size_t rows, std::size_t cols) {
+  if (a.size() != rows * cols || b.size() != rows || rows < cols) {
+    throw invalid_argument("solve_least_squares: shape");
+  }
+  // Normal equations: (A^T A) x = A^T b.
+  std::vector<double> ata(cols * cols, 0.0);
+  std::vector<double> atb(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = &a[r * cols];
+    for (std::size_t i = 0; i < cols; ++i) {
+      atb[i] += row[i] * b[r];
+      for (std::size_t j = i; j < cols; ++j) ata[i * cols + j] += row[i] * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols; ++i) {
+    for (std::size_t j = 0; j < i; ++j) ata[i * cols + j] = ata[j * cols + i];
+  }
+  return solve_gaussian(std::move(ata), std::move(atb));
+}
+
+}  // namespace vs::geo

@@ -1,0 +1,23 @@
+// Small dense linear-algebra kernels (the solvers behind homography and
+// affine estimation).  Sized for n <= 16 — no BLAS, no allocation surprises.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace vs::geo {
+
+/// Solves A x = b in-place for a dense row-major n x n system using Gaussian
+/// elimination with partial pivoting.  Returns nullopt for (near-)singular
+/// systems.  `a` must have n*n elements and `b` n elements.
+[[nodiscard]] std::optional<std::vector<double>> solve_gaussian(
+    std::vector<double> a, std::vector<double> b, double pivot_eps = 1e-12);
+
+/// Linear least squares via normal equations: minimizes |A x - b|_2 for a
+/// dense row-major rows x cols matrix (rows >= cols).  Returns nullopt when
+/// the normal matrix is singular.
+[[nodiscard]] std::optional<std::vector<double>> solve_least_squares(
+    const std::vector<double>& a, const std::vector<double>& b,
+    std::size_t rows, std::size_t cols);
+
+}  // namespace vs::geo

@@ -1,0 +1,53 @@
+// RANSAC (Fischler & Bolles 1981) over point correspondences — the robust
+// wrapper the pipeline uses around the homography / affine estimators.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "geometry/mat3.h"
+#include "geometry/vec2.h"
+
+namespace vs::geo {
+
+struct ransac_params {
+  std::size_t sample_size = 4;     ///< correspondences per hypothesis
+  int max_iterations = 200;        ///< hypothesis budget
+  double inlier_threshold = 3.0;   ///< reprojection error in pixels
+  double confidence = 0.995;       ///< adaptive early-exit confidence
+  std::size_t min_inliers = 8;     ///< reject models supported by fewer
+};
+
+struct ransac_result {
+  mat3 model;
+  std::vector<bool> inlier_mask;
+  std::size_t inlier_count = 0;
+  int iterations_run = 0;
+};
+
+/// Fits `estimator` robustly to `pairs`.  `estimator` maps a minimal sample
+/// to a model (nullopt on degeneracy); `error` scores one correspondence
+/// against a model.  Deterministic given `seed`.  Returns nullopt when no
+/// model reaches min_inliers.
+[[nodiscard]] std::optional<ransac_result> ransac_fit(
+    std::span<const point_pair> pairs, const ransac_params& params,
+    const std::function<std::optional<mat3>(std::span<const point_pair>)>&
+        estimator,
+    const std::function<double(const mat3&, const point_pair&)>& error,
+    std::uint64_t seed);
+
+/// Convenience: RANSAC homography with least-squares refit on the inliers
+/// (matching cv::findHomography(..., CV_RANSAC) behaviour).
+[[nodiscard]] std::optional<ransac_result> ransac_homography(
+    std::span<const point_pair> pairs, const ransac_params& params,
+    std::uint64_t seed);
+
+/// Convenience: RANSAC affine with least-squares refit on the inliers.
+[[nodiscard]] std::optional<ransac_result> ransac_affine(
+    std::span<const point_pair> pairs, const ransac_params& params,
+    std::uint64_t seed);
+
+}  // namespace vs::geo

@@ -1,0 +1,100 @@
+#include "image/image_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace vs::img {
+
+namespace {
+
+// Skips whitespace and '#' comments in a PNM header.
+void skip_separators(std::istream& in) {
+  for (;;) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+int read_header_int(std::istream& in) {
+  skip_separators(in);
+  int value = 0;
+  if (!(in >> value) || value < 0) {
+    throw io_error("pnm: malformed header integer");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string encode_pnm(const image_u8& img) {
+  if (img.empty()) throw invalid_argument("encode_pnm: empty image");
+  std::ostringstream out;
+  out << (img.channels() == 1 ? "P5" : "P6") << "\n"
+      << img.width() << " " << img.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.data()),
+            static_cast<std::streamsize>(img.size()));
+  return out.str();
+}
+
+image_u8 decode_pnm(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  std::string magic;
+  in >> magic;
+  const bool binary = magic == "P5" || magic == "P6";
+  const bool ascii = magic == "P2" || magic == "P3";
+  if (!binary && !ascii) throw io_error("pnm: unsupported magic " + magic);
+  const int channels = (magic == "P6" || magic == "P3") ? 3 : 1;
+
+  const int width = read_header_int(in);
+  const int height = read_header_int(in);
+  const int maxval = read_header_int(in);
+  if (maxval <= 0 || maxval > 255) throw io_error("pnm: unsupported maxval");
+  if (width <= 0 || height <= 0 || width > 1 << 16 || height > 1 << 16) {
+    throw io_error("pnm: unreasonable dimensions");
+  }
+
+  image_u8 img(width, height, channels);
+  if (binary) {
+    in.get();  // the single whitespace byte after maxval
+    in.read(reinterpret_cast<char*>(img.data()),
+            static_cast<std::streamsize>(img.size()));
+    if (static_cast<std::size_t>(in.gcount()) != img.size()) {
+      throw io_error("pnm: truncated pixel data");
+    }
+  } else {
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      int v = 0;
+      if (!(in >> v) || v < 0 || v > maxval) {
+        throw io_error("pnm: malformed ascii pixel");
+      }
+      img[i] = static_cast<std::uint8_t>(v);
+    }
+  }
+  return img;
+}
+
+void save_pnm(const image_u8& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw io_error("save_pnm: cannot open " + path);
+  const std::string bytes = encode_pnm(img);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw io_error("save_pnm: write failed for " + path);
+}
+
+image_u8 load_pnm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw io_error("load_pnm: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return decode_pnm(buffer.str());
+}
+
+}  // namespace vs::img

@@ -1,0 +1,27 @@
+// Netpbm (PGM/PPM) image I/O.
+//
+// Binary P5 (grayscale) and P6 (RGB) are the storage formats for golden
+// outputs, panoramas and diff visualizations.  ASCII P2/P3 are accepted on
+// read for hand-written test fixtures.
+#pragma once
+
+#include <string>
+
+#include "image/image.h"
+
+namespace vs::img {
+
+/// Writes `img` as binary PGM (1 channel) or PPM (3 channels).
+/// Throws io_error on failure.
+void save_pnm(const image_u8& img, const std::string& path);
+
+/// Reads a PGM/PPM file (P2, P3, P5 or P6, maxval <= 255).
+/// Throws io_error on failure.
+[[nodiscard]] image_u8 load_pnm(const std::string& path);
+
+/// In-memory encode/decode (used by tests to round-trip without the
+/// filesystem and by the campaign to hash outputs).
+[[nodiscard]] std::string encode_pnm(const image_u8& img);
+[[nodiscard]] image_u8 decode_pnm(const std::string& bytes);
+
+}  // namespace vs::img

@@ -1,0 +1,31 @@
+// Pixel-level helpers shared by the imaging kernels.
+#pragma once
+
+#include <cstdint>
+
+namespace vs::img {
+
+/// OpenCV-style saturating conversion to uint8.  This is the "saturation
+/// algorithm" the paper credits with masking most FPR faults: any float
+/// result, however corrupted, is clamped into [0, 255] before being stored
+/// back into the 8-bit pixel array.
+[[nodiscard]] constexpr std::uint8_t saturate_u8(int v) noexcept {
+  return static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+[[nodiscard]] inline std::uint8_t saturate_u8(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // negative and NaN both clamp to 0
+  if (v > 255.0) return 255;
+  return static_cast<std::uint8_t>(v + 0.5);
+}
+
+[[nodiscard]] inline std::uint8_t saturate_u8(float v) noexcept {
+  return saturate_u8(static_cast<double>(v));
+}
+
+/// Integer absolute difference of two u8 values.
+[[nodiscard]] constexpr int absdiff_u8(std::uint8_t a, std::uint8_t b) noexcept {
+  return a > b ? a - b : b - a;
+}
+
+}  // namespace vs::img

@@ -1,0 +1,101 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "rt/instrument.h"
+
+namespace vs::match {
+
+std::vector<match> match_descriptors(const feat::frame_features& query,
+                                     const feat::frame_features& train,
+                                     const match_params& params) {
+  rt::scope attributed(rt::fn::match);
+  std::vector<match> out;
+  if (query.empty() || train.empty()) return out;
+
+  const auto nq = static_cast<std::size_t>(
+      rt::ctrl(static_cast<std::int64_t>(query.size())));
+  const auto nt = train.size();
+
+  for (std::size_t qi = 0; qi < nq; ++qi) {
+    // A corrupted query index reads a wrong (but guarded) descriptor.
+    const feat::descriptor& qd =
+        query.descriptors[rt::idx(static_cast<std::int64_t>(qi),
+                                  query.descriptors.size())];
+    int best = 257;
+    int second = 257;
+    std::size_t best_index = 0;
+    if (params.mode == match_mode::ratio_test) {
+      // Baseline 2-NN search: every candidate's full distance is needed to
+      // maintain the two nearest neighbours for the ratio test.
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        const int d = feat::hamming_distance(qd, train.descriptors[ti]);
+        if (d < best) {
+          second = best;
+          best = d;
+          best_index = ti;
+        } else if (d < second) {
+          second = d;
+        }
+      }
+      // Scalar 4x (xor + popcount + add) per 256-bit distance plus 2-NN
+      // bookkeeping, ~13 dynamic ops per candidate (OpenCV 2.4.9's
+      // BFMatcher is scalar).
+      rt::account(rt::op::int_alu, nt * 13);
+      rt::account(rt::op::branch, nt);
+    } else {
+      // VS_SM: bounded 1-NN search.  The early-exit distance abandons a
+      // candidate as soon as its partial distance exceeds the running
+      // bound, so most candidates cost 1-2 of the 4 descriptor words.
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        const int limit = std::min(best, params.max_distance);
+        const int d =
+            feat::hamming_distance_bounded(qd, train.descriptors[ti], limit);
+        if (d < best) {
+          best = d;
+          best_index = ti;
+        }
+      }
+      rt::account(rt::op::int_alu, nt * 6);  // early exit halves the work
+      rt::account(rt::op::branch, nt);
+    }
+
+    // The winning distance spends the accept/reject decision in a register.
+    best = rt::g32(best);
+
+    bool accept = false;
+    if (params.mode == match_mode::ratio_test) {
+      accept = second < 257 &&
+               static_cast<double>(best) <
+                   params.ratio * static_cast<double>(second);
+    } else {
+      accept = best <= params.max_distance;
+    }
+    if (accept) {
+      out.push_back(match{static_cast<int>(qi), static_cast<int>(best_index),
+                          best});
+    }
+  }
+  return out;
+}
+
+std::vector<geo::point_pair> to_point_pairs(const std::vector<match>& matches,
+                                            const feat::frame_features& query,
+                                            const feat::frame_features& train) {
+  std::vector<geo::point_pair> pairs;
+  pairs.reserve(matches.size());
+  for (const auto& m : matches) {
+    if (m.query < 0 || m.train < 0 ||
+        static_cast<std::size_t>(m.query) >= query.size() ||
+        static_cast<std::size_t>(m.train) >= train.size()) {
+      throw invalid_argument("to_point_pairs: match index out of range");
+    }
+    const auto& qk = query.keypoints[static_cast<std::size_t>(m.query)];
+    const auto& tk = train.keypoints[static_cast<std::size_t>(m.train)];
+    pairs.push_back({{qk.x, qk.y}, {tk.x, tk.y}});
+  }
+  return pairs;
+}
+
+}  // namespace vs::match

@@ -1,0 +1,49 @@
+// Brute-force descriptor matching.
+//
+// Two strategies, mirroring Section IV of the paper:
+//  * ratio_test — the baseline: 2-nearest-neighbour search per query
+//    descriptor, keep the match only when the nearest is sufficiently
+//    closer than the second nearest (Lowe's ratio test).
+//  * simple — the VS_SM approximation: 1-nearest-neighbour search with an
+//    absolute Hamming-distance bound; cheaper (no second neighbour
+//    bookkeeping) but admits false positives on repeated structure.
+#pragma once
+
+#include <vector>
+
+#include "features/keypoint.h"
+#include "geometry/vec2.h"
+
+namespace vs::match {
+
+/// One accepted correspondence: indices into the query/train feature sets.
+struct match {
+  int query = -1;
+  int train = -1;
+  int distance = 0;  ///< Hamming distance of the accepted pair
+};
+
+enum class match_mode {
+  ratio_test,  ///< baseline VS: 2-NN + ratio
+  simple,      ///< VS_SM: 1-NN + absolute bound
+};
+
+struct match_params {
+  match_mode mode = match_mode::ratio_test;
+  double ratio = 0.75;     ///< accept when d1 < ratio * d2 (ratio_test mode)
+  int max_distance = 30;   ///< absolute Hamming bound (simple mode)
+};
+
+/// Matches `query` descriptors against `train` descriptors.
+/// Results are ordered by query index; at most one match per query.
+[[nodiscard]] std::vector<match> match_descriptors(
+    const feat::frame_features& query, const feat::frame_features& train,
+    const match_params& params);
+
+/// Converts matches to point correspondences (query keypoint -> src,
+/// train keypoint -> dst).
+[[nodiscard]] std::vector<geo::point_pair> to_point_pairs(
+    const std::vector<match>& matches, const feat::frame_features& query,
+    const feat::frame_features& train);
+
+}  // namespace vs::match

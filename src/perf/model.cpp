@@ -1,0 +1,29 @@
+#include "perf/model.h"
+
+namespace vs::perf {
+
+perf_report evaluate(const rt::counters& counters, const cost_model& model) {
+  perf_report report;
+  const auto ints = counters.total(rt::op::int_alu);
+  const auto mems = counters.total(rt::op::mem);
+  const auto branches = counters.total(rt::op::branch);
+  const auto fps = counters.total(rt::op::fp_alu);
+
+  report.instructions = ints + mems + branches + fps;
+  report.cycles = static_cast<double>(ints) * model.int_alu_cpo +
+                  static_cast<double>(mems) * model.mem_cpo +
+                  static_cast<double>(branches) * model.branch_cpo +
+                  static_cast<double>(fps) * model.fp_alu_cpo;
+  report.ipc = report.cycles > 0.0
+                   ? static_cast<double>(report.instructions) / report.cycles
+                   : 0.0;
+  report.time_seconds = report.cycles / (model.frequency_ghz * 1e9);
+  report.energy_joules = report.time_seconds * model.power_watts;
+  return report;
+}
+
+double normalized(double value, double baseline) noexcept {
+  return baseline != 0.0 ? value / baseline : 0.0;
+}
+
+}  // namespace vs::perf

@@ -1,0 +1,42 @@
+// Deterministic performance / energy model.
+//
+// The paper measures IPC, execution time and energy on an IBM POWER8 server
+// (Fig 5) and observes that power is roughly constant across the baseline
+// and approximate variants, so energy tracks execution time.  This model
+// reproduces those *relative* quantities from the instrumented dynamic
+// operation counts: cycles are a weighted sum of op-class counts (weights =
+// average cycles-per-op of a wide OoO core), time = cycles / frequency, and
+// energy = constant-power x time.  Absolute numbers are not the point —
+// ratios to the per-input baseline are what Fig 5 reports.
+#pragma once
+
+#include "rt/instrument.h"
+
+namespace vs::perf {
+
+struct cost_model {
+  // Effective average cycles-per-operation (throughput-limited, OoO core).
+  double int_alu_cpo = 0.35;
+  double mem_cpo = 0.85;     ///< includes cache-hit-dominated latency
+  double branch_cpo = 0.50;  ///< includes misprediction amortization
+  double fp_alu_cpo = 0.60;
+  double frequency_ghz = 3.0;
+  double power_watts = 25.0;  ///< constant-power assumption (paper, Sec IV-A)
+};
+
+struct perf_report {
+  std::uint64_t instructions = 0;
+  double cycles = 0.0;
+  double ipc = 0.0;
+  double time_seconds = 0.0;
+  double energy_joules = 0.0;
+};
+
+/// Evaluates the model over a session's counters.
+[[nodiscard]] perf_report evaluate(const rt::counters& counters,
+                                   const cost_model& model = {});
+
+/// Ratio helper: `value / baseline`, guarding division by zero.
+[[nodiscard]] double normalized(double value, double baseline) noexcept;
+
+}  // namespace vs::perf

@@ -1,0 +1,73 @@
+#include "perf/profiler.h"
+
+#include <algorithm>
+
+namespace vs::perf {
+
+std::vector<profile_entry> function_profile(const rt::counters& counters,
+                                            const cost_model& model) {
+  std::vector<profile_entry> entries;
+  double total_cycles = 0.0;
+  for (int f = 0; f < rt::fn_count; ++f) {
+    const auto* row = counters.by_fn[f];
+    profile_entry e;
+    e.function = static_cast<rt::fn>(f);
+    e.ops = row[0] + row[1] + row[2] + row[3];
+    e.cycles = static_cast<double>(row[static_cast<int>(rt::op::int_alu)]) *
+                   model.int_alu_cpo +
+               static_cast<double>(row[static_cast<int>(rt::op::mem)]) *
+                   model.mem_cpo +
+               static_cast<double>(row[static_cast<int>(rt::op::branch)]) *
+                   model.branch_cpo +
+               static_cast<double>(row[static_cast<int>(rt::op::fp_alu)]) *
+                   model.fp_alu_cpo;
+    total_cycles += e.cycles;
+    if (e.ops > 0) entries.push_back(e);
+  }
+  for (auto& e : entries) {
+    e.fraction = total_cycles > 0.0 ? e.cycles / total_cycles : 0.0;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const profile_entry& a, const profile_entry& b) {
+              return a.cycles > b.cycles;
+            });
+  return entries;
+}
+
+namespace {
+bool is_opencv_scope(rt::fn f) noexcept {
+  switch (f) {
+    case rt::fn::fast_detect:
+    case rt::fn::orb_describe:
+    case rt::fn::match:
+    case rt::fn::ransac:
+    case rt::fn::homography:
+    case rt::fn::warp:
+    case rt::fn::remap:
+    case rt::fn::stitch:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+double opencv_fraction(const std::vector<profile_entry>& profile) {
+  double share = 0.0;
+  for (const auto& e : profile) {
+    if (is_opencv_scope(e.function)) share += e.fraction;
+  }
+  return share;
+}
+
+double warp_fraction(const std::vector<profile_entry>& profile) {
+  double share = 0.0;
+  for (const auto& e : profile) {
+    if (e.function == rt::fn::warp || e.function == rt::fn::remap) {
+      share += e.fraction;
+    }
+  }
+  return share;
+}
+
+}  // namespace vs::perf

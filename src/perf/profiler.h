@@ -1,0 +1,35 @@
+// Function-level execution profile (the Fig 8 reproduction).
+//
+// Converts a session's per-scope operation counters into the per-function
+// share of modelled execution time — the analog of the paper's `perf`
+// profile of the VS binary.
+#pragma once
+
+#include <vector>
+
+#include "perf/model.h"
+#include "rt/instrument.h"
+
+namespace vs::perf {
+
+struct profile_entry {
+  rt::fn function = rt::fn::other;
+  std::uint64_t ops = 0;
+  double cycles = 0.0;
+  double fraction = 0.0;  ///< share of total modelled cycles
+};
+
+/// Per-function cycle attribution, sorted by descending share.
+[[nodiscard]] std::vector<profile_entry> function_profile(
+    const rt::counters& counters, const cost_model& model = {});
+
+/// Share of modelled cycles spent in "OpenCV" scopes (feature detection,
+/// description, matching, model estimation, warping, stitching) — the
+/// quantity the paper reports as ~68%, with warpPerspective alone ~54%.
+[[nodiscard]] double opencv_fraction(
+    const std::vector<profile_entry>& profile);
+
+/// Combined share of the two hot functions (warpPerspective + remapBilinear).
+[[nodiscard]] double warp_fraction(const std::vector<profile_entry>& profile);
+
+}  // namespace vs::perf

@@ -1,0 +1,154 @@
+#include "quality/metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "image/pixel.h"
+#include "rt/instrument.h"
+
+namespace vs::quality {
+
+img::image_u8 pad_to(const img::image_u8& src, int width, int height) {
+  if (width < src.width() || height < src.height()) {
+    throw invalid_argument("pad_to: target smaller than source");
+  }
+  if (width == src.width() && height == src.height()) return src;
+  img::image_u8 out(width, height, src.empty() ? 1 : src.channels());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      for (int c = 0; c < src.channels(); ++c) {
+        out.at(x, y, c) = src.at(x, y, c);
+      }
+    }
+  }
+  return out;
+}
+
+img::image_u8 absdiff_image(const img::image_u8& a, const img::image_u8& b) {
+  if (a.width() != b.width() || a.height() != b.height() ||
+      a.channels() != b.channels()) {
+    throw invalid_argument("absdiff_image: shape mismatch");
+  }
+  img::image_u8 out(a.width(), a.height(), a.channels());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(img::absdiff_u8(a[i], b[i]));
+  }
+  return out;
+}
+
+img::image_u8 threshold_diff_image(const img::image_u8& a,
+                                   const img::image_u8& b, int threshold) {
+  img::image_u8 diff = absdiff_image(a, b);
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    diff[i] = diff[i] > threshold ? 255 : 0;
+  }
+  return diff;
+}
+
+double relative_l2_norm(const img::image_u8& golden,
+                        const img::image_u8& faulty, int pixel_threshold) {
+  if (golden.width() != faulty.width() || golden.height() != faulty.height() ||
+      golden.channels() != faulty.channels()) {
+    throw invalid_argument("relative_l2_norm: shape mismatch");
+  }
+  double diff_sq = 0.0;
+  double golden_sq = 0.0;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    const int d = img::absdiff_u8(golden[i], faulty[i]);
+    if (d > pixel_threshold) {
+      diff_sq += static_cast<double>(d) * static_cast<double>(d);
+    }
+    golden_sq +=
+        static_cast<double>(golden[i]) * static_cast<double>(golden[i]);
+  }
+  if (golden_sq <= 0.0) return diff_sq > 0.0 ? 1e9 : 0.0;
+  return 100.0 * std::sqrt(diff_sq) / std::sqrt(golden_sq);
+}
+
+namespace {
+
+// Mean squared error between `a` and `b` shifted by (dx, dy), sampled on a
+// coarse grid.  Pixels shifted outside `b` compare against 0.
+double shifted_mse(const img::image_u8& a, const img::image_u8& b, int dx,
+                   int dy, int step) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (int y = 0; y < a.height(); y += step) {
+    for (int x = 0; x < a.width(); x += step) {
+      const int bx = x + dx;
+      const int by = y + dy;
+      const int bv = b.in_bounds(bx, by) ? b.at(bx, by) : 0;
+      const int d = a.at(x, y) - bv;
+      sum += static_cast<double>(d) * static_cast<double>(d);
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace
+
+quality_result compare_images(const img::image_u8& golden,
+                              const img::image_u8& faulty,
+                              const metric_config& config) {
+  rt::scope attributed(rt::fn::quality);
+  quality_result result;
+
+  if (golden.empty() && faulty.empty()) {
+    result.ed = 0;
+    return result;
+  }
+  // Pad both to the common bounding size (top-left anchored), so geometry
+  // changes show up as content differences rather than hard errors.
+  const int w = std::max(golden.width(), faulty.width());
+  const int h = std::max(golden.height(), faulty.height());
+  img::image_u8 g = pad_to(golden.empty() ? img::image_u8(1, 1, 1) : golden,
+                           std::max(w, 1), std::max(h, 1));
+  img::image_u8 f = pad_to(faulty.empty() ? img::image_u8(1, 1, 1) : faulty,
+                           std::max(w, 1), std::max(h, 1));
+
+  // Global corrective transformation: the translation that best aligns the
+  // faulty output with the golden one (removes cosmetic offsets, Sec V-D).
+  int best_dx = 0;
+  int best_dy = 0;
+  if (config.align_search_radius > 0) {
+    double best = 1e300;
+    const int step = std::max(1, config.align_downsample);
+    for (int dy = -config.align_search_radius; dy <= config.align_search_radius;
+         ++dy) {
+      for (int dx = -config.align_search_radius;
+           dx <= config.align_search_radius; ++dx) {
+        const double mse = shifted_mse(g, f, dx, dy, step);
+        if (mse < best) {
+          best = mse;
+          best_dx = dx;
+          best_dy = dy;
+        }
+      }
+    }
+  }
+  result.align_dx = best_dx;
+  result.align_dy = best_dy;
+
+  // Apply the corrective shift to the faulty image.
+  img::image_u8 f_aligned(g.width(), g.height(), 1);
+  for (int y = 0; y < g.height(); ++y) {
+    for (int x = 0; x < g.width(); ++x) {
+      const int sx = x + best_dx;
+      const int sy = y + best_dy;
+      f_aligned.at(x, y) = f.in_bounds(sx, sy) ? f.at(sx, sy) : 0;
+    }
+  }
+
+  result.relative_l2_norm =
+      relative_l2_norm(g, f_aligned, config.pixel_threshold);
+  if (result.relative_l2_norm > config.egregious_limit) {
+    result.egregious = true;
+  } else {
+    result.ed = static_cast<int>(std::floor(result.relative_l2_norm));
+  }
+  return result;
+}
+
+}  // namespace vs::quality

@@ -1,0 +1,64 @@
+// The paper's SDC quality metric (Section V-D).
+//
+// Given a golden image and a faulty image:
+//   1. apply a global corrective transformation so perspective/offset
+//      differences don't dominate (we search a small translation that best
+//      aligns the two, after padding them to a common size);
+//   2. pixel_diff = |golden - faulty| per pixel;
+//   3. keep only differences > 128 (half of the 8-bit range);
+//   4. relative_l2_norm = 100 * ||thresholded diff||_2 / ||golden||_2;
+//   5. Egregiousness Degree (ED) = floor(relative_l2_norm); any SDC with
+//      relative_l2_norm > 100% is "egregious" and gets no ED.
+#pragma once
+
+#include <optional>
+
+#include "image/image.h"
+
+namespace vs::quality {
+
+struct metric_config {
+  int pixel_threshold = 128;      ///< keep |diff| strictly greater than this
+  double egregious_limit = 100.0; ///< relative_l2_norm above this: egregious
+  int align_search_radius = 6;    ///< +-pixels of corrective translation
+  int align_downsample = 2;       ///< coarse factor for the alignment search
+};
+
+struct quality_result {
+  double relative_l2_norm = 0.0;
+  bool egregious = false;
+  /// ED = floor(relative_l2_norm); nullopt when egregious.
+  std::optional<int> ed;
+  /// The corrective translation chosen by the global alignment step.
+  int align_dx = 0;
+  int align_dy = 0;
+};
+
+/// Computes the metric between a golden and a faulty output.  Images may
+/// have different sizes (faulty runs can change panorama geometry); both
+/// are padded to the common bounding size before alignment.
+[[nodiscard]] quality_result compare_images(const img::image_u8& golden,
+                                            const img::image_u8& faulty,
+                                            const metric_config& config = {});
+
+/// relative_l2_norm of two same-shaped images with NO corrective alignment
+/// (the raw formula) — exposed for tests and for Fig 13's raw-diff panel.
+[[nodiscard]] double relative_l2_norm(const img::image_u8& golden,
+                                      const img::image_u8& faulty,
+                                      int pixel_threshold);
+
+/// Pads `src` to (width, height), anchored at the top-left, zero filling.
+[[nodiscard]] img::image_u8 pad_to(const img::image_u8& src, int width,
+                                   int height);
+
+/// Absolute per-pixel difference image (same-shaped inputs).
+[[nodiscard]] img::image_u8 absdiff_image(const img::image_u8& a,
+                                          const img::image_u8& b);
+
+/// Thresholded difference: pixels are 255 where |a-b| > threshold, else 0
+/// (Fig 13 panel d).
+[[nodiscard]] img::image_u8 threshold_diff_image(const img::image_u8& a,
+                                                 const img::image_u8& b,
+                                                 int threshold);
+
+}  // namespace vs::quality

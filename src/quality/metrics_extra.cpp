@@ -1,0 +1,70 @@
+#include "quality/metrics_extra.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace vs::quality {
+
+double psnr(const img::image_u8& a, const img::image_u8& b) {
+  if (a.width() != b.width() || a.height() != b.height() ||
+      a.channels() != b.channels() || a.empty()) {
+    throw invalid_argument("psnr: shape mismatch or empty");
+  }
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.size());
+  if (mse <= 0.0) return 99.0;
+  return std::min(99.0, 10.0 * std::log10(255.0 * 255.0 / mse));
+}
+
+double ssim(const img::image_u8& a, const img::image_u8& b, int window) {
+  if (a.width() != b.width() || a.height() != b.height() ||
+      a.channels() != 1 || b.channels() != 1 || a.empty()) {
+    throw invalid_argument("ssim: same-shaped grayscale images required");
+  }
+  if (window < 2) throw invalid_argument("ssim: window too small");
+  constexpr double c1 = (0.01 * 255.0) * (0.01 * 255.0);
+  constexpr double c2 = (0.03 * 255.0) * (0.03 * 255.0);
+
+  double total = 0.0;
+  int windows = 0;
+  for (int y0 = 0; y0 + window <= a.height(); y0 += window) {
+    for (int x0 = 0; x0 + window <= a.width(); x0 += window) {
+      double sum_a = 0.0;
+      double sum_b = 0.0;
+      double sum_aa = 0.0;
+      double sum_bb = 0.0;
+      double sum_ab = 0.0;
+      const double n = static_cast<double>(window) * window;
+      for (int y = y0; y < y0 + window; ++y) {
+        for (int x = x0; x < x0 + window; ++x) {
+          const double va = a.at(x, y);
+          const double vb = b.at(x, y);
+          sum_a += va;
+          sum_b += vb;
+          sum_aa += va * va;
+          sum_bb += vb * vb;
+          sum_ab += va * vb;
+        }
+      }
+      const double mu_a = sum_a / n;
+      const double mu_b = sum_b / n;
+      const double var_a = sum_aa / n - mu_a * mu_a;
+      const double var_b = sum_bb / n - mu_b * mu_b;
+      const double cov = sum_ab / n - mu_a * mu_b;
+      const double value = ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2)) /
+                           ((mu_a * mu_a + mu_b * mu_b + c1) *
+                            (var_a + var_b + c2));
+      total += value;
+      ++windows;
+    }
+  }
+  if (windows == 0) throw invalid_argument("ssim: image smaller than window");
+  return total / windows;
+}
+
+}  // namespace vs::quality

@@ -1,0 +1,19 @@
+// Standard image-comparison metrics for contextualizing the paper's
+// relative_l2_norm (Section VII argues the proposed metric is conservative;
+// PSNR and SSIM are the baselines such a discussion compares against).
+#pragma once
+
+#include "image/image.h"
+
+namespace vs::quality {
+
+/// Peak signal-to-noise ratio in dB over same-shaped u8 images.
+/// Identical images return +infinity (represented as 99.0 dB cap).
+[[nodiscard]] double psnr(const img::image_u8& a, const img::image_u8& b);
+
+/// Mean structural similarity (Wang et al. 2004) over 8x8 windows with the
+/// standard constants (K1 = 0.01, K2 = 0.03, L = 255).  1.0 = identical.
+[[nodiscard]] double ssim(const img::image_u8& a, const img::image_u8& b,
+                          int window = 8);
+
+}  // namespace vs::quality

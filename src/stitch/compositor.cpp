@@ -1,0 +1,232 @@
+#include "stitch/compositor.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "image/pixel.h"
+#include "rt/instrument.h"
+
+namespace vs::stitch {
+
+compositor::compositor(std::size_t max_pixels) : max_pixels_(max_pixels) {}
+
+bool compositor::ensure(const geo::rect& world_rect) {
+  if (world_rect.empty()) return true;
+  const geo::rect merged =
+      pixels_.empty() ? world_rect : geo::rect_union(bounds_, world_rect);
+  if (merged == bounds_ && !pixels_.empty()) return true;
+  const auto area = merged.area();
+  if (area <= 0 || static_cast<std::size_t>(area) > max_pixels_) return false;
+
+  rt::scope attributed(rt::fn::stitch);
+  const auto w = rt::alloc_size(merged.w, 1 << 20);
+  const auto h = rt::alloc_size(merged.h, 1 << 20);
+  img::image_u8 new_pixels(static_cast<int>(w), static_cast<int>(h), 1);
+  img::image_u8 new_mask(static_cast<int>(w), static_cast<int>(h), 1);
+
+  if (!pixels_.empty()) {
+    // Blit the old canvas into its position inside the grown one.
+    const int off_x = bounds_.x0 - merged.x0;
+    const int off_y = bounds_.y0 - merged.y0;
+    for (int y = 0; y < pixels_.height(); ++y) {
+      for (int x = 0; x < pixels_.width(); ++x) {
+        new_pixels.at(x + off_x, y + off_y) = pixels_.at(x, y);
+        new_mask.at(x + off_x, y + off_y) = mask_.at(x, y);
+      }
+      // Row blits are wide vector copies: ~1 dynamic op per 4 pixels.
+      rt::account(rt::op::mem, static_cast<std::uint64_t>(pixels_.width()) / 4);
+    }
+  }
+  pixels_ = std::move(new_pixels);
+  mask_ = std::move(new_mask);
+  bounds_ = merged;
+  return true;
+}
+
+void compositor::blend(const geo::warped_patch& patch, bool gain_compensate) {
+  if (patch.pixels.empty()) return;
+  rt::scope attributed(rt::fn::stitch);
+  if (pixels_.empty()) {
+    throw invalid_argument("compositor::blend: ensure() the canvas first");
+  }
+  const std::size_t n = pixels_.size();
+  std::uint8_t* dst = pixels_.data();
+  std::uint8_t* cov = mask_.data();
+
+  // Exposure compensation: match the patch's mean to the canvas's over the
+  // overlap region, clamped to a modest gain range.
+  double gain = 1.0;
+  if (gain_compensate) {
+    double sum_patch = 0.0;
+    double sum_canvas = 0.0;
+    std::size_t overlap = 0;
+    for (int y = 0; y < patch.pixels.height(); ++y) {
+      const std::int64_t row_base =
+          (static_cast<std::int64_t>(patch.y0 - bounds_.y0 + y)) *
+              pixels_.width() +
+          (patch.x0 - bounds_.x0);
+      for (int x = 0; x < patch.pixels.width(); ++x) {
+        if (patch.valid.at(x, y) == 0) continue;
+        const std::size_t at = rt::idx(row_base + x, n);
+        if (cov[at] == 0) continue;
+        sum_patch += patch.pixels.at(x, y);
+        sum_canvas += dst[at];
+        ++overlap;
+      }
+    }
+    if (overlap > 64 && sum_patch > 0.0) {
+      gain = std::clamp(sum_canvas / sum_patch, 0.7, 1.4);
+    }
+    rt::account(rt::op::fp_alu, overlap);
+  }
+
+  for (int y = 0; y < patch.pixels.height(); ++y) {
+    // The destination row base is address arithmetic in flight — a guarded
+    // GPR fault site per row.
+    const std::int64_t row_base =
+        (static_cast<std::int64_t>(patch.y0 - bounds_.y0 + y)) *
+            pixels_.width() +
+        (patch.x0 - bounds_.x0);
+    for (int x = 0; x < patch.pixels.width(); ++x) {
+      if (patch.valid.at(x, y) == 0) continue;
+      const std::size_t at = rt::idx(row_base + x, n);
+      if (cov[at] == 1) seam_candidates_.push_back(at);  // overwrites old
+      dst[at] = gain == 1.0
+                    ? patch.pixels.at(x, y)
+                    : img::saturate_u8(gain * patch.pixels.at(x, y));
+      cov[at] = 2;  // newest generation (feather_seams demotes it to 1)
+    }
+    rt::account(rt::op::mem, static_cast<std::uint64_t>(patch.pixels.width()));
+    rt::account(rt::op::branch,
+                static_cast<std::uint64_t>(patch.pixels.width()));
+  }
+}
+
+void compositor::feather_seams() {
+  if (pixels_.empty()) return;
+  rt::scope attributed(rt::fn::stitch);
+  const int w = pixels_.width();
+  const int h = pixels_.height();
+  const std::size_t n = pixels_.size();
+  const std::uint8_t* cov = mask_.data();
+  std::uint8_t* dst = pixels_.data();
+
+  // Smooth every overwrite-boundary pixel (recorded during blend) whose
+  // neighbourhood still contains older content, with the mean of its
+  // written 3x3 neighbours.
+  for (const std::size_t at : seam_candidates_) {
+    const int x = static_cast<int>(at % static_cast<std::size_t>(w));
+    const int y = static_cast<int>(at / static_cast<std::size_t>(w));
+    const bool seam =
+        (x > 0 && cov[at - 1] == 1) || (x + 1 < w && cov[at + 1] == 1) ||
+        (y > 0 && cov[at - static_cast<std::size_t>(w)] == 1) ||
+        (y + 1 < h && cov[at + static_cast<std::size_t>(w)] == 1);
+    if (!seam) continue;
+    int sum = 0;
+    int count = 0;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = x + dx;
+        const int ny = y + dy;
+        if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+        const std::size_t neighbour = rt::idx(
+            static_cast<std::int64_t>(ny) * w + nx, n);
+        if (cov[neighbour] == 0) continue;
+        sum += dst[neighbour];
+        ++count;
+      }
+    }
+    if (count > 0) {
+      dst[at] = static_cast<std::uint8_t>((sum + count / 2) / count);
+    }
+  }
+  rt::account(rt::op::int_alu, seam_candidates_.size() * 6);
+  rt::account(rt::op::branch, seam_candidates_.size() * 2);
+
+  // The newest generation becomes old content.
+  for (const std::size_t at : seam_candidates_) mask_[at] = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask_[i] == 2) mask_[i] = 1;
+  }
+  rt::account(rt::op::mem, n / 8);
+  seam_candidates_.clear();
+}
+
+double compositor::coverage() const {
+  if (mask_.empty()) return 0.0;
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < mask_.size(); ++i) covered += mask_[i] ? 1u : 0u;
+  return static_cast<double>(covered) / static_cast<double>(mask_.size());
+}
+
+geo::rect compositor::content_bounds() const {
+  if (pixels_.empty()) return {};
+  int min_x = pixels_.width();
+  int min_y = pixels_.height();
+  int max_x = -1;
+  int max_y = -1;
+  for (int y = 0; y < mask_.height(); ++y) {
+    for (int x = 0; x < mask_.width(); ++x) {
+      if (mask_.at(x, y)) {
+        min_x = std::min(min_x, x);
+        min_y = std::min(min_y, y);
+        max_x = std::max(max_x, x);
+        max_y = std::max(max_y, y);
+      }
+    }
+  }
+  if (max_x < min_x) return {};
+  return {bounds_.x0 + min_x, bounds_.y0 + min_y, max_x - min_x + 1,
+          max_y - min_y + 1};
+}
+
+img::image_u8 compositor::render() const {
+  const geo::rect content = content_bounds();
+  if (content.empty()) return {};
+  const int min_x = content.x0 - bounds_.x0;
+  const int min_y = content.y0 - bounds_.y0;
+  img::image_u8 out(content.w, content.h, 1);
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      out.at(x, y) = pixels_.at(x + min_x, y + min_y);
+    }
+  }
+  return out;
+}
+
+img::image_u8 montage(const std::vector<img::image_u8>& images, int gap) {
+  int total_w = 0;
+  int max_h = 0;
+  int count = 0;
+  int channels = 1;
+  for (const auto& im : images) {
+    if (im.empty()) continue;
+    total_w += im.width();
+    max_h = std::max(max_h, im.height());
+    channels = std::max(channels, im.channels());
+    ++count;
+  }
+  if (count == 0) return {};
+  total_w += gap * (count - 1);
+
+  rt::scope attributed(rt::fn::stitch);
+  img::image_u8 out(total_w, max_h, channels);
+  int cursor = 0;
+  for (const auto& im : images) {
+    if (im.empty()) continue;
+    for (int y = 0; y < im.height(); ++y) {
+      for (int x = 0; x < im.width(); ++x) {
+        for (int c = 0; c < channels; ++c) {
+          // Grayscale panels replicate into RGB montages.
+          out.at(cursor + x, y, c) =
+              im.at(x, y, std::min(c, im.channels() - 1));
+        }
+      }
+      rt::account(rt::op::mem, static_cast<std::uint64_t>(im.width()));
+    }
+    cursor += im.width() + gap;
+  }
+  return out;
+}
+
+}  // namespace vs::stitch

@@ -1,0 +1,133 @@
+#include "track/motion.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.h"
+#include "geometry/warp.h"
+#include "image/pixel.h"
+#include "rt/instrument.h"
+
+namespace vs::track {
+
+img::image_u8 majority3(const img::image_u8& mask) {
+  img::image_u8 out(mask.width(), mask.height(), 1);
+  for (int y = 0; y < mask.height(); ++y) {
+    for (int x = 0; x < mask.width(); ++x) {
+      int votes = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          votes += mask.sample_clamped(x + dx, y + dy) > 0 ? 1 : 0;
+        }
+      }
+      out.at(x, y) = votes >= 5 ? 255 : 0;
+    }
+  }
+  return out;
+}
+
+img::image_u8 change_mask(const img::image_u8& current,
+                          const img::image_u8& previous,
+                          const geo::mat3& prev_to_cur,
+                          const motion_params& params) {
+  if (current.channels() != 1 || previous.channels() != 1) {
+    throw invalid_argument("change_mask: grayscale frames required");
+  }
+  // Warp the previous frame into current-frame coordinates so only true
+  // scene motion (not camera motion) survives the difference.
+  const geo::rect frame_rect{0, 0, current.width(), current.height()};
+  const auto warped = geo::warp_perspective(previous, prev_to_cur, frame_rect);
+
+  img::image_u8 mask(current.width(), current.height(), 1);
+  const int border = std::max(0, params.border);
+  for (int y = border; y < current.height() - border; ++y) {
+    for (int x = border; x < current.width() - border; ++x) {
+      if (warped.valid.at(x, y) == 0) continue;
+      const int diff = img::absdiff_u8(current.at(x, y),
+                                       warped.pixels.at(x, y));
+      if (diff > params.diff_threshold) mask.at(x, y) = 255;
+    }
+    rt::account(rt::op::int_alu,
+                static_cast<std::uint64_t>(current.width()) * 3);
+  }
+  return params.majority_filter ? majority3(mask) : mask;
+}
+
+std::vector<detection> find_components(const img::image_u8& mask,
+                                       const img::image_u8& reference,
+                                       const motion_params& params) {
+  if (mask.width() != reference.width() ||
+      mask.height() != reference.height()) {
+    throw invalid_argument("find_components: shape mismatch");
+  }
+  const int w = mask.width();
+  const int h = mask.height();
+  std::vector<int> labels(static_cast<std::size_t>(w) * h, -1);
+  std::vector<detection> detections;
+
+  std::vector<std::size_t> stack;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::size_t seed = static_cast<std::size_t>(y) * w + x;
+      if (mask[seed] == 0 || labels[seed] >= 0) continue;
+
+      // Flood fill (4-connectivity) collecting component statistics.
+      const int label = static_cast<int>(detections.size());
+      stack.assign(1, seed);
+      labels[seed] = label;
+      long long sum_x = 0;
+      long long sum_y = 0;
+      long long sum_strength = 0;
+      int min_x = x;
+      int max_x = x;
+      int min_y = y;
+      int max_y = y;
+      int area = 0;
+      while (!stack.empty()) {
+        const std::size_t at = stack.back();
+        stack.pop_back();
+        const int cx = static_cast<int>(at % static_cast<std::size_t>(w));
+        const int cy = static_cast<int>(at / static_cast<std::size_t>(w));
+        ++area;
+        sum_x += cx;
+        sum_y += cy;
+        sum_strength += reference[at];
+        min_x = std::min(min_x, cx);
+        max_x = std::max(max_x, cx);
+        min_y = std::min(min_y, cy);
+        max_y = std::max(max_y, cy);
+        const int nx[4] = {cx - 1, cx + 1, cx, cx};
+        const int ny[4] = {cy, cy, cy - 1, cy + 1};
+        for (int k = 0; k < 4; ++k) {
+          if (nx[k] < 0 || ny[k] < 0 || nx[k] >= w || ny[k] >= h) continue;
+          const std::size_t neighbour =
+              static_cast<std::size_t>(ny[k]) * w + nx[k];
+          if (mask[neighbour] == 0 || labels[neighbour] >= 0) continue;
+          labels[neighbour] = label;
+          stack.push_back(neighbour);
+        }
+      }
+
+      if (area < params.min_area || area > params.max_area) continue;
+      detection d;
+      d.area = area;
+      d.centroid = {static_cast<double>(sum_x) / area,
+                    static_cast<double>(sum_y) / area};
+      d.bbox = {min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
+      d.strength = static_cast<double>(sum_strength) / area;
+      detections.push_back(d);
+    }
+  }
+  rt::account(rt::op::mem, static_cast<std::uint64_t>(w) * h / 4);
+  return detections;
+}
+
+std::vector<detection> detect_motion(const img::image_u8& current,
+                                     const img::image_u8& previous,
+                                     const geo::mat3& prev_to_cur,
+                                     const motion_params& params) {
+  const auto mask = change_mask(current, previous, prev_to_cur, params);
+  return find_components(mask, mask, params);
+}
+
+}  // namespace vs::track

@@ -1,0 +1,58 @@
+// Moving-object detection for event summarization (the second half of the
+// paper's Fig 2 workflow).
+//
+// Detection is alignment-compensated frame differencing: the previous frame
+// is warped into the current frame's coordinates using the inter-frame
+// model the coverage pipeline already estimated, the absolute difference is
+// thresholded and cleaned with a majority filter, and connected components
+// above a minimum area become detections.  On the synthetic inputs the
+// relocating clutter points (vehicles, people) are exactly what this finds.
+#pragma once
+
+#include <vector>
+
+#include "geometry/mat3.h"
+#include "geometry/warp.h"
+#include "image/image.h"
+
+namespace vs::track {
+
+/// One moving-object detection in frame coordinates.
+struct detection {
+  geo::vec2 centroid;
+  geo::rect bbox;       ///< tight bounding box (frame coords)
+  int area = 0;         ///< changed pixels in the component
+  double strength = 0;  ///< mean absolute difference over the component
+};
+
+struct motion_params {
+  int diff_threshold = 48;   ///< |cur - warped prev| that counts as change
+  int min_area = 3;          ///< components smaller than this are noise
+  int max_area = 400;        ///< larger blobs are parallax/misalignment
+  int border = 6;            ///< ignore a margin (warp edge artifacts)
+  bool majority_filter = true;  ///< 3x3 majority vote denoising
+};
+
+/// Change mask between `current` and `previous` warped through
+/// `prev_to_cur` (pixels are 255 where motion was detected).
+[[nodiscard]] img::image_u8 change_mask(const img::image_u8& current,
+                                        const img::image_u8& previous,
+                                        const geo::mat3& prev_to_cur,
+                                        const motion_params& params);
+
+/// Connected components (4-connectivity) of a binary mask, filtered by the
+/// area band, returned as detections.  `reference` provides the strength
+/// values (use the raw difference image).
+[[nodiscard]] std::vector<detection> find_components(
+    const img::image_u8& mask, const img::image_u8& reference,
+    const motion_params& params);
+
+/// One-call detector: change_mask + find_components.
+[[nodiscard]] std::vector<detection> detect_motion(
+    const img::image_u8& current, const img::image_u8& previous,
+    const geo::mat3& prev_to_cur, const motion_params& params = {});
+
+/// 3x3 binary majority filter (exposed for tests).
+[[nodiscard]] img::image_u8 majority3(const img::image_u8& mask);
+
+}  // namespace vs::track

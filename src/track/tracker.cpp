@@ -1,0 +1,91 @@
+#include "track/tracker.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "rt/instrument.h"
+
+namespace vs::track {
+
+tracker::tracker(const tracker_params& params) : params_(params) {}
+
+void tracker::observe(int frame_index,
+                      const std::vector<geo::vec2>& detections) {
+  // Predict every live track forward one frame.
+  for (auto& track : tracks_) {
+    if (track.state == track_state::lost) continue;
+    track.position = track.position + track.velocity;
+  }
+
+  // Greedy gated nearest-neighbour association: repeatedly take the
+  // globally closest (track, detection) pair within the gate.
+  std::vector<bool> detection_used(detections.size(), false);
+  std::vector<bool> track_updated(tracks_.size(), false);
+  for (;;) {
+    double best = params_.gate_radius;
+    std::size_t best_track = tracks_.size();
+    std::size_t best_detection = detections.size();
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+      if (tracks_[t].state == track_state::lost || track_updated[t]) continue;
+      for (std::size_t d = 0; d < detections.size(); ++d) {
+        if (detection_used[d]) continue;
+        const double dist = geo::distance(tracks_[t].position, detections[d]);
+        if (dist < best) {
+          best = dist;
+          best_track = t;
+          best_detection = d;
+        }
+      }
+    }
+    if (best_track == tracks_.size()) break;
+
+    object_track& track = tracks_[best_track];
+    const geo::vec2 observed = detections[best_detection];
+    const geo::vec2 step = observed - (track.path.empty()
+                                           ? observed
+                                           : track.path.back());
+    const double a = params_.velocity_smoothing;
+    track.velocity = track.velocity * (1.0 - a) + step * a;
+    track.position = observed;
+    track.path.push_back(observed);
+    track.last_frame = frame_index;
+    track.misses = 0;
+    ++track.hits;
+    if (track.state == track_state::tentative &&
+        track.hits >= params_.confirm_hits) {
+      track.state = track_state::confirmed;
+    }
+    track_updated[best_track] = true;
+    detection_used[best_detection] = true;
+  }
+  rt::account(rt::op::fp_alu, tracks_.size() * detections.size() * 4);
+
+  // Age unmatched tracks.
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    auto& track = tracks_[t];
+    if (track.state == track_state::lost || track_updated[t]) continue;
+    if (++track.misses > params_.max_misses) track.state = track_state::lost;
+  }
+
+  // Spawn tentative tracks from unclaimed detections.
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    if (detection_used[d]) continue;
+    object_track track;
+    track.id = next_id_++;
+    track.position = detections[d];
+    track.path.push_back(detections[d]);
+    track.hits = 1;
+    track.last_frame = frame_index;
+    tracks_.push_back(std::move(track));
+  }
+}
+
+std::size_t tracker::confirmed_count() const {
+  std::size_t count = 0;
+  for (const auto& track : tracks_) {
+    count += track.state == track_state::confirmed ? 1u : 0u;
+  }
+  return count;
+}
+
+}  // namespace vs::track

@@ -1,0 +1,70 @@
+// Multi-object tracking over motion detections — the "detection,
+// recognition and tracking of moving objects" element of the paper's event
+// summarization (Fig 2).
+//
+// A deliberately classic design: constant-velocity prediction, greedy
+// gated nearest-neighbour association, tentative/confirmed/lost lifecycle.
+// Tracks live in the mini-panorama's anchor coordinate system so they can
+// be overlaid directly on the coverage summary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/mat3.h"
+#include "track/motion.h"
+
+namespace vs::track {
+
+enum class track_state : std::uint8_t {
+  tentative,  ///< seen, not yet confirmed
+  confirmed,  ///< hit in >= confirm_hits frames
+  lost,       ///< missed in > max_misses consecutive frames
+};
+
+/// One tracked object.  `path` holds the associated detection centroids in
+/// anchor (panorama) coordinates, one entry per frame where it was seen.
+struct object_track {
+  int id = 0;
+  track_state state = track_state::tentative;
+  geo::vec2 position;  ///< latest position (anchor coords)
+  geo::vec2 velocity;  ///< per-frame displacement estimate
+  std::vector<geo::vec2> path;
+  int hits = 0;
+  int misses = 0;
+  int last_frame = -1;
+};
+
+struct tracker_params {
+  double gate_radius = 10.0;     ///< association gate (anchor px)
+  int confirm_hits = 3;          ///< hits to promote tentative -> confirmed
+  int max_misses = 3;            ///< consecutive misses before lost
+  double velocity_smoothing = 0.5;  ///< EMA factor for velocity updates
+};
+
+/// Online tracker: feed each frame's detections (already transformed to
+/// anchor coordinates) in order.
+class tracker {
+ public:
+  explicit tracker(const tracker_params& params = {});
+
+  /// Advances one frame: predicts every live track, associates detections
+  /// greedily (nearest first) within the gate, spawns tentative tracks for
+  /// the leftovers, and ages out misses.
+  void observe(int frame_index, const std::vector<geo::vec2>& detections);
+
+  /// All tracks ever created (including lost ones, for the overlay).
+  [[nodiscard]] const std::vector<object_track>& tracks() const noexcept {
+    return tracks_;
+  }
+
+  /// Currently confirmed (alive) track count.
+  [[nodiscard]] std::size_t confirmed_count() const;
+
+ private:
+  tracker_params params_;
+  std::vector<object_track> tracks_;
+  int next_id_ = 1;
+};
+
+}  // namespace vs::track

@@ -1,0 +1,111 @@
+#include "video/camera.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace vs::video {
+
+geo::mat3 pose_to_scene(const pose& p, int frame_width, int frame_height) {
+  const double cx = frame_width / 2.0;
+  const double cy = frame_height / 2.0;
+  return geo::mat3::translation(p.x, p.y) * geo::mat3::rotation(p.angle) *
+         geo::mat3::scaling(p.zoom, p.zoom) * geo::mat3::translation(-cx, -cy);
+}
+
+std::vector<pose> generate_path(const path_params& params, int scene_width,
+                                int scene_height, std::uint64_t seed) {
+  if (params.frames <= 0) throw invalid_argument("generate_path: frames <= 0");
+  rng gen(seed);
+
+  pose current;
+  current.x = scene_width / 2.0 + gen.uniform_real(-40.0, 40.0);
+  current.y = scene_height / 2.0 + gen.uniform_real(-40.0, 40.0);
+  current.angle = gen.uniform_real(0.0, 2.0 * 3.14159265358979);
+  current.zoom = 1.0;
+  double heading = gen.uniform_real(0.0, 2.0 * 3.14159265358979);
+
+  std::vector<pose> path;
+  path.reserve(static_cast<std::size_t>(params.frames));
+  int until_jump = params.segment_mean > 0
+                       ? 1 + static_cast<int>(gen.uniform(
+                                 static_cast<std::uint64_t>(
+                                     2 * params.segment_mean)))
+                       : params.frames + 1;
+
+  for (int i = 0; i < params.frames; ++i) {
+    path.push_back(current);
+
+    if (--until_jump <= 0) {
+      // Abrupt view change: new heading and zoom (the scene-cut events that
+      // split Input 1 into many mini-panoramas).
+      if (params.jump_teleport) {
+        current.x = gen.uniform_real(params.margin, scene_width - params.margin);
+        current.y = gen.uniform_real(params.margin, scene_height - params.margin);
+      }
+      heading += gen.uniform_real(-params.jump_turn, params.jump_turn) +
+                 (gen.chance(0.5) ? 1.2 : -1.2);
+      current.angle += gen.uniform_real(-params.jump_turn, params.jump_turn);
+      current.zoom = std::clamp(
+          current.zoom *
+              (1.0 + gen.uniform_real(-params.jump_zoom, params.jump_zoom)),
+          0.90, 1.15);
+      until_jump = 1 + static_cast<int>(gen.uniform(
+                           static_cast<std::uint64_t>(
+                               2 * std::max(1, params.segment_mean))));
+    }
+
+    heading += gen.normal() * params.turn_sigma * 3.0;
+    current.angle += gen.normal() * params.turn_sigma;
+    current.zoom = std::clamp(
+        current.zoom * (1.0 + gen.normal() * params.zoom_sigma), 0.90, 1.15);
+    current.x += std::cos(heading) * params.speed + gen.normal() * params.jitter;
+    current.y += std::sin(heading) * params.speed + gen.normal() * params.jitter;
+
+    // Reflect off the margins so the camera never leaves the scene.
+    const double lo_x = params.margin;
+    const double hi_x = scene_width - params.margin;
+    const double lo_y = params.margin;
+    const double hi_y = scene_height - params.margin;
+    if (current.x < lo_x || current.x > hi_x) {
+      heading = 3.14159265358979 - heading;
+      current.x = std::clamp(current.x, lo_x, hi_x);
+    }
+    if (current.y < lo_y || current.y > hi_y) {
+      heading = -heading;
+      current.y = std::clamp(current.y, lo_y, hi_y);
+    }
+  }
+  return path;
+}
+
+path_params input1_path(int frames) {
+  path_params p;
+  p.frames = frames;
+  p.speed = 20.0;
+  p.turn_sigma = 0.025;
+  p.zoom_sigma = 0.005;
+  p.jitter = 0.8;
+  p.segment_mean = std::max(6, frames / 3);  // a few hard view changes
+  p.jump_turn = 1.0;
+  p.jump_zoom = 0.18;
+  p.jump_teleport = true;  // Input 1 concatenates dissimilar camera segments
+  return p;
+}
+
+path_params input2_path(int frames) {
+  path_params p;
+  p.frames = frames;
+  p.speed = 7.0;
+  p.turn_sigma = 0.004;
+  p.zoom_sigma = 0.0;
+  p.jitter = 0.2;
+  p.segment_mean = 0;  // disabled: one smooth segment
+  p.jump_turn = 0.0;
+  p.jump_zoom = 0.0;
+  return p;
+}
+
+}  // namespace vs::video

@@ -1,0 +1,61 @@
+// Camera model and flight-path synthesis.
+//
+// A pose places the UAV camera over the landscape; a path is the sequence of
+// poses for one clip.  The two built-in path profiles mirror the statistical
+// character of the paper's two VIRAT inputs:
+//   input 1 — frequent heading / zoom changes and occasional hard view jumps
+//             (many segments -> many mini-panoramas, frames often discarded)
+//   input 2 — smooth steady drift (one long segment, robust stitching)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/mat3.h"
+
+namespace vs::video {
+
+/// Camera pose over the scene: view center (scene pixels), heading
+/// (radians), and zoom (scene pixels per frame pixel; > 1 means the frame
+/// covers a wider ground area).
+struct pose {
+  double x = 0.0;
+  double y = 0.0;
+  double angle = 0.0;
+  double zoom = 1.0;
+};
+
+/// Frame-pixel -> scene-pixel transform for a pose (frame center maps to
+/// (x, y); the frame is rotated by `angle` and scaled by `zoom`).
+[[nodiscard]] geo::mat3 pose_to_scene(const pose& p, int frame_width,
+                                      int frame_height);
+
+/// Path-shape knobs.  All motion is per frame.
+struct path_params {
+  int frames = 40;
+  double speed = 6.0;          ///< forward drift in scene px/frame
+  double turn_sigma = 0.01;    ///< heading random walk (radians/frame)
+  double zoom_sigma = 0.0;     ///< zoom random walk (fraction/frame)
+  double jitter = 0.3;         ///< translational noise (scene px)
+  int segment_mean = 1000000;  ///< mean frames between abrupt view changes
+  double jump_turn = 0.9;      ///< heading change at a segment break
+  double jump_zoom = 0.25;     ///< zoom change magnitude at a segment break
+  bool jump_teleport = false;  ///< segment break relocates the camera (a
+                               ///< scene cut between different cameras)
+  double margin = 140.0;       ///< keep-out distance from scene borders
+};
+
+/// Generates a deterministic flight path inside a scene of the given size.
+/// The path reflects off the margin so frames always see valid scene.
+[[nodiscard]] std::vector<pose> generate_path(const path_params& params,
+                                              int scene_width,
+                                              int scene_height,
+                                              std::uint64_t seed);
+
+/// Paper "Input 1" profile: segmented, turny, zoom-varying.
+[[nodiscard]] path_params input1_path(int frames);
+
+/// Paper "Input 2" profile: smooth single-segment drift.
+[[nodiscard]] path_params input2_path(int frames);
+
+}  // namespace vs::video

@@ -1,0 +1,55 @@
+#include "video/recorded.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "core/error.h"
+#include "image/image_io.h"
+
+namespace vs::video {
+
+std::vector<std::string> list_pnm_files(const std::string& directory) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext == ".pgm" || ext == ".ppm" || ext == ".pnm") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) throw io_error("list_pnm_files: cannot read " + directory);
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+frame_list recorded_video::load(const std::vector<std::string>& paths,
+                                int downsample) {
+  if (paths.empty()) throw io_error("recorded_video: no frames found");
+  std::vector<img::image_u8> frames;
+  frames.reserve(paths.size());
+  for (const auto& path : paths) {
+    img::image_u8 frame = img::to_gray(img::load_pnm(path));
+    if (downsample > 1) frame = img::downscale(frame, downsample);
+    frames.push_back(std::move(frame));
+  }
+  return frame_list(std::move(frames));
+}
+
+recorded_video::recorded_video(const std::string& directory, int downsample)
+    : frames_(load(list_pnm_files(directory), downsample)) {}
+
+recorded_video::recorded_video(const std::vector<std::string>& paths,
+                               int downsample)
+    : frames_(load(paths, downsample)) {}
+
+int recorded_video::frame_count() const { return frames_.frame_count(); }
+int recorded_video::frame_width() const { return frames_.frame_width(); }
+int recorded_video::frame_height() const { return frames_.frame_height(); }
+
+img::image_u8 recorded_video::frame(int index) const {
+  return frames_.frame(index);
+}
+
+}  // namespace vs::video

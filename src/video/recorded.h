@@ -1,0 +1,41 @@
+// Frame source backed by image files on disk — how a downstream user feeds
+// their own footage (e.g. frames exported from a real aerial clip) into the
+// pipeline.  Complements `vs generate`, which writes clips in this layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "video/generator.h"
+
+namespace vs::video {
+
+/// Loads every `frame_****.pgm` (or any PNM) file in a directory, sorted by
+/// filename, optionally downsampling spatially (the paper downsamples its
+/// inputs 3x to make thousand-run campaigns affordable).
+class recorded_video final : public video_source {
+ public:
+  /// Throws io_error when the directory has no loadable frames or frames
+  /// disagree in size.
+  explicit recorded_video(const std::string& directory, int downsample = 1);
+
+  /// Builds directly from an ordered list of file paths.
+  recorded_video(const std::vector<std::string>& paths, int downsample);
+
+  [[nodiscard]] int frame_count() const override;
+  [[nodiscard]] int frame_width() const override;
+  [[nodiscard]] int frame_height() const override;
+  [[nodiscard]] img::image_u8 frame(int index) const override;
+
+ private:
+  frame_list frames_;
+
+  static frame_list load(const std::vector<std::string>& paths,
+                         int downsample);
+};
+
+/// Lists the PNM files (*.pgm / *.ppm / *.pnm) in `directory`, sorted.
+[[nodiscard]] std::vector<std::string> list_pnm_files(
+    const std::string& directory);
+
+}  // namespace vs::video

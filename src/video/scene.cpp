@@ -1,0 +1,144 @@
+#include "video/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+#include "image/draw.h"
+#include "image/pixel.h"
+
+namespace vs::video {
+
+namespace {
+
+// Deterministic per-lattice-point hash noise in [0, 1).
+double lattice_value(std::uint64_t seed, std::int64_t ix, std::int64_t iy) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(ix) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(iy) * 0xc2b2ae3d27d4eb4fULL;
+  h = splitmix64(h);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double smooth(double t) { return t * t * (3.0 - 2.0 * t); }
+
+double noise_octave(std::uint64_t seed, double x, double y) {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const double tx = smooth(x - fx);
+  const double ty = smooth(y - fy);
+  const double v00 = lattice_value(seed, ix, iy);
+  const double v10 = lattice_value(seed, ix + 1, iy);
+  const double v01 = lattice_value(seed, ix, iy + 1);
+  const double v11 = lattice_value(seed, ix + 1, iy + 1);
+  const double top = v00 + (v10 - v00) * tx;
+  const double bottom = v01 + (v11 - v01) * tx;
+  return top + (bottom - top) * ty;
+}
+
+}  // namespace
+
+double value_noise(std::uint64_t seed, double x, double y, int octaves) {
+  double sum = 0.0;
+  double amplitude = 1.0;
+  double total = 0.0;
+  double frequency = 1.0 / 64.0;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amplitude * noise_octave(seed + static_cast<std::uint64_t>(o) * 77,
+                                    x * frequency, y * frequency);
+    total += amplitude;
+    amplitude *= 0.55;
+    frequency *= 2.0;
+  }
+  return 255.0 * sum / total;
+}
+
+img::image_u8 generate_landscape(const landscape_params& params) {
+  img::image_u8 scene(params.width, params.height, 1);
+  rng gen(params.seed);
+
+  // Terrain base: mid-tone multi-octave noise.
+  for (int y = 0; y < params.height; ++y) {
+    for (int x = 0; x < params.width; ++x) {
+      const double v = value_noise(params.seed, x, y, params.noise_octaves);
+      scene.at(x, y) = img::saturate_u8(60.0 + 0.45 * v);
+    }
+  }
+
+  // Fields: large rectangles that shift the local tone (low contrast).
+  for (int i = 0; i < params.fields; ++i) {
+    const int w = static_cast<int>(gen.uniform_in(60, 200));
+    const int h = static_cast<int>(gen.uniform_in(60, 200));
+    const int x = static_cast<int>(gen.uniform_in(0, params.width - 1));
+    const int y = static_cast<int>(gen.uniform_in(0, params.height - 1));
+    const int delta = static_cast<int>(gen.uniform_in(-25, 25));
+    for (int yy = std::max(0, y); yy < std::min(params.height, y + h); ++yy) {
+      for (int xx = std::max(0, x); xx < std::min(params.width, x + w); ++xx) {
+        scene.at(xx, yy) = img::saturate_u8(scene.at(xx, yy) + delta);
+      }
+    }
+  }
+
+  // Roads: long bright polylines with darker shoulders.
+  for (int i = 0; i < params.roads; ++i) {
+    int x = static_cast<int>(gen.uniform_in(0, params.width - 1));
+    int y = static_cast<int>(gen.uniform_in(0, params.height - 1));
+    double heading = gen.uniform_real(0.0, 2.0 * 3.14159265358979);
+    const int segments = static_cast<int>(gen.uniform_in(4, 10));
+    for (int s = 0; s < segments; ++s) {
+      const int len = static_cast<int>(gen.uniform_in(80, 220));
+      const int nx = x + static_cast<int>(std::cos(heading) * len);
+      const int ny = y + static_cast<int>(std::sin(heading) * len);
+      for (int offset = -1; offset <= 1; ++offset) {
+        const std::uint8_t tone = offset == 0 ? 225 : 40;
+        img::draw_line(scene, x + offset, y, nx + offset, ny,
+                       img::color{tone, tone, tone});
+      }
+      x = nx;
+      y = ny;
+      heading += gen.uniform_real(-0.5, 0.5);
+    }
+  }
+
+  // Buildings: small high-contrast rectangles with a shadow edge — the
+  // dominant FAST-corner source, as rooftops are in aerial imagery.
+  for (int i = 0; i < params.buildings; ++i) {
+    const int w = static_cast<int>(gen.uniform_in(6, 22));
+    const int h = static_cast<int>(gen.uniform_in(6, 22));
+    const int x = static_cast<int>(gen.uniform_in(0, params.width - w - 1));
+    const int y = static_cast<int>(gen.uniform_in(0, params.height - h - 1));
+    const auto roof =
+        static_cast<std::uint8_t>(gen.chance(0.5) ? gen.uniform_in(190, 250)
+                                                  : gen.uniform_in(10, 60));
+    img::fill_rect(scene, x, y, w, h, img::color{roof, roof, roof});
+    img::fill_rect(scene, x + w, y + 2, 2, h, img::color{15, 15, 15});
+    img::fill_rect(scene, x + 2, y + h, w, 2, img::color{15, 15, 15});
+  }
+
+  // Speckles: 2x2 high-contrast clutter (rocks, bushes, debris).  Aerial
+  // imagery is full of such point features; they are what keeps FAST fed
+  // between the larger structures.
+  for (int i = 0; i < params.speckles; ++i) {
+    const int x = static_cast<int>(gen.uniform_in(0, params.width - 3));
+    const int y = static_cast<int>(gen.uniform_in(0, params.height - 3));
+    const auto tone =
+        static_cast<std::uint8_t>(gen.chance(0.5) ? gen.uniform_in(200, 255)
+                                                  : gen.uniform_in(0, 35));
+    img::fill_rect(scene, x, y, 2, 2, img::color{tone, tone, tone});
+  }
+
+  // Trees: small dark blobs with a bright rim pixel.
+  for (int i = 0; i < params.trees; ++i) {
+    const int r = static_cast<int>(gen.uniform_in(2, 5));
+    const int x = static_cast<int>(gen.uniform_in(r, params.width - r - 1));
+    const int y = static_cast<int>(gen.uniform_in(r, params.height - r - 1));
+    img::fill_circle(scene, x, y, r, img::color{30, 30, 30});
+    img::put_pixel(scene, x - r, y - r, img::color{200, 200, 200});
+  }
+
+  return scene;
+}
+
+}  // namespace vs::video

@@ -1,0 +1,37 @@
+// Procedural aerial-landscape synthesis.
+//
+// The paper evaluates on two VIRAT aerial clips, which are not
+// redistributable.  This module generates a deterministic overhead
+// "landscape" (terrain shading + fields + roads + buildings + vegetation)
+// with the corner-rich structure aerial imagery exhibits, from which the
+// camera model extracts video frames.  Given the same parameters the scene
+// is bit-identical on every platform (all randomness flows through vs::rng).
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.h"
+
+namespace vs::video {
+
+struct landscape_params {
+  int width = 1024;
+  int height = 768;
+  std::uint64_t seed = 1;
+  int noise_octaves = 4;   ///< value-noise octaves for the terrain base
+  int fields = 24;         ///< large low-contrast agricultural patches
+  int roads = 10;          ///< high-contrast linear features
+  int buildings = 420;     ///< small bright/dark rectangles (corner sources)
+  int trees = 420;         ///< dark blobs
+  int speckles = 5000;     ///< 2x2 high-contrast ground clutter (rocks,
+                           ///< bushes, debris) — dense FAST-corner texture
+};
+
+/// Generates the landscape.  Grayscale, `width` x `height`.
+[[nodiscard]] img::image_u8 generate_landscape(const landscape_params& params);
+
+/// Multi-octave value noise in [0, 255] at a point — exposed for tests.
+[[nodiscard]] double value_noise(std::uint64_t seed, double x, double y,
+                                 int octaves);
+
+}  // namespace vs::video

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/error.h"
+#include "fault/analysis.h"
+#include "fault/report.h"
+
+namespace vs::fault {
+namespace {
+
+injection_record make_record(outcome result, rt::fn scope, rt::op kind,
+                             std::uint32_t bit, bool fired = true) {
+  injection_record record;
+  record.result = result;
+  record.fired_scope = scope;
+  record.fired_kind = kind;
+  record.plan.bit = bit;
+  record.fired = fired;
+  record.register_live = fired;
+  return record;
+}
+
+TEST(SiteBreakdown, GroupsByScopeKindAndBand) {
+  std::vector<injection_record> records = {
+      make_record(outcome::sdc, rt::fn::warp, rt::op::fp_alu, 3),
+      make_record(outcome::sdc, rt::fn::warp, rt::op::fp_alu, 7),
+      make_record(outcome::crash_segfault, rt::fn::warp, rt::op::fp_alu, 40),
+      make_record(outcome::masked, rt::fn::match, rt::op::int_alu, 3),
+  };
+  const auto classes = site_breakdown(records);
+  ASSERT_EQ(classes.size(), 3u);
+  // Largest class first.
+  EXPECT_EQ(classes[0].scope, rt::fn::warp);
+  EXPECT_EQ(classes[0].bit_band, 0);
+  EXPECT_EQ(classes[0].rates.experiments, 2u);
+  EXPECT_EQ(classes[0].rates.sdc, 2u);
+}
+
+TEST(SiteBreakdown, IgnoresUnfiredRecords) {
+  std::vector<injection_record> records = {
+      make_record(outcome::masked, rt::fn::warp, rt::op::mem, 0,
+                  /*fired=*/false),
+  };
+  EXPECT_TRUE(site_breakdown(records).empty());
+}
+
+TEST(ScopeBreakdown, MergesKindsAndBands) {
+  std::vector<injection_record> records = {
+      make_record(outcome::sdc, rt::fn::warp, rt::op::fp_alu, 3),
+      make_record(outcome::masked, rt::fn::warp, rt::op::mem, 60),
+      make_record(outcome::masked, rt::fn::match, rt::op::int_alu, 10),
+  };
+  const auto scopes = scope_breakdown(records);
+  ASSERT_EQ(scopes.size(), 2u);
+  EXPECT_EQ(scopes[0].scope, rt::fn::warp);
+  EXPECT_EQ(scopes[0].rates.experiments, 2u);
+}
+
+TEST(Pruning, PureClassesArePrunable) {
+  std::vector<injection_record> records;
+  // 10 crashes in one class: pure, prunable.
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(
+        make_record(outcome::crash_segfault, rt::fn::remap, rt::op::mem, 40));
+  }
+  // A mixed class: not prunable.
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(make_record(
+        i % 2 == 0 ? outcome::masked : outcome::sdc, rt::fn::match,
+        rt::op::int_alu, 3));
+  }
+  const auto estimate = estimate_pruning(records, 0.95);
+  EXPECT_EQ(estimate.fired_experiments, 15u);
+  EXPECT_EQ(estimate.prunable_experiments, 10u);
+  EXPECT_NEAR(estimate.prunable_fraction, 10.0 / 15.0, 1e-12);
+}
+
+TEST(Pruning, SmallClassesNeverPrunable) {
+  std::vector<injection_record> records = {
+      make_record(outcome::masked, rt::fn::warp, rt::op::mem, 1),
+      make_record(outcome::masked, rt::fn::warp, rt::op::mem, 2),
+  };
+  EXPECT_EQ(estimate_pruning(records).prunable_experiments, 0u);
+}
+
+TEST(Protection, PartitionsSites) {
+  std::vector<injection_record> records = {
+      make_record(outcome::masked, rt::fn::warp, rt::op::mem, 1),
+      make_record(outcome::crash_segfault, rt::fn::warp, rt::op::mem, 40),
+      make_record(outcome::hang, rt::fn::ransac, rt::op::branch, 60),
+      make_record(outcome::sdc, rt::fn::remap, rt::op::int_alu, 2),
+      make_record(outcome::sdc, rt::fn::remap, rt::op::int_alu, 3),
+      make_record(outcome::sdc, rt::fn::remap, rt::op::int_alu, 4),
+  };
+  // SDC severities: ED 3 (tolerable at 10), ED 50 (not), egregious.
+  const std::vector<std::optional<int>> eds = {3, 50, std::nullopt};
+  const auto report = analyze_protection(records, eds, 10);
+  EXPECT_EQ(report.experiments, 6u);
+  EXPECT_NEAR(report.masked_fraction, 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(report.detectable_fraction, 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(report.tolerable_fraction, 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(report.must_protect_fraction, 2.0 / 6.0, 1e-12);
+}
+
+TEST(Protection, HigherToleranceNeedsLessProtection) {
+  std::vector<injection_record> records;
+  std::vector<std::optional<int>> eds;
+  for (int ed = 0; ed < 20; ++ed) {
+    records.push_back(
+        make_record(outcome::sdc, rt::fn::remap, rt::op::int_alu, 1));
+    eds.emplace_back(ed);
+  }
+  const auto strict = analyze_protection(records, eds, 2);
+  const auto loose = analyze_protection(records, eds, 15);
+  EXPECT_GT(strict.must_protect_fraction, loose.must_protect_fraction);
+}
+
+TEST(Protection, MismatchedEdsThrow) {
+  std::vector<injection_record> records = {
+      make_record(outcome::sdc, rt::fn::remap, rt::op::int_alu, 1)};
+  EXPECT_THROW((void)analyze_protection(records, {}, 10), invalid_argument);
+}
+
+TEST(Report, CsvHasHeaderAndRows) {
+  campaign_result result;
+  result.records.push_back(
+      make_record(outcome::crash_abort, rt::fn::warp, rt::op::mem, 63));
+  result.records[0].plan.target = 12345;
+  const std::string csv = records_to_csv(result);
+  EXPECT_NE(csv.find("index,cls,target"), std::string::npos);
+  EXPECT_NE(csv.find("12345"), std::string::npos);
+  EXPECT_NE(csv.find("Crash(abort)"), std::string::npos);
+  EXPECT_NE(csv.find("warpPerspective"), std::string::npos);
+}
+
+TEST(Report, JsonContainsRates) {
+  campaign_result result;
+  result.rates.add(outcome::masked);
+  result.rates.add(outcome::sdc);
+  const std::string json = rates_to_json(result, "unit");
+  EXPECT_NE(json.find("\"label\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"experiments\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sdc_rate\": 0.5"), std::string::npos);
+}
+
+TEST(Report, WriteTextFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/vs_report_test.txt";
+  write_text_file(path, "hello\n");
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "hello");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vs::fault

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace vs {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  rng a(42);
+  rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1);
+  rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  rng gen(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(gen.uniform(17), 17u);
+}
+
+TEST(Rng, UniformZeroBoundIsZero) {
+  rng gen(7);
+  EXPECT_EQ(gen.uniform(0), 0u);
+}
+
+TEST(Rng, UniformInInclusiveRange) {
+  rng gen(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = gen.uniform_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenUnit) {
+  rng gen(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = gen.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasRoughlyZeroMeanUnitVariance) {
+  rng gen(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = gen.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  rng gen(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.chance(0.0));
+    EXPECT_TRUE(gen.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  rng parent(5);
+  rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next() == child.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  rng gen(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = gen.sample_without_replacement(20, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (auto v : sample) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  rng gen(23);
+  const auto sample = gen.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsKGreaterThanN) {
+  rng gen(29);
+  EXPECT_THROW(gen.sample_without_replacement(3, 4), invalid_argument);
+}
+
+TEST(Splitmix, DeterministicAndAdvancesState) {
+  std::uint64_t s1 = 99;
+  std::uint64_t s2 = 99;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, 99u);
+}
+
+}  // namespace
+}  // namespace vs

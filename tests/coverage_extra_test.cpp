@@ -1,0 +1,116 @@
+// Additional edge-case coverage across modules: arithmetic operators,
+// montage channel promotion, report formatting, instrument bulk paths.
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "fault/report.h"
+#include "geometry/mat3.h"
+#include "image/pixel.h"
+#include "perf/model.h"
+#include "rt/instrument.h"
+#include "stitch/compositor.h"
+
+namespace vs {
+namespace {
+
+TEST(Mat3Extra, ScalarMultiplyScalesAllEntries) {
+  const geo::mat3 m = geo::mat3::identity() * 3.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(Mat3Extra, AdditionIsElementwise) {
+  const geo::mat3 sum = geo::mat3::identity() + geo::mat3::identity();
+  EXPECT_DOUBLE_EQ(sum(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(sum(0, 2), 0.0);
+}
+
+TEST(Mat3Extra, AffineConstructorLaysOutRows) {
+  const geo::mat3 m = geo::mat3::affine(1, 2, 3, 4, 5, 6);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(m(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(2, 2), 1.0);
+}
+
+TEST(MontageExtra, PromotesGrayPanelsIntoRgb) {
+  img::image_u8 gray(3, 2, 1, 50);
+  img::image_u8 rgb(2, 2, 3);
+  rgb.at(0, 0, 0) = 200;
+  const auto out = stitch::montage({gray, rgb}, 1);
+  EXPECT_EQ(out.channels(), 3);
+  EXPECT_EQ(out.at(0, 0, 0), 50);
+  EXPECT_EQ(out.at(0, 0, 2), 50);  // replicated gray
+  EXPECT_EQ(out.at(4, 0, 0), 200);
+}
+
+TEST(ReportExtra, EmptyCampaignCsvIsHeaderOnly) {
+  fault::campaign_result result;
+  const auto csv = fault::records_to_csv(result);
+  EXPECT_EQ(csv, "index,cls,target,bit,reg_id,live,fired,outcome,scope,kind\n");
+}
+
+TEST(ReportExtra, JsonRatesOfEmptyCampaignAreZero) {
+  fault::campaign_result result;
+  const auto json = fault::rates_to_json(result, "empty");
+  EXPECT_NE(json.find("\"experiments\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"crash_rate\": 0"), std::string::npos);
+}
+
+TEST(InstrumentExtra, F32FlipWorksOnPromotedDouble) {
+  rt::fault_plan plan;
+  plan.cls = rt::reg_class::fpr;
+  plan.target = 0;
+  plan.bit = 63;  // sign
+  rt::session s(plan);
+  EXPECT_FLOAT_EQ(rt::f32(2.5f), -2.5f);
+}
+
+TEST(InstrumentExtra, CtrlCountsAsBranch) {
+  rt::session s;
+  (void)rt::ctrl(10);
+  EXPECT_EQ(s.stats().total(rt::op::branch), 1u);
+}
+
+TEST(InstrumentExtra, OpNamesDistinct) {
+  EXPECT_STRNE(rt::op_name(rt::op::int_alu), rt::op_name(rt::op::mem));
+  EXPECT_STRNE(rt::op_name(rt::op::branch), rt::op_name(rt::op::fp_alu));
+}
+
+TEST(PerfExtra, CountersFnTotalSumsKinds) {
+  rt::counters c;
+  c.by_fn[static_cast<int>(rt::fn::warp)][0] = 3;
+  c.by_fn[static_cast<int>(rt::fn::warp)][3] = 4;
+  EXPECT_EQ(c.fn_total(rt::fn::warp), 7u);
+  EXPECT_EQ(c.gpr_ops(rt::fn::warp), 3u);
+  EXPECT_EQ(c.fpr_ops(rt::fn::warp), 4u);
+}
+
+TEST(RngExtra, UniformRealWithinRange) {
+  rng gen(5);
+  for (int i = 0; i < 200; ++i) {
+    const double v = gen.uniform_real(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngExtra, UniformDistributionIsRoughlyFlat) {
+  rng gen(17);
+  int buckets[8] = {};
+  constexpr int draws = 8000;
+  for (int i = 0; i < draws; ++i) ++buckets[gen.uniform(8)];
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_NEAR(buckets[b], draws / 8, draws / 8 / 3);
+  }
+}
+
+TEST(PixelExtra, SaturateFloatOverload) {
+  EXPECT_EQ(img::saturate_u8(-1.5f), 0);
+  EXPECT_EQ(img::saturate_u8(127.6f), 128);
+  EXPECT_EQ(img::saturate_u8(300.0f), 255);
+}
+
+}  // namespace
+}  // namespace vs

@@ -1,0 +1,155 @@
+// Tests for symptom-based detectors and the extra image metrics.
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "fault/detectors.h"
+#include "quality/metrics_extra.h"
+
+namespace vs {
+namespace {
+
+img::image_u8 textured(int w, int h, std::uint64_t salt = 1) {
+  img::image_u8 im(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      std::uint64_t state = salt * 777 + static_cast<std::uint64_t>(y) * 977 +
+                            static_cast<std::uint64_t>(x);
+      im.at(x, y) = static_cast<std::uint8_t>(splitmix64(state) % 180 + 40);
+    }
+  }
+  return im;
+}
+
+// ---------------------------------------------------------------------------
+// Symptom detectors
+// ---------------------------------------------------------------------------
+
+TEST(Detectors, CalibrationAveragesGoldens) {
+  const auto calibration = fault::calibrate_detectors(
+      {textured(100, 60), textured(120, 60)});
+  EXPECT_EQ(calibration.width, 110);
+  EXPECT_EQ(calibration.height, 60);
+  EXPECT_GT(calibration.mean_intensity, 40.0);
+  EXPECT_GT(calibration.nonzero_fraction, 0.95);
+}
+
+TEST(Detectors, CalibrationRejectsEmptySet) {
+  EXPECT_THROW((void)fault::calibrate_detectors({}), invalid_argument);
+}
+
+TEST(Detectors, CleanOutputPasses) {
+  const auto golden = textured(100, 60);
+  const auto calibration = fault::calibrate_detectors({golden});
+  EXPECT_EQ(fault::run_detectors(textured(100, 60, 2), calibration),
+            fault::detection_verdict::clean);
+}
+
+TEST(Detectors, GeometryCheckCatchesWildDimensions) {
+  const auto calibration = fault::calibrate_detectors({textured(100, 60)});
+  EXPECT_EQ(fault::run_detectors(textured(300, 60), calibration),
+            fault::detection_verdict::geometry);
+  EXPECT_EQ(fault::run_detectors(img::image_u8{}, calibration),
+            fault::detection_verdict::geometry);
+}
+
+TEST(Detectors, CoverageCheckCatchesBlankedOutput) {
+  const auto calibration = fault::calibrate_detectors({textured(100, 60)});
+  img::image_u8 mostly_black(100, 60, 1, 0);
+  for (int x = 0; x < 20; ++x) mostly_black.at(x, 0) = 100;
+  EXPECT_EQ(fault::run_detectors(mostly_black, calibration),
+            fault::detection_verdict::coverage);
+}
+
+TEST(Detectors, IntensityCheckCatchesSaturation) {
+  const auto calibration = fault::calibrate_detectors({textured(100, 60)});
+  img::image_u8 blown(100, 60, 1, 250);
+  EXPECT_EQ(fault::run_detectors(blown, calibration),
+            fault::detection_verdict::intensity);
+}
+
+TEST(Detectors, SummaryCountsByCheck) {
+  const auto golden = textured(100, 60);
+  const auto calibration = fault::calibrate_detectors({golden});
+  std::vector<img::image_u8> sdcs;
+  sdcs.push_back(textured(100, 60, 9));     // clean (silent SDC)
+  sdcs.push_back(textured(20, 60));         // geometry
+  sdcs.push_back(img::image_u8(100, 60, 1, 250));  // intensity
+  const auto summary = fault::evaluate_detectors(sdcs, calibration);
+  EXPECT_EQ(summary.sdcs, 3u);
+  EXPECT_EQ(summary.detected, 2u);
+  EXPECT_EQ(summary.by_geometry, 1u);
+  EXPECT_EQ(summary.by_intensity, 1u);
+  EXPECT_NEAR(summary.coverage(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Detectors, VerdictNamesDistinct) {
+  EXPECT_STRNE(
+      fault::detection_verdict_name(fault::detection_verdict::clean),
+      fault::detection_verdict_name(fault::detection_verdict::geometry));
+}
+
+// ---------------------------------------------------------------------------
+// PSNR / SSIM
+// ---------------------------------------------------------------------------
+
+TEST(Psnr, IdenticalIsCapped) {
+  const auto im = textured(32, 32);
+  EXPECT_DOUBLE_EQ(quality::psnr(im, im), 99.0);
+}
+
+TEST(Psnr, KnownMse) {
+  img::image_u8 a(10, 10, 1, 100);
+  img::image_u8 b(10, 10, 1, 110);  // mse = 100
+  EXPECT_NEAR(quality::psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 100.0),
+              1e-9);
+}
+
+TEST(Psnr, MoreNoiseLowerPsnr) {
+  const auto golden = textured(32, 32);
+  auto mild = golden;
+  auto severe = golden;
+  rng gen(3);
+  for (int i = 0; i < 20; ++i) {
+    mild[gen.uniform(mild.size())] ^= 0x10;
+    severe[gen.uniform(severe.size())] ^= 0xF0;
+  }
+  EXPECT_GT(quality::psnr(golden, mild), quality::psnr(golden, severe));
+}
+
+TEST(Psnr, ShapeMismatchThrows) {
+  EXPECT_THROW((void)quality::psnr(textured(8, 8), textured(9, 8)),
+               invalid_argument);
+}
+
+TEST(Ssim, IdenticalIsOne) {
+  const auto im = textured(32, 32);
+  EXPECT_NEAR(quality::ssim(im, im), 1.0, 1e-12);
+}
+
+TEST(Ssim, UncorrelatedIsLow) {
+  EXPECT_LT(quality::ssim(textured(32, 32, 1), textured(32, 32, 2)), 0.3);
+}
+
+TEST(Ssim, GlobalBrightnessShiftScoresHigherThanScramble) {
+  const auto golden = textured(32, 32);
+  auto brighter = golden;
+  for (std::size_t i = 0; i < brighter.size(); ++i) {
+    brighter[i] = static_cast<std::uint8_t>(std::min(255, brighter[i] + 25));
+  }
+  EXPECT_GT(quality::ssim(golden, brighter),
+            quality::ssim(golden, textured(32, 32, 7)));
+}
+
+TEST(Ssim, RejectsBadArguments) {
+  EXPECT_THROW((void)quality::ssim(textured(8, 8), textured(9, 8)),
+               invalid_argument);
+  EXPECT_THROW((void)quality::ssim(textured(8, 8), textured(8, 8), 1),
+               invalid_argument);
+  EXPECT_THROW((void)quality::ssim(textured(4, 4), textured(4, 4), 8),
+               invalid_argument);
+}
+
+}  // namespace
+}  // namespace vs

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "app/events.h"
+#include "video/generator.h"
+
+namespace vs::app {
+namespace {
+
+const video::synthetic_video& clip() {
+  static const auto source = video::make_input(video::input_id::input2, 12);
+  return *source;
+}
+
+TEST(Events, PlacementsCoverStitchedFrames) {
+  const auto result = summarize(clip(), pipeline_config{});
+  EXPECT_EQ(result.placements.size(),
+            static_cast<std::size_t>(result.stats.frames_stitched));
+  for (const auto& placement : result.placements) {
+    EXPECT_GE(placement.frame_index, 0);
+    EXPECT_LT(placement.frame_index, result.stats.frames_total);
+    EXPECT_GE(placement.panorama_index, 0);
+    EXPECT_LT(placement.panorama_index, result.stats.mini_panoramas);
+  }
+}
+
+TEST(Events, PlacementsAreOrderedByFrame) {
+  const auto result = summarize(clip(), pipeline_config{});
+  for (std::size_t i = 1; i < result.placements.size(); ++i) {
+    EXPECT_LT(result.placements[i - 1].frame_index,
+              result.placements[i].frame_index);
+  }
+}
+
+TEST(Events, PanoramaBoundsMatchImages) {
+  const auto result = summarize(clip(), pipeline_config{});
+  ASSERT_EQ(result.panorama_bounds.size(), result.mini_panoramas.size());
+  for (std::size_t p = 0; p < result.mini_panoramas.size(); ++p) {
+    EXPECT_EQ(result.panorama_bounds[p].w, result.mini_panoramas[p].width());
+    EXPECT_EQ(result.panorama_bounds[p].h, result.mini_panoramas[p].height());
+  }
+}
+
+TEST(Events, SummarizeEventsProducesAnnotatedMontage) {
+  const auto summary = summarize_events(clip(), pipeline_config{});
+  EXPECT_FALSE(summary.annotated.empty());
+  EXPECT_EQ(summary.annotated.channels(), 3);
+  EXPECT_EQ(summary.tracks.size(), summary.coverage.mini_panoramas.size());
+  // The synthetic clip's relocating clutter produces motion detections.
+  EXPECT_GT(summary.detections_total, 0);
+}
+
+TEST(Events, DeterministicAcrossRuns) {
+  const auto a = summarize_events(clip(), pipeline_config{});
+  const auto b = summarize_events(clip(), pipeline_config{});
+  EXPECT_EQ(a.annotated, b.annotated);
+  EXPECT_EQ(a.detections_total, b.detections_total);
+}
+
+TEST(Events, OverlayDrawsConfirmedTrack) {
+  img::image_u8 pano(40, 30, 1, 100);
+  track::object_track confirmed;
+  confirmed.state = track::track_state::confirmed;
+  confirmed.path = {{5.0, 5.0}, {15.0, 5.0}, {25.0, 5.0}};
+  const auto annotated =
+      overlay_tracks(pano, geo::rect{0, 0, 40, 30}, {confirmed}, true);
+  EXPECT_EQ(annotated.channels(), 3);
+  // Trail pixels are red-dominant.
+  EXPECT_GT(annotated.at(10, 5, 0), annotated.at(10, 5, 1));
+}
+
+TEST(Events, OverlaySkipsTentativeWhenConfirmedOnly) {
+  img::image_u8 pano(40, 30, 1, 100);
+  track::object_track tentative;
+  tentative.state = track::track_state::tentative;
+  tentative.path = {{5.0, 5.0}, {15.0, 5.0}};
+  const auto annotated =
+      overlay_tracks(pano, geo::rect{0, 0, 40, 30}, {tentative}, true);
+  EXPECT_EQ(annotated.at(10, 5, 0), 100);  // untouched
+}
+
+TEST(Events, OverlayHonoursContentOrigin) {
+  img::image_u8 pano(40, 30, 1, 100);
+  track::object_track confirmed;
+  confirmed.state = track::track_state::confirmed;
+  // Anchor coords offset by the content origin (10, 5).
+  confirmed.path = {{15.0, 10.0}, {25.0, 10.0}};
+  const auto annotated =
+      overlay_tracks(pano, geo::rect{10, 5, 40, 30}, {confirmed}, true);
+  EXPECT_GT(annotated.at(10, 5, 0), annotated.at(10, 5, 1));
+}
+
+}  // namespace
+}  // namespace vs::app

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "fault/campaign.h"
+#include "fault/coverage.h"
+
+namespace vs::fault {
+namespace {
+
+// A tiny deterministic workload with representative fault-site structure:
+// guarded reads, integer data flow, a control value, and saturated output.
+img::image_u8 tiny_workload() {
+  img::image_u8 out(8, 8, 1);
+  static const img::image_u8 source = [] {
+    img::image_u8 im(8, 8, 1);
+    for (std::size_t i = 0; i < im.size(); ++i) {
+      im[i] = static_cast<std::uint8_t>(i * 3);
+    }
+    return im;
+  }();
+  const auto limit = static_cast<std::int64_t>(rt::ctrl(8));
+  for (std::int64_t y = 0; y < limit; ++y) {
+    for (std::int64_t x = 0; x < 8; ++x) {
+      const std::size_t at =
+          rt::idx(y * 8 + x, source.size());
+      const int v = rt::g32(source[at] * 2);
+      const double scaled = rt::f64(static_cast<double>(v) * 0.5);
+      out[rt::idx(y * 8 + x, out.size())] =
+          static_cast<std::uint8_t>(std::min(255.0, std::max(0.0, scaled)));
+    }
+  }
+  return out;
+}
+
+campaign_config quick_config(int injections = 200) {
+  campaign_config config;
+  config.injections = injections;
+  config.seed = 99;
+  config.threads = 1;
+  return config;
+}
+
+TEST(Campaign, GoldenMatchesDirectExecution) {
+  const auto direct = tiny_workload();
+  const auto result = run_campaign(tiny_workload, quick_config(4));
+  EXPECT_EQ(result.golden, direct);
+}
+
+TEST(Campaign, RecordsOneResultPerInjection) {
+  const auto result = run_campaign(tiny_workload, quick_config(150));
+  EXPECT_EQ(result.records.size(), 150u);
+  EXPECT_EQ(result.rates.experiments, 150u);
+}
+
+TEST(Campaign, DeterministicAcrossRuns) {
+  const auto a = run_campaign(tiny_workload, quick_config(100));
+  const auto b = run_campaign(tiny_workload, quick_config(100));
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].result, b.records[i].result) << "record " << i;
+    EXPECT_EQ(a.records[i].plan.target, b.records[i].plan.target);
+  }
+}
+
+TEST(Campaign, ProducesMultipleOutcomeKinds) {
+  auto config = quick_config(400);
+  config.liveness.gpr_live = 1.0;  // every strike hits a live value
+  const auto result = run_campaign(tiny_workload, config);
+  EXPECT_GT(result.rates.masked, 0u);
+  EXPECT_GT(result.rates.sdc, 0u);
+  EXPECT_GT(result.rates.crash_segfault, 0u);
+}
+
+TEST(Campaign, RatesSumToExperiments) {
+  const auto result = run_campaign(tiny_workload, quick_config(250));
+  const auto& r = result.rates;
+  EXPECT_EQ(r.masked + r.sdc + r.crash_segfault + r.crash_abort + r.hang,
+            r.experiments);
+}
+
+TEST(Campaign, ZeroLivenessMasksEverything) {
+  auto config = quick_config(100);
+  config.liveness.gpr_live = 0.0;
+  const auto result = run_campaign(tiny_workload, config);
+  EXPECT_EQ(result.rates.masked, 100u);
+  for (const auto& record : result.records) {
+    EXPECT_FALSE(record.register_live);
+  }
+}
+
+TEST(Campaign, FprCampaignTargetsFpValues) {
+  auto config = quick_config(200);
+  config.cls = rt::reg_class::fpr;
+  config.liveness.fpr_live = 1.0;
+  const auto result = run_campaign(tiny_workload, config);
+  // FP corruption flows through the clamp: mix of masked and SDC, but the
+  // guarded-address crashes of GPR campaigns cannot happen here.
+  EXPECT_EQ(result.rates.crash_segfault, 0u);
+  EXPECT_GT(result.rates.sdc, 0u);
+  EXPECT_GT(result.rates.masked, 0u);
+}
+
+TEST(Campaign, HangDetectedViaWatchdog) {
+  auto config = quick_config(500);
+  config.liveness.gpr_live = 1.0;
+  config.step_budget_factor = 5.0;
+  const auto result = run_campaign(tiny_workload, config);
+  // The control-value site (loop bound) occasionally produces runaways.
+  // With 500 experiments over ~300 sites we expect at least one.
+  EXPECT_GT(result.rates.hang + result.rates.crash_segfault +
+                result.rates.crash_abort,
+            0u);
+}
+
+TEST(Campaign, SdcOutputsRetainedWhenRequested) {
+  auto config = quick_config(300);
+  config.liveness.gpr_live = 1.0;
+  config.keep_sdc_outputs = true;
+  const auto result = run_campaign(tiny_workload, config);
+  EXPECT_EQ(result.sdc_outputs.size(), result.rates.sdc);
+  for (const auto& [index, image] : result.sdc_outputs) {
+    EXPECT_EQ(result.records[index].result, outcome::sdc);
+    EXPECT_FALSE(image == result.golden);
+  }
+}
+
+TEST(Campaign, ParallelExecutionMatchesSequential) {
+  auto sequential = quick_config(120);
+  auto parallel = quick_config(120);
+  parallel.threads = 4;
+  const auto a = run_campaign(tiny_workload, sequential);
+  const auto b = run_campaign(tiny_workload, parallel);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].result, b.records[i].result);
+  }
+}
+
+TEST(Campaign, ConvergenceIsPrefixConsistent) {
+  const auto result = run_campaign(tiny_workload, quick_config(200));
+  const auto curves = result.convergence({50, 100, 200});
+  ASSERT_EQ(curves.size(), 3u);
+  EXPECT_EQ(curves[0].experiments, 50u);
+  EXPECT_EQ(curves[1].experiments, 100u);
+  EXPECT_EQ(curves[2].experiments, 200u);
+  // The final checkpoint equals the campaign totals.
+  EXPECT_EQ(curves[2].masked, result.rates.masked);
+  EXPECT_EQ(curves[2].sdc, result.rates.sdc);
+}
+
+TEST(Campaign, ScopedCampaignRequiresScopeOps) {
+  auto config = quick_config(10);
+  config.scoped = true;
+  config.scope = rt::fn::warp;  // tiny_workload has no warp scope
+  config.include_remap_scope = false;
+  EXPECT_THROW((void)run_campaign(tiny_workload, config), invalid_argument);
+}
+
+TEST(Campaign, ScopedCampaignFiresInScope) {
+  auto scoped_workload = [] {
+    img::image_u8 out(4, 4, 1);
+    {
+      rt::scope in(rt::fn::warp);
+      for (int i = 0; i < 16; ++i) {
+        out[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(rt::g32(i * 10));
+      }
+    }
+    for (int i = 0; i < 100; ++i) (void)rt::g64(i);  // out-of-scope noise
+    return out;
+  };
+  auto config = quick_config(100);
+  config.scoped = true;
+  config.scope = rt::fn::warp;
+  config.include_remap_scope = false;
+  config.liveness.gpr_live = 1.0;
+  const auto result = run_campaign(scoped_workload, config);
+  // In-scope values feed the output directly: flips within the low 8 bits
+  // (1/8 of the 64-bit register) corrupt the stored u8; higher bits are
+  // truncated away (masked).
+  EXPECT_GT(result.rates.sdc, 4u);
+  EXPECT_EQ(result.rates.crash_segfault, 0u);
+}
+
+TEST(Campaign, NegativeInjectionCountThrows) {
+  auto config = quick_config(-1);
+  EXPECT_THROW((void)run_campaign(tiny_workload, config), invalid_argument);
+}
+
+TEST(OutcomeRates, RateComputation) {
+  outcome_rates rates;
+  rates.add(outcome::masked);
+  rates.add(outcome::masked);
+  rates.add(outcome::sdc);
+  rates.add(outcome::crash_segfault);
+  EXPECT_DOUBLE_EQ(rates.rate(outcome::masked), 0.5);
+  EXPECT_DOUBLE_EQ(rates.rate(outcome::sdc), 0.25);
+  EXPECT_DOUBLE_EQ(rates.crash_rate(), 0.25);
+}
+
+TEST(OutcomeRates, EmptyRatesAreZero) {
+  outcome_rates rates;
+  EXPECT_DOUBLE_EQ(rates.rate(outcome::sdc), 0.0);
+  EXPECT_DOUBLE_EQ(rates.crash_rate(), 0.0);
+}
+
+TEST(OutcomeNames, Distinct) {
+  EXPECT_STRNE(outcome_name(outcome::masked), outcome_name(outcome::sdc));
+  EXPECT_STRNE(outcome_name(outcome::crash_segfault),
+               outcome_name(outcome::crash_abort));
+}
+
+TEST(Coverage, HistogramsCountPlans) {
+  const auto result = run_campaign(tiny_workload, quick_config(320));
+  const auto coverage = analyze_coverage(result.records, 32);
+  std::size_t total = 0;
+  for (auto v : coverage.per_register) total += v;
+  EXPECT_EQ(total, 320u);
+  total = 0;
+  for (auto v : coverage.per_bit) total += v;
+  EXPECT_EQ(total, 320u);
+}
+
+TEST(Coverage, LargeCampaignIsRoughlyUniform) {
+  const auto result = run_campaign(tiny_workload, quick_config(640));
+  const auto coverage = analyze_coverage(result.records, 32);
+  // Sampling floor for 640 draws over 32 bins is CV ~ sqrt(32/640) ~ 0.22.
+  EXPECT_LT(coverage.register_cv, 0.5);
+  EXPECT_LT(coverage.bit_cv, 0.6);
+}
+
+TEST(Coverage, CoefficientOfVariation) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({5, 5, 5, 5}), 0.0);
+  EXPECT_GT(coefficient_of_variation({0, 10}), 0.9);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({}), 0.0);
+}
+
+TEST(RunOneInjection, LibraryPreconditionAfterInjectionIsAbort) {
+  // Corrupted state hitting an internal precondition is classified as the
+  // application aborting, not rethrown out of the campaign.
+  auto work = [] {
+    const int v = rt::g32(5);
+    if (v != 5) throw invalid_argument("internal precondition violated");
+    img::image_u8 out(2, 2, 1);
+    out.at(0, 0) = static_cast<std::uint8_t>(v);
+    return out;
+  };
+  rt::fault_plan plan;
+  plan.target = 0;
+  plan.bit = 1;  // 5 ^ 2 = 7: precondition trips
+  const auto golden = [&] {
+    rt::session s;
+    return work();
+  }();
+  const auto record = run_one_injection(work, plan, ~0ULL, golden, nullptr);
+  EXPECT_EQ(record.result, outcome::crash_abort);
+  EXPECT_TRUE(record.fired);
+}
+
+TEST(RunOneInjection, PreconditionWithoutInjectionStillPropagates) {
+  auto broken = []() -> img::image_u8 {
+    throw invalid_argument("bug: always throws");
+  };
+  rt::fault_plan plan;
+  plan.target = ~0ULL;  // never fires
+  EXPECT_THROW(
+      (void)run_one_injection(broken, plan, ~0ULL, img::image_u8{}, nullptr),
+      invalid_argument);
+}
+
+TEST(RunOneInjection, RecordsFiredScopeAndKind) {
+  auto work = [] {
+    img::image_u8 out(2, 2, 1);
+    rt::scope in(rt::fn::match);
+    out.at(0, 0) = static_cast<std::uint8_t>(rt::g32(9));
+    return out;
+  };
+  rt::fault_plan plan;
+  plan.target = 0;
+  plan.bit = 0;
+  const auto golden = [&] {
+    rt::session s;
+    return work();
+  }();
+  const auto record = run_one_injection(work, plan, ~0ULL, golden, nullptr);
+  EXPECT_TRUE(record.fired);
+  EXPECT_EQ(record.fired_scope, rt::fn::match);
+  EXPECT_EQ(record.fired_kind, rt::op::int_alu);
+}
+
+TEST(RunOneInjection, ClassifiesMaskWhenNothingFires) {
+  rt::fault_plan plan;
+  plan.target = ~0ULL;  // beyond any op count: never fires
+  const auto golden = tiny_workload();
+  const auto record =
+      run_one_injection(tiny_workload, plan, ~0ULL, golden, nullptr);
+  EXPECT_EQ(record.result, outcome::masked);
+  EXPECT_FALSE(record.fired);
+}
+
+}  // namespace
+}  // namespace vs::fault

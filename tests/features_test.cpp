@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "features/fast.h"
+#include "features/orb.h"
+#include "image/draw.h"
+
+namespace vs::feat {
+namespace {
+
+// A frame with a single bright square: its corners are FAST corners.
+img::image_u8 square_frame(int w = 64, int h = 64) {
+  img::image_u8 im(w, h, 1, 60);
+  img::fill_rect(im, w / 2 - 8, h / 2 - 8, 16, 16, img::color{220, 220, 220});
+  return im;
+}
+
+TEST(Fast, FlatImageHasNoCorners) {
+  img::image_u8 flat(64, 64, 1, 128);
+  EXPECT_TRUE(fast_detect(flat, fast_params{}).empty());
+}
+
+TEST(Fast, DetectsSquareCorners) {
+  fast_params params;
+  params.border = 8;
+  const auto keypoints = fast_detect(square_frame(), params);
+  ASSERT_FALSE(keypoints.empty());
+  // Every detection must be near one of the four square corners.
+  for (const auto& kp : keypoints) {
+    const double dx = std::min(std::abs(kp.x - 24.0), std::abs(kp.x - 39.0));
+    const double dy = std::min(std::abs(kp.y - 24.0), std::abs(kp.y - 39.0));
+    EXPECT_LT(dx, 4.0);
+    EXPECT_LT(dy, 4.0);
+  }
+}
+
+TEST(Fast, ScoreZeroOnFlat) {
+  img::image_u8 flat(16, 16, 1, 90);
+  EXPECT_EQ(fast_score(flat, 8, 8, 15), 0);
+}
+
+TEST(Fast, ScorePositiveOnIsolatedDot) {
+  img::image_u8 im(16, 16, 1, 50);
+  img::fill_rect(im, 7, 7, 2, 2, img::color{250, 250, 250});
+  EXPECT_GT(fast_score(im, 7, 7, 15), 0);
+}
+
+TEST(Fast, HigherThresholdDetectsFewer) {
+  img::image_u8 im = square_frame();
+  fast_params loose;
+  loose.threshold = 8;
+  loose.border = 8;
+  fast_params strict = loose;
+  strict.threshold = 120;
+  EXPECT_GE(fast_detect(im, loose).size(), fast_detect(im, strict).size());
+}
+
+TEST(Fast, MaxKeypointsCaps) {
+  // Dense impulse grid: many corners.
+  img::image_u8 im(96, 96, 1, 40);
+  for (int y = 12; y < 84; y += 6) {
+    for (int x = 12; x < 84; x += 6) {
+      img::fill_rect(im, x, y, 2, 2, img::color{240, 240, 240});
+    }
+  }
+  fast_params params;
+  params.border = 8;
+  params.max_keypoints = 10;
+  const auto keypoints = fast_detect(im, params);
+  EXPECT_LE(keypoints.size(), 10u);
+  EXPECT_GE(keypoints.size(), 5u);
+}
+
+TEST(Fast, ResultsSortedByScore) {
+  img::image_u8 im(96, 96, 1, 40);
+  for (int y = 12; y < 84; y += 8) {
+    for (int x = 12; x < 84; x += 8) {
+      img::fill_rect(im, x, y, 2, 2, img::color{240, 240, 240});
+    }
+  }
+  fast_params params;
+  params.border = 8;
+  const auto keypoints = fast_detect(im, params);
+  for (std::size_t i = 1; i < keypoints.size(); ++i) {
+    EXPECT_GE(keypoints[i - 1].score, keypoints[i].score);
+  }
+}
+
+TEST(Fast, RespectsBorder) {
+  img::image_u8 im(64, 64, 1, 40);
+  img::fill_rect(im, 2, 2, 2, 2, img::color{240, 240, 240});  // near edge
+  fast_params params;
+  params.border = 10;
+  EXPECT_TRUE(fast_detect(im, params).empty());
+}
+
+TEST(Fast, GrayOnlyInput) {
+  img::image_u8 rgb(32, 32, 3);
+  EXPECT_THROW((void)fast_detect(rgb, fast_params{}), invalid_argument);
+}
+
+TEST(Hamming, IdenticalIsZero) {
+  descriptor d;
+  d.bits = {0x123456789abcdef0ULL, 1, 2, 3};
+  EXPECT_EQ(hamming_distance(d, d), 0);
+}
+
+TEST(Hamming, ComplementIs256) {
+  descriptor a;
+  descriptor b;
+  for (std::size_t i = 0; i < 4; ++i) {
+    a.bits[i] = 0;
+    b.bits[i] = ~0ULL;
+  }
+  EXPECT_EQ(hamming_distance(a, b), 256);
+}
+
+TEST(Hamming, CountsSingleBit) {
+  descriptor a;
+  descriptor b = a;
+  b.bits[2] ^= 1ULL << 17;
+  EXPECT_EQ(hamming_distance(a, b), 1);
+}
+
+TEST(Hamming, BoundedEarlyExit) {
+  descriptor a;
+  descriptor b;
+  b.bits[0] = ~0ULL;  // 64 differing bits in the first word
+  EXPECT_EQ(hamming_distance_bounded(a, b, 10), 11);
+  EXPECT_EQ(hamming_distance_bounded(a, b, 64), 64);
+  EXPECT_EQ(hamming_distance_bounded(a, a, 10), 0);
+}
+
+TEST(Orb, OrientationPointsTowardBrightSide) {
+  // Patch bright on the right: centroid is at positive x, angle ~ 0.
+  img::image_u8 im(32, 32, 1, 10);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 17; x < 32; ++x) im.at(x, y) = 200;
+  }
+  const float angle = intensity_centroid_angle(im, 16, 16, 7);
+  EXPECT_NEAR(angle, 0.0f, 0.2f);
+}
+
+TEST(Orb, OrientationRotatesWithContent) {
+  // Bright on top (negative y): angle ~ -pi/2.
+  img::image_u8 im(32, 32, 1, 10);
+  for (int y = 0; y < 15; ++y) {
+    for (int x = 0; x < 32; ++x) im.at(x, y) = 200;
+  }
+  const float angle = intensity_centroid_angle(im, 16, 16, 7);
+  EXPECT_NEAR(angle, -static_cast<float>(M_PI) / 2.0f, 0.2f);
+}
+
+TEST(Orb, DescriptorDeterministic) {
+  const auto im = square_frame();
+  keypoint kp{32.0f, 32.0f, 1.0f, 0.3f};
+  EXPECT_EQ(orb_describe_one(im, kp, 7), orb_describe_one(im, kp, 7));
+}
+
+TEST(Orb, DescriptorDiffersAcrossContent) {
+  // Two different textures inside the sampling patch.
+  img::image_u8 a(64, 64, 1);
+  img::image_u8 b(64, 64, 1);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      a.at(x, y) = static_cast<std::uint8_t>((x * 37 + y * 11) % 256);
+      b.at(x, y) = static_cast<std::uint8_t>((x * 5 + y * 53) % 256);
+    }
+  }
+  keypoint kp{32.0f, 32.0f, 1.0f, 0.0f};
+  const auto da = orb_describe_one(a, kp, 7);
+  const auto db = orb_describe_one(b, kp, 7);
+  EXPECT_GT(hamming_distance(da, db), 40);
+}
+
+TEST(Orb, ExtractProducesDescriptorPerKeypoint) {
+  orb_params params;
+  params.fast.border = 18;
+  const auto features = orb_extract(square_frame(96, 96), params);
+  EXPECT_EQ(features.keypoints.size(), features.descriptors.size());
+}
+
+TEST(Orb, ExtractOnTranslatedImageMatchesDescriptors) {
+  // The same physical corner viewed in two frames shifted by 4 px must
+  // produce near-identical descriptors (the property matching relies on).
+  img::image_u8 a(96, 96, 1, 60);
+  img::fill_rect(a, 40, 40, 14, 14, img::color{220, 220, 220});
+  img::image_u8 b(96, 96, 1, 60);
+  img::fill_rect(b, 44, 40, 14, 14, img::color{220, 220, 220});
+  orb_params params;
+  const auto fa = orb_extract(a, params);
+  const auto fb = orb_extract(b, params);
+  ASSERT_FALSE(fa.empty());
+  ASSERT_FALSE(fb.empty());
+  int best = 257;
+  for (const auto& da : fa.descriptors) {
+    for (const auto& db : fb.descriptors) {
+      best = std::min(best, hamming_distance(da, db));
+    }
+  }
+  EXPECT_LT(best, 40);
+}
+
+TEST(Orb, GrayOnlyInput) {
+  img::image_u8 rgb(64, 64, 3);
+  EXPECT_THROW((void)orb_extract(rgb, orb_params{}), invalid_argument);
+}
+
+}  // namespace
+}  // namespace vs::feat

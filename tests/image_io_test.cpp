@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/error.h"
+#include "image/image_io.h"
+
+namespace vs::img {
+namespace {
+
+image_u8 gradient(int w, int h, int channels) {
+  image_u8 im(w, h, channels);
+  for (std::size_t i = 0; i < im.size(); ++i) {
+    im[i] = static_cast<std::uint8_t>(i * 7 % 256);
+  }
+  return im;
+}
+
+TEST(ImageIo, RoundTripGray) {
+  const image_u8 original = gradient(13, 7, 1);
+  EXPECT_EQ(decode_pnm(encode_pnm(original)), original);
+}
+
+TEST(ImageIo, RoundTripRgb) {
+  const image_u8 original = gradient(5, 9, 3);
+  EXPECT_EQ(decode_pnm(encode_pnm(original)), original);
+}
+
+TEST(ImageIo, EncodeUsesP5ForGrayP6ForRgb) {
+  EXPECT_EQ(encode_pnm(gradient(2, 2, 1)).substr(0, 2), "P5");
+  EXPECT_EQ(encode_pnm(gradient(2, 2, 3)).substr(0, 2), "P6");
+}
+
+TEST(ImageIo, DecodesAsciiP2) {
+  const std::string ascii = "P2\n2 2\n255\n0 64\n128 255\n";
+  const image_u8 im = decode_pnm(ascii);
+  EXPECT_EQ(im.width(), 2);
+  EXPECT_EQ(im.at(1, 0), 64);
+  EXPECT_EQ(im.at(1, 1), 255);
+}
+
+TEST(ImageIo, DecodesAsciiP3) {
+  const std::string ascii = "P3\n1 1\n255\n10 20 30\n";
+  const image_u8 im = decode_pnm(ascii);
+  EXPECT_EQ(im.channels(), 3);
+  EXPECT_EQ(im.at(0, 0, 2), 30);
+}
+
+TEST(ImageIo, SkipsHeaderComments) {
+  const std::string ascii = "P2\n# a comment\n2 1\n# another\n255\n1 2\n";
+  const image_u8 im = decode_pnm(ascii);
+  EXPECT_EQ(im.at(0, 0), 1);
+  EXPECT_EQ(im.at(1, 0), 2);
+}
+
+TEST(ImageIo, RejectsBadMagic) {
+  EXPECT_THROW((void)decode_pnm("P9\n1 1\n255\n0"), io_error);
+  EXPECT_THROW((void)decode_pnm("hello"), io_error);
+}
+
+TEST(ImageIo, RejectsTruncatedBinary) {
+  std::string bytes = encode_pnm(gradient(4, 4, 1));
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW((void)decode_pnm(bytes), io_error);
+}
+
+TEST(ImageIo, RejectsBadMaxval) {
+  EXPECT_THROW((void)decode_pnm("P2\n1 1\n70000\n0\n"), io_error);
+  EXPECT_THROW((void)decode_pnm("P2\n1 1\n0\n0\n"), io_error);
+}
+
+TEST(ImageIo, RejectsUnreasonableDimensions) {
+  EXPECT_THROW((void)decode_pnm("P2\n0 5\n255\n"), io_error);
+  EXPECT_THROW((void)decode_pnm("P2\n100000 100000\n255\n"), io_error);
+}
+
+TEST(ImageIo, EncodeRejectsEmpty) {
+  EXPECT_THROW((void)encode_pnm(image_u8{}), invalid_argument);
+}
+
+TEST(ImageIo, SaveAndLoadFile) {
+  const image_u8 original = gradient(8, 6, 1);
+  const std::string path = ::testing::TempDir() + "/vs_io_test.pgm";
+  save_pnm(original, path);
+  EXPECT_EQ(load_pnm(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_pnm("/nonexistent/path/nope.pgm"), io_error);
+}
+
+}  // namespace
+}  // namespace vs::img

@@ -1,0 +1,126 @@
+// Cross-module integration tests: the full application under
+// instrumentation, fault campaigns over the real pipeline, and the
+// experiment-level properties the paper's evaluation depends on.
+#include <gtest/gtest.h>
+
+#include "app/pipeline.h"
+#include "app/wp.h"
+#include "fault/campaign.h"
+#include "perf/profiler.h"
+#include "quality/metric.h"
+#include "video/generator.h"
+
+namespace vs {
+namespace {
+
+std::shared_ptr<const video::synthetic_video> small_input(video::input_id id) {
+  static const auto one = video::make_input(video::input_id::input1, 8);
+  static const auto two = video::make_input(video::input_id::input2, 8);
+  return id == video::input_id::input1 ? one : two;
+}
+
+TEST(Integration, InstrumentedRunMatchesUninstrumented) {
+  const auto source = small_input(video::input_id::input2);
+  const auto plain = app::summarize(*source, app::pipeline_config{});
+  rt::session session;
+  const auto instrumented = app::summarize(*source, app::pipeline_config{});
+  EXPECT_EQ(plain.panorama, instrumented.panorama);
+  EXPECT_GT(session.stats().steps(), 1000000u);
+}
+
+TEST(Integration, ProfileIsWarpDominated) {
+  const auto source = small_input(video::input_id::input2);
+  rt::session session;
+  (void)app::summarize(*source, app::pipeline_config{});
+  const auto profile = perf::function_profile(session.stats());
+  const double warp = perf::warp_fraction(profile);
+  EXPECT_GT(warp, 0.15);  // the hot function is a leading cost
+  EXPECT_GT(perf::opencv_fraction(profile), 0.5);
+}
+
+TEST(Integration, ApproximationsAreCheaperOrEqual) {
+  const auto source = small_input(video::input_id::input2);
+  double baseline_cycles = 0.0;
+  for (const auto alg : {app::algorithm::vs, app::algorithm::vs_kds}) {
+    app::pipeline_config config;
+    config.approx.alg = alg;
+    rt::session session;
+    (void)app::summarize(*source, config);
+    const auto report = perf::evaluate(session.stats());
+    if (alg == app::algorithm::vs) {
+      baseline_cycles = report.cycles;
+    } else {
+      EXPECT_LT(report.cycles, baseline_cycles);
+    }
+  }
+}
+
+TEST(Integration, GprCampaignOnRealPipelineProducesPaperShape) {
+  const auto source = small_input(video::input_id::input2);
+  fault::campaign_config config;
+  config.injections = 150;
+  config.seed = 7;
+  config.threads = 1;
+  const auto result = fault::run_campaign(
+      [source] { return app::summarize(*source, app::pipeline_config{}).panorama; },
+      config);
+  // Shape assertions, loose enough to be stable at 150 experiments.
+  EXPECT_GT(result.rates.rate(fault::outcome::masked), 0.35);
+  EXPECT_GT(result.rates.crash_rate(), 0.2);
+  EXPECT_LT(result.rates.rate(fault::outcome::sdc), 0.15);
+}
+
+TEST(Integration, FprCampaignIsOverwhelminglyMasked) {
+  const auto source = small_input(video::input_id::input2);
+  fault::campaign_config config;
+  config.cls = rt::reg_class::fpr;
+  config.injections = 150;
+  config.seed = 11;
+  config.threads = 1;
+  const auto result = fault::run_campaign(
+      [source] { return app::summarize(*source, app::pipeline_config{}).panorama; },
+      config);
+  EXPECT_GT(result.rates.rate(fault::outcome::masked), 0.95);
+  EXPECT_EQ(result.rates.crash_rate(), 0.0);
+}
+
+TEST(Integration, ScopedCampaignOnWpRuns) {
+  const auto source = small_input(video::input_id::input1);
+  const img::image_u8 frame = source->frame(0);
+  const geo::mat3 transform = app::wp_default_transform();
+  fault::campaign_config config;
+  config.injections = 100;
+  config.seed = 13;
+  config.threads = 1;
+  config.scoped = true;
+  config.scope = rt::fn::warp;
+  const auto result = fault::run_campaign(
+      [frame, transform] { return app::run_wp(frame, transform); }, config);
+  EXPECT_EQ(result.rates.experiments, 100u);
+}
+
+TEST(Integration, QualityMetricOnApproxGoldens) {
+  const auto source = small_input(video::input_id::input2);
+  const auto vs = app::summarize(*source, app::pipeline_config{});
+  app::pipeline_config sm;
+  sm.approx.alg = app::algorithm::vs_sm;
+  const auto approx = app::summarize(*source, sm);
+  const auto q = quality::compare_images(vs.panorama, approx.panorama);
+  // The approximate output is similar but not beyond the egregious limit.
+  EXPECT_FALSE(q.egregious);
+}
+
+TEST(Integration, CampaignGoldenIdenticalToPlainRun) {
+  const auto source = small_input(video::input_id::input2);
+  const auto plain = app::summarize(*source, app::pipeline_config{}).panorama;
+  fault::campaign_config config;
+  config.injections = 1;
+  config.threads = 1;
+  const auto result = fault::run_campaign(
+      [source] { return app::summarize(*source, app::pipeline_config{}).panorama; },
+      config);
+  EXPECT_EQ(result.golden, plain);
+}
+
+}  // namespace
+}  // namespace vs

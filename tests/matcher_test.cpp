@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "match/matcher.h"
+
+namespace vs::match {
+namespace {
+
+feat::descriptor random_descriptor(rng& gen) {
+  feat::descriptor d;
+  for (auto& word : d.bits) word = gen.next();
+  return d;
+}
+
+feat::frame_features random_features(std::size_t count, std::uint64_t seed) {
+  rng gen(seed);
+  feat::frame_features f;
+  for (std::size_t i = 0; i < count; ++i) {
+    f.keypoints.push_back({static_cast<float>(gen.uniform(100)),
+                           static_cast<float>(gen.uniform(100)), 1.0f, 0.0f});
+    f.descriptors.push_back(random_descriptor(gen));
+  }
+  return f;
+}
+
+// Flips `bits` random bits of each descriptor (simulating viewing noise).
+feat::frame_features perturb(const feat::frame_features& src, int bits,
+                             std::uint64_t seed) {
+  rng gen(seed);
+  feat::frame_features out = src;
+  for (auto& d : out.descriptors) {
+    for (int b = 0; b < bits; ++b) {
+      const auto which = gen.uniform(256);
+      d.bits[which >> 6] ^= 1ULL << (which & 63);
+    }
+  }
+  return out;
+}
+
+TEST(Matcher, IdenticalSetsMatchOneToOne) {
+  const auto features = random_features(20, 5);
+  const auto matches =
+      match_descriptors(features, features, match_params{});
+  ASSERT_EQ(matches.size(), 20u);
+  for (const auto& m : matches) {
+    EXPECT_EQ(m.query, m.train);
+    EXPECT_EQ(m.distance, 0);
+  }
+}
+
+TEST(Matcher, FindsPerturbedCounterparts) {
+  const auto train = random_features(30, 7);
+  const auto query = perturb(train, 8, 11);
+  const auto matches = match_descriptors(query, train, match_params{});
+  EXPECT_GT(matches.size(), 25u);
+  for (const auto& m : matches) EXPECT_EQ(m.query, m.train);
+}
+
+TEST(Matcher, RatioTestRejectsAmbiguous) {
+  // Two identical train descriptors: nearest and second nearest tie, the
+  // ratio test must reject the match.
+  rng gen(13);
+  feat::frame_features train;
+  const auto d = random_descriptor(gen);
+  for (int i = 0; i < 2; ++i) {
+    train.keypoints.push_back({0.0f, 0.0f, 1.0f, 0.0f});
+    train.descriptors.push_back(d);
+  }
+  feat::frame_features query;
+  query.keypoints.push_back({0.0f, 0.0f, 1.0f, 0.0f});
+  query.descriptors.push_back(d);
+  EXPECT_TRUE(match_descriptors(query, train, match_params{}).empty());
+}
+
+TEST(Matcher, SimpleModeAcceptsAmbiguous) {
+  rng gen(13);
+  feat::frame_features train;
+  const auto d = random_descriptor(gen);
+  for (int i = 0; i < 2; ++i) {
+    train.keypoints.push_back({0.0f, 0.0f, 1.0f, 0.0f});
+    train.descriptors.push_back(d);
+  }
+  feat::frame_features query;
+  query.keypoints.push_back({0.0f, 0.0f, 1.0f, 0.0f});
+  query.descriptors.push_back(d);
+  match_params params;
+  params.mode = match_mode::simple;
+  params.max_distance = 32;
+  EXPECT_EQ(match_descriptors(query, train, params).size(), 1u);
+}
+
+TEST(Matcher, SimpleModeEnforcesDistanceBound) {
+  const auto train = random_features(10, 17);
+  const auto query = perturb(train, 60, 19);  // far from everything
+  match_params params;
+  params.mode = match_mode::simple;
+  params.max_distance = 10;
+  EXPECT_TRUE(match_descriptors(query, train, params).empty());
+}
+
+TEST(Matcher, SimpleModeDistanceIsNearestNeighbour) {
+  const auto train = random_features(15, 23);
+  const auto query = perturb(train, 4, 29);
+  match_params params;
+  params.mode = match_mode::simple;
+  params.max_distance = 40;
+  const auto matches = match_descriptors(query, train, params);
+  ASSERT_FALSE(matches.empty());
+  for (const auto& m : matches) {
+    const int d = feat::hamming_distance(
+        query.descriptors[static_cast<std::size_t>(m.query)],
+        train.descriptors[static_cast<std::size_t>(m.train)]);
+    EXPECT_EQ(m.distance, d);
+    EXPECT_LE(d, 40);
+  }
+}
+
+TEST(Matcher, EmptyInputsProduceNoMatches) {
+  const auto features = random_features(5, 31);
+  EXPECT_TRUE(
+      match_descriptors(feat::frame_features{}, features, match_params{})
+          .empty());
+  EXPECT_TRUE(
+      match_descriptors(features, feat::frame_features{}, match_params{})
+          .empty());
+}
+
+TEST(Matcher, ToPointPairsMapsCoordinates) {
+  feat::frame_features query;
+  query.keypoints.push_back({1.0f, 2.0f, 1.0f, 0.0f});
+  query.descriptors.emplace_back();
+  feat::frame_features train;
+  train.keypoints.push_back({3.0f, 4.0f, 1.0f, 0.0f});
+  train.descriptors.emplace_back();
+  const std::vector<match> matches = {{0, 0, 0}};
+  const auto pairs = to_point_pairs(matches, query, train);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].src, (geo::vec2{1.0, 2.0}));
+  EXPECT_EQ(pairs[0].dst, (geo::vec2{3.0, 4.0}));
+}
+
+TEST(Matcher, ToPointPairsRejectsBadIndices) {
+  const auto features = random_features(2, 37);
+  const std::vector<match> bad = {{0, 5, 0}};
+  EXPECT_THROW((void)to_point_pairs(bad, features, features),
+               invalid_argument);
+}
+
+TEST(Matcher, AtMostOneMatchPerQuery) {
+  const auto train = random_features(25, 41);
+  const auto query = perturb(train, 6, 43);
+  const auto matches = match_descriptors(query, train, match_params{});
+  std::vector<bool> seen(query.size(), false);
+  for (const auto& m : matches) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(m.query)]);
+    seen[static_cast<std::size_t>(m.query)] = true;
+  }
+}
+
+}  // namespace
+}  // namespace vs::match

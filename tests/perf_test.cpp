@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "perf/profiler.h"
+
+namespace vs::perf {
+namespace {
+
+rt::counters make_counters() {
+  rt::counters c;
+  c.by_fn[static_cast<int>(rt::fn::warp)][static_cast<int>(rt::op::fp_alu)] =
+      1000;
+  c.by_fn[static_cast<int>(rt::fn::remap)][static_cast<int>(rt::op::mem)] =
+      500;
+  c.by_fn[static_cast<int>(rt::fn::match)][static_cast<int>(rt::op::int_alu)] =
+      400;
+  c.by_fn[static_cast<int>(rt::fn::other)][static_cast<int>(rt::op::branch)] =
+      100;
+  return c;
+}
+
+TEST(PerfModel, InstructionCountSumsAllKinds) {
+  const auto report = evaluate(make_counters());
+  EXPECT_EQ(report.instructions, 2000u);
+}
+
+TEST(PerfModel, CyclesWeightedByKind) {
+  cost_model model;
+  model.int_alu_cpo = 1.0;
+  model.mem_cpo = 2.0;
+  model.branch_cpo = 3.0;
+  model.fp_alu_cpo = 4.0;
+  const auto report = evaluate(make_counters(), model);
+  EXPECT_DOUBLE_EQ(report.cycles, 400.0 + 1000.0 + 300.0 + 4000.0);
+}
+
+TEST(PerfModel, IpcIsInstructionsPerCycle) {
+  const auto report = evaluate(make_counters());
+  EXPECT_DOUBLE_EQ(report.ipc,
+                   static_cast<double>(report.instructions) / report.cycles);
+}
+
+TEST(PerfModel, EnergyIsPowerTimesTime) {
+  cost_model model;
+  const auto report = evaluate(make_counters(), model);
+  EXPECT_DOUBLE_EQ(report.energy_joules,
+                   report.time_seconds * model.power_watts);
+  EXPECT_DOUBLE_EQ(report.time_seconds,
+                   report.cycles / (model.frequency_ghz * 1e9));
+}
+
+TEST(PerfModel, EmptyCountersProduceZeroes) {
+  const auto report = evaluate(rt::counters{});
+  EXPECT_EQ(report.instructions, 0u);
+  EXPECT_DOUBLE_EQ(report.cycles, 0.0);
+  EXPECT_DOUBLE_EQ(report.ipc, 0.0);
+}
+
+TEST(PerfModel, NormalizedGuardsZeroBaseline) {
+  EXPECT_DOUBLE_EQ(normalized(5.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(normalized(5.0, 0.0), 0.0);
+}
+
+TEST(Profiler, EntriesSortedByCycles) {
+  const auto profile = function_profile(make_counters());
+  for (std::size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_GE(profile[i - 1].cycles, profile[i].cycles);
+  }
+}
+
+TEST(Profiler, FractionsSumToOne) {
+  const auto profile = function_profile(make_counters());
+  double sum = 0.0;
+  for (const auto& entry : profile) sum += entry.fraction;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Profiler, OmitsIdleFunctions) {
+  const auto profile = function_profile(make_counters());
+  for (const auto& entry : profile) {
+    EXPECT_NE(entry.function, rt::fn::fast_detect);
+    EXPECT_GT(entry.ops, 0u);
+  }
+}
+
+TEST(Profiler, OpencvFractionExcludesDecodeAndOther) {
+  const auto profile = function_profile(make_counters());
+  const double opencv = opencv_fraction(profile);
+  EXPECT_GT(opencv, 0.0);
+  EXPECT_LT(opencv, 1.0);  // the `other` branch ops are outside OpenCV
+}
+
+TEST(Profiler, WarpFractionCoversBothHotFunctions) {
+  cost_model model;
+  model.int_alu_cpo = model.mem_cpo = model.branch_cpo = model.fp_alu_cpo =
+      1.0;
+  const auto profile = function_profile(make_counters(), model);
+  EXPECT_NEAR(warp_fraction(profile), 1500.0 / 2000.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vs::perf

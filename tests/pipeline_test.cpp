@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "app/pipeline.h"
+#include "app/wp.h"
+#include "core/error.h"
+#include "video/generator.h"
+
+namespace vs::app {
+namespace {
+
+// Shared small clips so the suite stays fast (scene generation is the
+// expensive part and is cached by make_input's shared_ptr per call site).
+const video::synthetic_video& clip2() {
+  static const auto clip = video::make_input(video::input_id::input2, 10);
+  return *clip;
+}
+const video::synthetic_video& clip1() {
+  static const auto clip = video::make_input(video::input_id::input1, 10);
+  return *clip;
+}
+
+TEST(Pipeline, BaselineStitchesSmoothInput) {
+  const auto result = summarize(clip2(), pipeline_config{});
+  EXPECT_EQ(result.stats.frames_total, 10);
+  EXPECT_GE(result.stats.frames_stitched, 8);
+  EXPECT_GE(result.stats.mini_panoramas, 1);
+  EXPECT_FALSE(result.panorama.empty());
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto a = summarize(clip2(), pipeline_config{});
+  const auto b = summarize(clip2(), pipeline_config{});
+  EXPECT_EQ(a.panorama, b.panorama);
+  EXPECT_EQ(a.stats.frames_stitched, b.stats.frames_stitched);
+}
+
+TEST(Pipeline, PanoramaCoversMoreThanOneFrame) {
+  const auto result = summarize(clip2(), pipeline_config{});
+  EXPECT_GT(result.panorama.width(), clip2().frame_width());
+}
+
+TEST(Pipeline, FrameAccountingIsConsistent) {
+  for (const auto* clip : {&clip1(), &clip2()}) {
+    for (const auto alg : {algorithm::vs, algorithm::vs_rfd,
+                           algorithm::vs_kds, algorithm::vs_sm}) {
+      pipeline_config config;
+      config.approx.alg = alg;
+      const auto result = summarize(*clip, config);
+      EXPECT_EQ(result.stats.frames_stitched + result.stats.frames_discarded +
+                    result.stats.frames_dropped_rfd,
+                result.stats.frames_total)
+          << algorithm_name(alg);
+      EXPECT_EQ(result.stats.mini_panoramas,
+                static_cast<int>(result.mini_panoramas.size()));
+    }
+  }
+}
+
+TEST(Pipeline, RfdDropsRequestedFraction) {
+  pipeline_config config;
+  config.approx.alg = algorithm::vs_rfd;
+  config.approx.rfd_drop_fraction = 0.5;  // large so 10 frames show it
+  const auto result = summarize(clip2(), config);
+  EXPECT_GT(result.stats.frames_dropped_rfd, 0);
+}
+
+TEST(Pipeline, RfdZeroFractionDropsNothing) {
+  pipeline_config config;
+  config.approx.alg = algorithm::vs_rfd;
+  config.approx.rfd_drop_fraction = 0.0;
+  const auto result = summarize(clip2(), config);
+  EXPECT_EQ(result.stats.frames_dropped_rfd, 0);
+}
+
+TEST(Pipeline, KdsReducesKeypointsMatchedOn) {
+  pipeline_config baseline;
+  const auto vs = summarize(clip2(), baseline);
+  pipeline_config kds;
+  kds.approx.alg = algorithm::vs_kds;
+  const auto approx = summarize(clip2(), kds);
+  EXPECT_EQ(vs.stats.keypoints_detected, approx.stats.keypoints_detected);
+  EXPECT_LT(approx.stats.keypoints_matched_on,
+            vs.stats.keypoints_matched_on / 2);
+}
+
+TEST(Pipeline, BaselineMatchesOnAllKeypoints) {
+  const auto result = summarize(clip2(), pipeline_config{});
+  EXPECT_EQ(result.stats.keypoints_detected,
+            result.stats.keypoints_matched_on);
+}
+
+TEST(Pipeline, SmUsesSimpleMatcher) {
+  pipeline_config config;
+  config.approx.alg = algorithm::vs_sm;
+  EXPECT_EQ(config.matcher().mode, match::match_mode::simple);
+  EXPECT_EQ(pipeline_config{}.matcher().mode, match::match_mode::ratio_test);
+}
+
+TEST(Pipeline, ApproximateGoldensDifferFromBaseline) {
+  const auto vs = summarize(clip1(), pipeline_config{});
+  pipeline_config rfd;
+  rfd.approx.alg = algorithm::vs_rfd;
+  rfd.approx.rfd_drop_fraction = 0.3;
+  const auto approx = summarize(clip1(), rfd);
+  EXPECT_FALSE(vs.panorama == approx.panorama);
+}
+
+TEST(Pipeline, Input1FragmentsMoreThanInput2) {
+  const auto one = summarize(clip1(), pipeline_config{});
+  const auto two = summarize(clip2(), pipeline_config{});
+  EXPECT_GE(one.stats.mini_panoramas, two.stats.mini_panoramas);
+}
+
+TEST(Pipeline, CumulativeAlignmentsAreCounted) {
+  const auto result = summarize(clip2(), pipeline_config{});
+  EXPECT_GT(result.stats.homography_alignments +
+                result.stats.affine_alignments,
+            0);
+}
+
+TEST(ParseAlgorithm, AllNamesRoundTrip) {
+  for (const auto alg : {algorithm::vs, algorithm::vs_rfd, algorithm::vs_kds,
+                         algorithm::vs_sm}) {
+    EXPECT_EQ(parse_algorithm(algorithm_name(alg)), alg);
+  }
+}
+
+TEST(ParseAlgorithm, CaseInsensitiveAndShortForms) {
+  EXPECT_EQ(parse_algorithm("vs_rfd"), algorithm::vs_rfd);
+  EXPECT_EQ(parse_algorithm("kds"), algorithm::vs_kds);
+  EXPECT_EQ(parse_algorithm("Sm"), algorithm::vs_sm);
+}
+
+TEST(ParseAlgorithm, UnknownThrows) {
+  EXPECT_THROW((void)parse_algorithm("vs_magic"), invalid_argument);
+}
+
+TEST(Wp, ProducesWarpedOutput) {
+  const auto frame = clip2().frame(0);
+  const auto out = run_wp(frame, wp_default_transform());
+  EXPECT_FALSE(out.empty());
+  EXPECT_GE(out.width(), frame.width() - 2);
+}
+
+TEST(Wp, IdentityTransformKeepsSize) {
+  const auto frame = clip2().frame(0);
+  const auto out = run_wp(frame, geo::mat3::identity());
+  EXPECT_EQ(out.width(), frame.width());
+  EXPECT_EQ(out.height(), frame.height());
+}
+
+TEST(Wp, DeterministicOutput) {
+  const auto frame = clip2().frame(0);
+  EXPECT_EQ(run_wp(frame, wp_default_transform()),
+            run_wp(frame, wp_default_transform()));
+}
+
+TEST(Wp, DegenerateTransformThrows) {
+  const auto frame = clip2().frame(0);
+  EXPECT_THROW((void)run_wp(frame, geo::mat3::translation(1e12, 0.0)),
+               invalid_argument);
+}
+
+}  // namespace
+}  // namespace vs::app

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rt/instrument.h"
+
+namespace vs::rt {
+namespace {
+
+TEST(Instrument, DisabledHooksPassValuesThrough) {
+  ASSERT_FALSE(tls.enabled);
+  EXPECT_EQ(g64(42), 42);
+  EXPECT_EQ(g32(-7), -7);
+  EXPECT_EQ(ctrl(1000), 1000);
+  EXPECT_DOUBLE_EQ(f64(3.25), 3.25);
+  EXPECT_EQ(idx(5, 10), 5u);
+}
+
+TEST(Instrument, SessionEnablesAndRestores) {
+  {
+    session s;
+    EXPECT_TRUE(tls.enabled);
+  }
+  EXPECT_FALSE(tls.enabled);
+}
+
+TEST(Instrument, CountsOpsByKind) {
+  session s;
+  (void)g64(1);
+  (void)g64(2);
+  (void)f64(1.0);
+  (void)idx(0, 4);
+  (void)ctrl(9);
+  const counters& c = s.stats();
+  EXPECT_EQ(c.total(op::int_alu), 2u);
+  EXPECT_EQ(c.total(op::fp_alu), 1u);
+  EXPECT_EQ(c.total(op::mem), 1u);
+  EXPECT_EQ(c.total(op::branch), 1u);
+  EXPECT_EQ(c.steps(), 5u);
+  EXPECT_EQ(c.gpr_ops(), 4u);
+  EXPECT_EQ(c.fpr_ops(), 1u);
+}
+
+TEST(Instrument, HookCountsTrackFaultSites) {
+  session s;
+  (void)g64(1);
+  (void)f64(1.0);
+  (void)idx(0, 4);
+  account(op::int_alu, 1000);  // bulk: no fault sites
+  EXPECT_EQ(s.stats().hooks(reg_class::gpr), 2u);
+  EXPECT_EQ(s.stats().hooks(reg_class::fpr), 1u);
+  EXPECT_EQ(s.stats().total(op::int_alu), 1001u);
+}
+
+TEST(Instrument, ScopeAttribution) {
+  session s;
+  {
+    scope warp_scope(fn::warp);
+    (void)g64(1);
+    {
+      scope remap_scope(fn::remap);
+      (void)g64(1);
+    }
+    (void)g64(1);
+  }
+  (void)g64(1);
+  EXPECT_EQ(s.stats().gpr_ops(fn::warp), 2u);
+  EXPECT_EQ(s.stats().gpr_ops(fn::remap), 1u);
+  EXPECT_EQ(s.stats().gpr_ops(fn::other), 1u);
+}
+
+TEST(Instrument, InjectionFlipsPlannedBit) {
+  fault_plan plan;
+  plan.cls = reg_class::gpr;
+  plan.target = 2;  // the third GPR op
+  plan.bit = 4;
+  session s(plan);
+  EXPECT_EQ(g64(0), 0);
+  EXPECT_EQ(g64(0), 0);
+  EXPECT_EQ(g64(0), 16);  // bit 4 flipped
+  EXPECT_EQ(g64(0), 0);   // exactly once
+  EXPECT_TRUE(s.fired());
+}
+
+TEST(Instrument, InjectionSkipsOtherClass) {
+  fault_plan plan;
+  plan.cls = reg_class::fpr;
+  plan.target = 0;
+  plan.bit = 63;  // sign bit of the double
+  session s(plan);
+  EXPECT_EQ(g64(7), 7);  // GPR hook unaffected by FPR plan
+  EXPECT_DOUBLE_EQ(f64(1.0), -1.0);
+  EXPECT_TRUE(s.fired());
+}
+
+TEST(Instrument, G32FlipAboveBit31IsMaskedByTruncation) {
+  fault_plan plan;
+  plan.target = 0;
+  plan.bit = 40;  // above the int's 32 bits
+  session s(plan);
+  EXPECT_EQ(g32(123), 123);
+  EXPECT_TRUE(s.fired());  // flip applied to the register image, then dead
+}
+
+TEST(Instrument, ScopedInjectionOnlyFiresInScope) {
+  fault_plan plan;
+  plan.target = 0;
+  plan.bit = 0;
+  plan.scoped = true;
+  plan.scope = fn::warp;
+  plan.scope_b = fn::warp;
+  session s(plan);
+  EXPECT_EQ(g64(0), 0);  // out of scope: no fire, no match count
+  {
+    scope in(fn::warp);
+    EXPECT_EQ(g64(0), 1);  // first in-scope op fires
+  }
+  EXPECT_TRUE(s.fired());
+}
+
+TEST(Instrument, ScopedInjectionSecondScopeAccepted) {
+  fault_plan plan;
+  plan.target = 0;
+  plan.bit = 1;
+  plan.scoped = true;
+  plan.scope = fn::warp;
+  plan.scope_b = fn::remap;
+  session s(plan);
+  {
+    scope in(fn::remap);
+    EXPECT_EQ(g64(0), 2);
+  }
+  EXPECT_TRUE(s.fired());
+}
+
+TEST(Instrument, IdxInBounds) {
+  session s;
+  EXPECT_EQ(idx(0, 8), 0u);
+  EXPECT_EQ(idx(7, 8), 7u);
+}
+
+TEST(Instrument, IdxOutOfBoundsWithoutInjectionIsLogicError) {
+  session s;
+  EXPECT_THROW((void)idx(8, 8), std::logic_error);
+  EXPECT_THROW((void)idx(-1, 8), std::logic_error);
+}
+
+TEST(Instrument, IdxNearMissWrapsAfterInjectionFired) {
+  fault_plan plan;
+  plan.target = 0;
+  plan.bit = 3;  // 5 ^ 8 = 13, out of bounds but within slack
+  session s(plan);
+  const std::size_t at = idx(5, 8);
+  EXPECT_TRUE(s.fired());
+  EXPECT_LT(at, 8u);  // wrapped to a mapped (wrong) location
+  EXPECT_EQ(at, 13u % 8u);
+}
+
+TEST(Instrument, IdxFarMissSegfaults) {
+  fault_plan plan;
+  plan.target = 0;
+  plan.bit = 30;  // way beyond slack
+  session s(plan);
+  try {
+    (void)idx(5, 8);
+    FAIL() << "expected crash_error";
+  } catch (const crash_error& e) {
+    EXPECT_EQ(e.kind(), crash_kind::segfault);
+  }
+}
+
+TEST(Instrument, IdxNegativeFarMissAborts) {
+  fault_plan plan;
+  plan.target = 0;
+  plan.bit = 63;  // sign flip -> large negative
+  session s(plan);
+  try {
+    (void)idx(5, 8);
+    FAIL() << "expected crash_error";
+  } catch (const crash_error& e) {
+    EXPECT_EQ(e.kind(), crash_kind::abort);
+  }
+}
+
+TEST(Instrument, AllocSizeWithinCapOk) {
+  session s;
+  EXPECT_EQ(alloc_size(100, 1000), 100u);
+}
+
+TEST(Instrument, AllocSizeBeyondCapWithoutInjectionIsLogicError) {
+  session s;
+  EXPECT_THROW((void)alloc_size(2000, 1000), std::logic_error);
+}
+
+TEST(Instrument, AllocSizeBeyondCapAfterInjectionAborts) {
+  fault_plan plan;
+  plan.target = 0;
+  plan.bit = 62;
+  session s(plan);
+  (void)g64(1);  // fire the injection on an unrelated value
+  ASSERT_TRUE(s.fired());
+  try {
+    (void)alloc_size(1 << 20, 1000);
+    FAIL() << "expected crash_error";
+  } catch (const crash_error& e) {
+    EXPECT_EQ(e.kind(), crash_kind::abort);
+  }
+}
+
+TEST(Instrument, WatchdogRaisesHang) {
+  fault_plan plan;
+  plan.target = ~0ULL;  // never fires
+  session s(plan, /*step_budget=*/100);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 200; ++i) (void)g64(i);
+      },
+      hang_error);
+}
+
+TEST(Instrument, FprFlipOnDoubleMantissaIsSmall) {
+  fault_plan plan;
+  plan.cls = reg_class::fpr;
+  plan.target = 0;
+  plan.bit = 0;  // lowest mantissa bit
+  session s(plan);
+  const double v = f64(1.0);
+  EXPECT_NE(v, 1.0);
+  EXPECT_NEAR(v, 1.0, 1e-15);
+}
+
+TEST(Instrument, FprFlipOnExponentIsLarge) {
+  fault_plan plan;
+  plan.cls = reg_class::fpr;
+  plan.target = 0;
+  plan.bit = 62;  // top exponent bit
+  session s(plan);
+  const double v = f64(1.0);
+  EXPECT_TRUE(std::abs(v) > 1e100 || std::abs(v) < 1e-100);
+}
+
+TEST(Instrument, FnNamesAreDistinct) {
+  for (int a = 0; a < fn_count; ++a) {
+    for (int b = a + 1; b < fn_count; ++b) {
+      EXPECT_STRNE(fn_name(static_cast<fn>(a)), fn_name(static_cast<fn>(b)));
+    }
+  }
+}
+
+TEST(Instrument, NestedSessionRestoresOuterCounters) {
+  session outer;
+  (void)g64(1);
+  {
+    session inner;
+    (void)g64(1);
+    (void)g64(1);
+    EXPECT_EQ(inner.stats().gpr_ops(), 2u);
+  }
+  EXPECT_EQ(tls.c.gpr_ops(), 1u);  // outer state restored
+}
+
+TEST(Instrument, AccountRespectsWatchdog) {
+  fault_plan plan;
+  plan.target = ~0ULL;
+  session s(plan, /*step_budget=*/500);
+  EXPECT_THROW(account(op::mem, 1000), hang_error);
+}
+
+}  // namespace
+}  // namespace vs::rt

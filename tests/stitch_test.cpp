@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "stitch/compositor.h"
+#include "stitch/stitcher.h"
+
+namespace vs::stitch {
+namespace {
+
+geo::warped_patch solid_patch(int x0, int y0, int w, int h,
+                              std::uint8_t tone) {
+  geo::warped_patch patch;
+  patch.x0 = x0;
+  patch.y0 = y0;
+  patch.pixels = img::image_u8(w, h, 1, tone);
+  patch.valid = img::image_u8(w, h, 1, 255);
+  return patch;
+}
+
+TEST(Compositor, StartsEmpty) {
+  compositor canvas;
+  EXPECT_TRUE(canvas.empty());
+  EXPECT_TRUE(canvas.render().empty());
+  EXPECT_DOUBLE_EQ(canvas.coverage(), 0.0);
+}
+
+TEST(Compositor, EnsureThenBlendRendersContent) {
+  compositor canvas;
+  ASSERT_TRUE(canvas.ensure(geo::rect{0, 0, 4, 4}));
+  canvas.blend(solid_patch(0, 0, 4, 4, 200));
+  const auto out = canvas.render();
+  EXPECT_EQ(out.width(), 4);
+  EXPECT_EQ(out.height(), 4);
+  EXPECT_EQ(out.at(1, 1), 200);
+  EXPECT_DOUBLE_EQ(canvas.coverage(), 1.0);
+}
+
+TEST(Compositor, EnsureGrowsAndPreservesContent) {
+  compositor canvas;
+  ASSERT_TRUE(canvas.ensure(geo::rect{0, 0, 4, 4}));
+  canvas.blend(solid_patch(0, 0, 4, 4, 100));
+  ASSERT_TRUE(canvas.ensure(geo::rect{-2, -2, 4, 4}));
+  EXPECT_EQ(canvas.bounds(), (geo::rect{-2, -2, 6, 6}));
+  const auto out = canvas.render();
+  // Only the original 4x4 is covered; render crops to it.
+  EXPECT_EQ(out.width(), 4);
+  EXPECT_EQ(out.at(0, 0), 100);
+}
+
+TEST(Compositor, LaterPatchOverwrites) {
+  compositor canvas;
+  ASSERT_TRUE(canvas.ensure(geo::rect{0, 0, 6, 4}));
+  canvas.blend(solid_patch(0, 0, 6, 4, 50));
+  canvas.feather_seams();
+  canvas.blend(solid_patch(2, 0, 4, 4, 250));
+  const auto out = canvas.render();
+  EXPECT_EQ(out.at(0, 0), 50);
+  EXPECT_EQ(out.at(5, 0), 250);
+}
+
+TEST(Compositor, InvalidPixelsDoNotWrite) {
+  compositor canvas;
+  ASSERT_TRUE(canvas.ensure(geo::rect{0, 0, 4, 4}));
+  auto patch = solid_patch(0, 0, 4, 4, 200);
+  patch.valid.at(2, 2) = 0;
+  canvas.blend(patch);
+  EXPECT_LT(canvas.coverage(), 1.0);
+}
+
+TEST(Compositor, PixelCapRefusesGrowth) {
+  compositor canvas(/*max_pixels=*/16);
+  EXPECT_TRUE(canvas.ensure(geo::rect{0, 0, 4, 4}));
+  EXPECT_FALSE(canvas.ensure(geo::rect{0, 0, 40, 40}));
+  EXPECT_EQ(canvas.bounds(), (geo::rect{0, 0, 4, 4}));
+}
+
+TEST(Compositor, BlendWithoutEnsureThrows) {
+  compositor canvas;
+  auto patch = solid_patch(0, 0, 2, 2, 9);
+  EXPECT_THROW(canvas.blend(patch), invalid_argument);
+}
+
+TEST(Compositor, FeatherSmoothsSeam) {
+  compositor canvas;
+  ASSERT_TRUE(canvas.ensure(geo::rect{0, 0, 8, 4}));
+  canvas.blend(solid_patch(0, 0, 8, 4, 0));
+  canvas.feather_seams();
+  canvas.blend(solid_patch(4, 0, 4, 4, 255));
+  canvas.feather_seams();
+  const auto out = canvas.render();
+  // The first new column bordering old content is averaged toward it.
+  EXPECT_LT(out.at(4, 2), 255);
+  EXPECT_GT(out.at(4, 2), 0);
+  // Interior of the new patch is untouched.
+  EXPECT_EQ(out.at(7, 2), 255);
+}
+
+TEST(Montage, LaysOutLeftToRight) {
+  img::image_u8 a(3, 2, 1, 10);
+  img::image_u8 b(2, 4, 1, 20);
+  const auto out = montage({a, b}, 2);
+  EXPECT_EQ(out.width(), 3 + 2 + 2);
+  EXPECT_EQ(out.height(), 4);
+  EXPECT_EQ(out.at(0, 0), 10);
+  EXPECT_EQ(out.at(5, 0), 20);
+  EXPECT_EQ(out.at(3, 0), 0);  // gap column
+}
+
+TEST(Montage, SkipsEmptyImages) {
+  img::image_u8 a(3, 2, 1, 10);
+  const auto out = montage({img::image_u8{}, a, img::image_u8{}}, 2);
+  EXPECT_EQ(out.width(), 3);
+}
+
+TEST(Montage, AllEmptyGivesEmpty) {
+  EXPECT_TRUE(montage({img::image_u8{}, img::image_u8{}}).empty());
+}
+
+TEST(MiniPanorama, AnchorsFirstFrame) {
+  mini_panorama_builder builder;
+  img::image_u8 frame(16, 12, 1, 77);
+  EXPECT_TRUE(builder.add_frame(frame, geo::mat3::identity()));
+  EXPECT_EQ(builder.frames_added(), 1);
+  const auto pano = builder.render();
+  EXPECT_GE(pano.width(), 14);  // interpolation-domain trim allowed
+  EXPECT_EQ(pano.at(3, 3), 77);
+}
+
+TEST(MiniPanorama, TranslationExtendsPanorama) {
+  mini_panorama_builder builder;
+  img::image_u8 frame(16, 12, 1, 77);
+  ASSERT_TRUE(builder.add_frame(frame, geo::mat3::identity()));
+  ASSERT_TRUE(builder.add_frame(frame, geo::mat3::translation(8.0, 0.0)));
+  const auto pano = builder.render();
+  EXPECT_GE(pano.width(), 20);
+}
+
+TEST(MiniPanorama, RejectsImplausibleTransform) {
+  mini_panorama_builder builder;
+  img::image_u8 frame(16, 12, 1, 77);
+  EXPECT_FALSE(builder.add_frame(frame, geo::mat3::scaling(100.0, 100.0)));
+  EXPECT_TRUE(builder.empty());
+}
+
+TEST(MiniPanorama, RejectsWhenCanvasCapHit) {
+  mini_panorama_builder builder(/*max_pixels=*/64);
+  img::image_u8 frame(16, 12, 1, 77);
+  EXPECT_FALSE(builder.add_frame(frame, geo::mat3::identity()));
+}
+
+TEST(AlignFrames, NulloptOnTooFewFeatures) {
+  feat::frame_features a;
+  feat::frame_features b;
+  EXPECT_FALSE(align_frames(a, b, match::match_params{}, alignment_params{}, 1)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace vs::stitch

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "image/draw.h"
+#include "track/motion.h"
+#include "track/tracker.h"
+
+namespace vs::track {
+namespace {
+
+img::image_u8 textured_frame(int w = 64, int h = 48) {
+  img::image_u8 im(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      im.at(x, y) = static_cast<std::uint8_t>((x * 7 + y * 13) % 120 + 60);
+    }
+  }
+  return im;
+}
+
+TEST(Motion, NoChangeNoDetections) {
+  const auto frame = textured_frame();
+  const auto detections =
+      detect_motion(frame, frame, geo::mat3::identity());
+  EXPECT_TRUE(detections.empty());
+}
+
+TEST(Motion, DetectsMovedBlob) {
+  auto previous = textured_frame();
+  auto current = textured_frame();
+  img::fill_rect(previous, 20, 20, 4, 4, img::color{255, 255, 255});
+  img::fill_rect(current, 30, 24, 4, 4, img::color{255, 255, 255});
+  const auto detections =
+      detect_motion(current, previous, geo::mat3::identity());
+  ASSERT_GE(detections.size(), 1u);
+  // One detection must sit near the object's new position.
+  bool found = false;
+  for (const auto& d : detections) {
+    if (std::abs(d.centroid.x - 31.5) < 3 && std::abs(d.centroid.y - 25.5) < 3) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Motion, CameraMotionIsCompensated) {
+  // The whole scene shifts by (5, 0); with the correct inter-frame model
+  // the differencing sees nothing.
+  const auto previous = textured_frame();
+  img::image_u8 current(previous.width(), previous.height(), 1);
+  for (int y = 0; y < current.height(); ++y) {
+    for (int x = 0; x < current.width(); ++x) {
+      current.at(x, y) = previous.sample_clamped(x + 5, y);
+    }
+  }
+  // prev -> cur maps prev pixel p to p - 5.
+  const auto detections =
+      detect_motion(current, previous, geo::mat3::translation(-5.0, 0.0));
+  EXPECT_TRUE(detections.empty());
+}
+
+TEST(Motion, MinAreaFiltersSinglePixels) {
+  auto previous = textured_frame();
+  auto current = previous;
+  current.at(30, 30) = 255;  // single-pixel change
+  motion_params params;
+  params.min_area = 3;
+  params.majority_filter = false;
+  const auto detections =
+      detect_motion(current, previous, geo::mat3::identity(), params);
+  EXPECT_TRUE(detections.empty());
+}
+
+TEST(Motion, MaxAreaFiltersGlobalChange) {
+  const auto previous = textured_frame();
+  img::image_u8 current(previous.width(), previous.height(), 1, 255);
+  motion_params params;
+  params.majority_filter = false;
+  const auto detections =
+      detect_motion(current, previous, geo::mat3::identity(), params);
+  EXPECT_TRUE(detections.empty());  // one huge component, over max_area
+}
+
+TEST(Motion, Majority3DenoisesAndKeepsBlobs) {
+  img::image_u8 mask(16, 16, 1);
+  mask.at(3, 3) = 255;  // isolated pixel: removed
+  img::fill_rect(mask, 8, 8, 4, 4, img::color{255, 255, 255});  // kept
+  const auto cleaned = majority3(mask);
+  EXPECT_EQ(cleaned.at(3, 3), 0);
+  EXPECT_EQ(cleaned.at(9, 9), 255);
+}
+
+TEST(Motion, ComponentStatistics) {
+  img::image_u8 mask(16, 16, 1);
+  img::fill_rect(mask, 4, 6, 3, 2, img::color{255, 255, 255});
+  motion_params params;
+  params.min_area = 1;
+  const auto detections = find_components(mask, mask, params);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].area, 6);
+  EXPECT_NEAR(detections[0].centroid.x, 5.0, 1e-9);
+  EXPECT_NEAR(detections[0].centroid.y, 6.5, 1e-9);
+  EXPECT_EQ(detections[0].bbox, (geo::rect{4, 6, 3, 2}));
+}
+
+TEST(Motion, TwoComponentsSeparated) {
+  img::image_u8 mask(24, 8, 1);
+  img::fill_rect(mask, 2, 2, 3, 3, img::color{255, 255, 255});
+  img::fill_rect(mask, 15, 2, 3, 3, img::color{255, 255, 255});
+  motion_params params;
+  params.min_area = 1;
+  EXPECT_EQ(find_components(mask, mask, params).size(), 2u);
+}
+
+TEST(Tracker, ConfirmsAfterEnoughHits) {
+  tracker t;
+  for (int frame = 0; frame < 3; ++frame) {
+    t.observe(frame, {{10.0 + frame, 5.0}});
+  }
+  ASSERT_EQ(t.tracks().size(), 1u);
+  EXPECT_EQ(t.tracks()[0].state, track_state::confirmed);
+  EXPECT_EQ(t.tracks()[0].hits, 3);
+  EXPECT_EQ(t.confirmed_count(), 1u);
+}
+
+TEST(Tracker, FollowsMovingObject) {
+  tracker t;
+  for (int frame = 0; frame < 8; ++frame) {
+    t.observe(frame, {{5.0 + 3.0 * frame, 10.0}});
+  }
+  ASSERT_EQ(t.tracks().size(), 1u);  // one continuous track, no fragmentation
+  EXPECT_EQ(t.tracks()[0].path.size(), 8u);
+  EXPECT_NEAR(t.tracks()[0].velocity.x, 3.0, 0.5);
+}
+
+TEST(Tracker, GateSpawnsNewTrackForFarDetection) {
+  tracker_params params;
+  params.gate_radius = 5.0;
+  tracker t(params);
+  t.observe(0, {{10.0, 10.0}});
+  t.observe(1, {{40.0, 40.0}});  // far outside the gate
+  EXPECT_EQ(t.tracks().size(), 2u);
+}
+
+TEST(Tracker, LosesTrackAfterMisses) {
+  tracker_params params;
+  params.max_misses = 2;
+  tracker t(params);
+  for (int frame = 0; frame < 3; ++frame) t.observe(frame, {{10.0, 10.0}});
+  for (int frame = 3; frame < 7; ++frame) t.observe(frame, {});
+  ASSERT_EQ(t.tracks().size(), 1u);
+  EXPECT_EQ(t.tracks()[0].state, track_state::lost);
+}
+
+TEST(Tracker, TracksTwoObjectsIndependently) {
+  tracker t;
+  for (int frame = 0; frame < 5; ++frame) {
+    t.observe(frame, {{10.0 + frame, 10.0}, {50.0 - frame, 30.0}});
+  }
+  ASSERT_EQ(t.tracks().size(), 2u);
+  EXPECT_EQ(t.confirmed_count(), 2u);
+  EXPECT_GT(t.tracks()[0].velocity.x * t.tracks()[1].velocity.x, -2.0);
+}
+
+TEST(Tracker, UniqueIds) {
+  tracker t;
+  t.observe(0, {{0.0, 0.0}, {50.0, 0.0}, {0.0, 50.0}});
+  ASSERT_EQ(t.tracks().size(), 3u);
+  EXPECT_NE(t.tracks()[0].id, t.tracks()[1].id);
+  EXPECT_NE(t.tracks()[1].id, t.tracks()[2].id);
+}
+
+}  // namespace
+}  // namespace vs::track

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "geometry/warp.h"
+
+namespace vs::geo {
+namespace {
+
+img::image_u8 gradient_image(int w, int h) {
+  img::image_u8 im(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      im.at(x, y) = static_cast<std::uint8_t>((x * 13 + y * 29) % 256);
+    }
+  }
+  return im;
+}
+
+TEST(Rect, UnionCoversBoth) {
+  const rect a{0, 0, 4, 4};
+  const rect b{2, 3, 4, 4};
+  const rect u = rect_union(a, b);
+  EXPECT_EQ(u, (rect{0, 0, 6, 7}));
+}
+
+TEST(Rect, UnionWithEmptyIsIdentity) {
+  const rect a{1, 2, 3, 4};
+  EXPECT_EQ(rect_union(a, rect{}), a);
+  EXPECT_EQ(rect_union(rect{}, a), a);
+}
+
+TEST(Rect, IntersectOverlap) {
+  const rect a{0, 0, 4, 4};
+  const rect b{2, 2, 4, 4};
+  EXPECT_EQ(rect_intersect(a, b), (rect{2, 2, 2, 2}));
+}
+
+TEST(Rect, IntersectDisjointIsEmpty) {
+  const rect a{0, 0, 2, 2};
+  const rect b{5, 5, 2, 2};
+  EXPECT_TRUE(rect_intersect(a, b).empty());
+}
+
+TEST(Rect, Area) {
+  EXPECT_EQ((rect{0, 0, 3, 4}).area(), 12);
+  EXPECT_EQ(rect{}.area(), 0);
+}
+
+TEST(ProjectedBounds, IdentityCoversImage) {
+  const auto bounds = projected_bounds(mat3::identity(), 10, 8);
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(*bounds, (rect{0, 0, 10, 8}));
+}
+
+TEST(ProjectedBounds, TranslationShifts) {
+  const auto bounds = projected_bounds(mat3::translation(5.0, -3.0), 10, 8);
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->x0, 5);
+  EXPECT_EQ(bounds->y0, -3);
+}
+
+TEST(ProjectedBounds, RejectsAbsurdCoordinates) {
+  const auto bounds =
+      projected_bounds(mat3::translation(1e9, 0.0), 10, 8, 1e7);
+  EXPECT_FALSE(bounds.has_value());
+}
+
+TEST(ProjectedBounds, RejectsEmptyImage) {
+  EXPECT_FALSE(projected_bounds(mat3::identity(), 0, 5).has_value());
+}
+
+TEST(Warp, IdentityReproducesInterior) {
+  const auto src = gradient_image(16, 12);
+  const auto patch =
+      warp_perspective(src, mat3::identity(), rect{0, 0, 16, 12});
+  // Interior pixels (where the 2x2 stencil fits) must match exactly; the
+  // +0.5 pixel-center convention keeps the sample on the source grid.
+  int checked = 0;
+  for (int y = 0; y < 11; ++y) {
+    for (int x = 0; x < 15; ++x) {
+      if (patch.valid.at(x, y)) {
+        EXPECT_EQ(patch.pixels.at(x, y), src.at(x, y))
+            << "at " << x << "," << y;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(Warp, IntegerTranslationShiftsContent) {
+  const auto src = gradient_image(16, 12);
+  const auto patch =
+      warp_perspective(src, mat3::translation(4.0, 2.0), rect{0, 0, 20, 14});
+  EXPECT_TRUE(patch.valid.at(6, 5));
+  EXPECT_EQ(patch.pixels.at(6, 5), src.at(2, 3));
+}
+
+TEST(Warp, PixelsOutsidePreimageAreInvalid) {
+  const auto src = gradient_image(8, 8);
+  const auto patch =
+      warp_perspective(src, mat3::translation(100.0, 0.0), rect{0, 0, 8, 8});
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) EXPECT_EQ(patch.valid.at(x, y), 0);
+  }
+}
+
+TEST(Warp, SingularHomographyProducesNothing) {
+  const auto src = gradient_image(8, 8);
+  const mat3 singular(1, 0, 0, 2, 0, 0, 0, 0, 1);
+  const auto patch = warp_perspective(src, singular, rect{0, 0, 8, 8});
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) EXPECT_EQ(patch.valid.at(x, y), 0);
+  }
+}
+
+TEST(Warp, EmptySourceThrows) {
+  EXPECT_THROW(
+      (void)warp_perspective(img::image_u8{}, mat3::identity(),
+                             rect{0, 0, 4, 4}),
+      invalid_argument);
+}
+
+TEST(Warp, PatchCarriesDestinationOrigin) {
+  const auto src = gradient_image(8, 8);
+  const auto patch =
+      warp_perspective(src, mat3::identity(), rect{3, -2, 6, 6});
+  EXPECT_EQ(patch.x0, 3);
+  EXPECT_EQ(patch.y0, -2);
+  EXPECT_EQ(patch.pixels.width(), 6);
+  EXPECT_EQ(patch.pixels.height(), 6);
+}
+
+TEST(Warp, RgbChannelsWarpedIndependently) {
+  img::image_u8 src(8, 8, 3);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      src.at(x, y, 0) = static_cast<std::uint8_t>(x * 30);
+      src.at(x, y, 1) = static_cast<std::uint8_t>(y * 30);
+      src.at(x, y, 2) = 7;
+    }
+  }
+  const auto patch =
+      warp_perspective(src, mat3::identity(), rect{0, 0, 8, 8});
+  EXPECT_TRUE(patch.valid.at(3, 2));
+  EXPECT_EQ(patch.pixels.at(3, 2, 0), src.at(3, 2, 0));
+  EXPECT_EQ(patch.pixels.at(3, 2, 1), src.at(3, 2, 1));
+  EXPECT_EQ(patch.pixels.at(3, 2, 2), 7);
+}
+
+TEST(SampleBilinear, ExactAtGridPoints) {
+  const auto src = gradient_image(8, 8);
+  const auto v = sample_bilinear(src, 3.0, 4.0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, src.at(3, 4));
+}
+
+TEST(SampleBilinear, InterpolatesMidpoint) {
+  img::image_u8 src(3, 1, 1);
+  src.at(0, 0) = 0;
+  src.at(1, 0) = 0;  // row y=0 only; need 2 rows for the stencil
+  img::image_u8 tall(3, 3, 1);
+  tall.at(0, 0) = 0;
+  tall.at(1, 0) = 100;
+  tall.at(0, 1) = 0;
+  tall.at(1, 1) = 100;
+  const auto v = sample_bilinear(tall, 0.5, 0.0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(*v, 50, 2);  // fixed-point rounding tolerance
+}
+
+TEST(SampleBilinear, OutOfDomainReturnsNullopt) {
+  const auto src = gradient_image(8, 8);
+  EXPECT_FALSE(sample_bilinear(src, -0.5, 2.0).has_value());
+  EXPECT_FALSE(sample_bilinear(src, 7.5, 2.0).has_value());
+  EXPECT_FALSE(sample_bilinear(src, 2.0, 7.5).has_value());
+}
+
+TEST(SampleBilinear, BadChannelReturnsNullopt) {
+  const auto src = gradient_image(8, 8);
+  EXPECT_FALSE(sample_bilinear(src, 2.0, 2.0, 1).has_value());
+}
+
+}  // namespace
+}  // namespace vs::geo

@@ -1,0 +1,219 @@
+// vs — the command-line front end of the library.
+//
+//   vs generate  <input1|input2> <frames> <out_dir>        write clip frames
+//   vs summarize <input1|input2> [VS|VS_RFD|VS_KDS|VS_SM] [frames] [out.pgm]
+//   vs events    <input1|input2> [frames] [out.ppm]        tracked summary
+//   vs inject    <input1|input2> <gpr|fpr> <injections> [algorithm]
+//                [--csv=path] [--json=path]
+//   vs quality   <golden.pgm> <faulty.pgm>                 Section V-D metric
+//   vs profile   <input1|input2> [frames]                  Fig 8 breakdown
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "app/events.h"
+#include "app/pipeline.h"
+#include "fault/analysis.h"
+#include "fault/report.h"
+#include "image/image_io.h"
+#include "perf/profiler.h"
+#include "quality/metric.h"
+#include "video/generator.h"
+
+namespace {
+
+using namespace vs;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  vs generate  <input1|input2> <frames> <out_dir>\n"
+      "  vs summarize <input1|input2> [algorithm] [frames] [out.pgm]\n"
+      "  vs events    <input1|input2> [frames] [out.ppm]\n"
+      "  vs inject    <input1|input2> <gpr|fpr> <injections> [algorithm]\n"
+      "               [--csv=path] [--json=path]\n"
+      "  vs quality   <golden.pnm> <faulty.pnm>\n"
+      "  vs profile   <input1|input2> [frames]\n");
+  std::exit(2);
+}
+
+video::input_id parse_input(const std::string& name) {
+  if (name == "input1") return video::input_id::input1;
+  if (name == "input2") return video::input_id::input2;
+  usage();
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 5) usage();
+  const auto input = parse_input(argv[2]);
+  const int frames = std::atoi(argv[3]);
+  const std::string out_dir = argv[4];
+  const auto source = video::make_input(input, frames);
+  for (int i = 0; i < source->frame_count(); ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "/frame_%04d.pgm", i);
+    img::save_pnm(source->frame(i), out_dir + name);
+  }
+  std::printf("wrote %d frames (%dx%d) to %s\n", source->frame_count(),
+              source->frame_width(), source->frame_height(), out_dir.c_str());
+  return 0;
+}
+
+int cmd_summarize(int argc, char** argv) {
+  if (argc < 3) usage();
+  const auto input = parse_input(argv[2]);
+  app::pipeline_config config;
+  if (argc > 3) config.approx.alg = app::parse_algorithm(argv[3]);
+  const int frames = argc > 4 ? std::atoi(argv[4]) : 48;
+  const std::string out = argc > 5 ? argv[5] : "panorama.pgm";
+
+  const auto source = video::make_input(input, frames);
+  const auto result = app::summarize(*source, config);
+  std::printf(
+      "%s on %s: stitched %d/%d (dropped %d, discarded %d) into %d "
+      "mini-panorama(s); %zu keypoints; %d homography / %d affine\n",
+      app::algorithm_name(config.approx.alg), video::input_name(input),
+      result.stats.frames_stitched, result.stats.frames_total,
+      result.stats.frames_dropped_rfd, result.stats.frames_discarded,
+      result.stats.mini_panoramas, result.stats.keypoints_detected,
+      result.stats.homography_alignments, result.stats.affine_alignments);
+  img::save_pnm(result.panorama, out);
+  std::printf("saved %s (%dx%d)\n", out.c_str(), result.panorama.width(),
+              result.panorama.height());
+  return 0;
+}
+
+int cmd_events(int argc, char** argv) {
+  if (argc < 3) usage();
+  const auto input = parse_input(argv[2]);
+  const int frames = argc > 3 ? std::atoi(argv[3]) : 48;
+  const std::string out = argc > 4 ? argv[4] : "events.ppm";
+
+  const auto source = video::make_input(input, frames);
+  const auto summary = app::summarize_events(*source, app::pipeline_config{});
+  std::size_t confirmed = 0;
+  std::size_t total = 0;
+  for (const auto& pano_tracks : summary.tracks) {
+    total += pano_tracks.size();
+    for (const auto& track : pano_tracks) {
+      confirmed += track.state == track::track_state::confirmed ? 1u : 0u;
+    }
+  }
+  std::printf("%d motion detections -> %zu tracks (%zu confirmed) across %d "
+              "mini-panorama(s)\n",
+              summary.detections_total, total, confirmed,
+              summary.coverage.stats.mini_panoramas);
+  img::save_pnm(summary.annotated, out);
+  std::printf("saved %s (%dx%d)\n", out.c_str(), summary.annotated.width(),
+              summary.annotated.height());
+  return 0;
+}
+
+int cmd_inject(int argc, char** argv) {
+  if (argc < 5) usage();
+  const auto input = parse_input(argv[2]);
+  const bool fpr = std::strcmp(argv[3], "fpr") == 0;
+  const int injections = std::atoi(argv[4]);
+
+  app::pipeline_config config;
+  std::string csv_path;
+  std::string json_path;
+  for (int i = 5; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+      csv_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      config.approx.alg = app::parse_algorithm(argv[i]);
+    }
+  }
+
+  const auto source = video::make_input(input, 20);
+  fault::campaign_config campaign;
+  campaign.cls = fpr ? rt::reg_class::fpr : rt::reg_class::gpr;
+  campaign.injections = injections;
+  const auto result = fault::run_campaign(
+      [&] { return app::summarize(*source, config).panorama; }, campaign);
+
+  std::printf("%s\n", result.rates.to_string().c_str());
+  const auto scopes = fault::scope_breakdown(result.records);
+  std::printf("fired injections by function:\n");
+  for (const auto& cls : scopes) {
+    std::printf("  %-20s n=%-5zu mask=%.0f%% crash=%.0f%% sdc=%.0f%%\n",
+                rt::fn_name(cls.scope), cls.rates.experiments,
+                100.0 * cls.rates.rate(fault::outcome::masked),
+                100.0 * cls.rates.crash_rate(),
+                100.0 * cls.rates.rate(fault::outcome::sdc));
+  }
+  const auto pruning = fault::estimate_pruning(result.records);
+  std::printf("Relyzer-style pruning: %.0f%% of fired experiments fall in "
+              ">=95%%-pure site classes\n",
+              100.0 * pruning.prunable_fraction);
+
+  if (!csv_path.empty()) {
+    fault::write_text_file(csv_path, fault::records_to_csv(result));
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    fault::write_text_file(
+        json_path,
+        fault::rates_to_json(result, app::algorithm_name(config.approx.alg)));
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_quality(int argc, char** argv) {
+  if (argc < 4) usage();
+  const auto golden = img::load_pnm(argv[2]);
+  const auto faulty = img::load_pnm(argv[3]);
+  const auto q = quality::compare_images(golden, faulty);
+  std::printf("relative_l2_norm = %.3f%%\n", q.relative_l2_norm);
+  if (q.egregious) {
+    std::printf("egregious (no ED; must be protected)\n");
+  } else {
+    std::printf("ED = %d (alignment dx=%d dy=%d)\n", *q.ed, q.align_dx,
+                q.align_dy);
+  }
+  return 0;
+}
+
+int cmd_profile(int argc, char** argv) {
+  if (argc < 3) usage();
+  const auto input = parse_input(argv[2]);
+  const int frames = argc > 3 ? std::atoi(argv[3]) : 48;
+  const auto source = video::make_input(input, frames);
+  rt::session session;
+  (void)app::summarize(*source, app::pipeline_config{});
+  const auto profile = perf::function_profile(session.stats());
+  for (const auto& entry : profile) {
+    std::printf("%-20s %6.1f%%\n", rt::fn_name(entry.function),
+                100.0 * entry.fraction);
+  }
+  std::printf("%-20s %6.1f%%\n", "OpenCV total",
+              100.0 * perf::opencv_fraction(profile));
+  std::printf("%-20s %6.1f%%\n", "warpPerspective",
+              100.0 * perf::warp_fraction(profile));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(argc, argv);
+    if (command == "summarize") return cmd_summarize(argc, argv);
+    if (command == "events") return cmd_events(argc, argv);
+    if (command == "inject") return cmd_inject(argc, argv);
+    if (command == "quality") return cmd_quality(argc, argv);
+    if (command == "profile") return cmd_profile(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
