@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_resiliency_vs.dir/fig10_resiliency_vs.cpp.o"
+  "CMakeFiles/fig10_resiliency_vs.dir/fig10_resiliency_vs.cpp.o.d"
+  "fig10_resiliency_vs"
+  "fig10_resiliency_vs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_resiliency_vs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_resiliency_approx.dir/fig11a_resiliency_approx.cpp.o"
+  "CMakeFiles/fig11a_resiliency_approx.dir/fig11a_resiliency_approx.cpp.o.d"
+  "fig11a_resiliency_approx"
+  "fig11a_resiliency_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_resiliency_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_wp_hot_function.dir/fig11b_wp_hot_function.cpp.o"
+  "CMakeFiles/fig11b_wp_hot_function.dir/fig11b_wp_hot_function.cpp.o.d"
+  "fig11b_wp_hot_function"
+  "fig11b_wp_hot_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_wp_hot_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

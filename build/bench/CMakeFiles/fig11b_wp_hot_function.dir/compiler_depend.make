@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11b_wp_hot_function.
+# This may be replaced when dependencies are built.

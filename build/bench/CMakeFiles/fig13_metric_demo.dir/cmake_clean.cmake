@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_metric_demo.dir/fig13_metric_demo.cpp.o"
+  "CMakeFiles/fig13_metric_demo.dir/fig13_metric_demo.cpp.o.d"
+  "fig13_metric_demo"
+  "fig13_metric_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_metric_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

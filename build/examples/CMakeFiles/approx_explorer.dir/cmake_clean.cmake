@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_explorer.dir/approx_explorer.cpp.o"
+  "CMakeFiles/approx_explorer.dir/approx_explorer.cpp.o.d"
+  "approx_explorer"
+  "approx_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uav_survey.dir/uav_survey.cpp.o"
+  "CMakeFiles/uav_survey.dir/uav_survey.cpp.o.d"
+  "uav_survey"
+  "uav_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uav_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/events.cpp" "src/CMakeFiles/vscore.dir/app/events.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/app/events.cpp.o.d"
+  "/root/repo/src/app/pipeline.cpp" "src/CMakeFiles/vscore.dir/app/pipeline.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/app/pipeline.cpp.o.d"
+  "/root/repo/src/app/wp.cpp" "src/CMakeFiles/vscore.dir/app/wp.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/app/wp.cpp.o.d"
+  "/root/repo/src/core/log.cpp" "src/CMakeFiles/vscore.dir/core/log.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/core/log.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/CMakeFiles/vscore.dir/core/rng.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/core/rng.cpp.o.d"
+  "/root/repo/src/fault/analysis.cpp" "src/CMakeFiles/vscore.dir/fault/analysis.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/fault/analysis.cpp.o.d"
+  "/root/repo/src/fault/campaign.cpp" "src/CMakeFiles/vscore.dir/fault/campaign.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/fault/campaign.cpp.o.d"
+  "/root/repo/src/fault/coverage.cpp" "src/CMakeFiles/vscore.dir/fault/coverage.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/fault/coverage.cpp.o.d"
+  "/root/repo/src/fault/detectors.cpp" "src/CMakeFiles/vscore.dir/fault/detectors.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/fault/detectors.cpp.o.d"
+  "/root/repo/src/fault/model.cpp" "src/CMakeFiles/vscore.dir/fault/model.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/fault/model.cpp.o.d"
+  "/root/repo/src/fault/report.cpp" "src/CMakeFiles/vscore.dir/fault/report.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/fault/report.cpp.o.d"
+  "/root/repo/src/features/fast.cpp" "src/CMakeFiles/vscore.dir/features/fast.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/features/fast.cpp.o.d"
+  "/root/repo/src/features/harris.cpp" "src/CMakeFiles/vscore.dir/features/harris.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/features/harris.cpp.o.d"
+  "/root/repo/src/features/keypoint.cpp" "src/CMakeFiles/vscore.dir/features/keypoint.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/features/keypoint.cpp.o.d"
+  "/root/repo/src/features/orb.cpp" "src/CMakeFiles/vscore.dir/features/orb.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/features/orb.cpp.o.d"
+  "/root/repo/src/features/pyramid.cpp" "src/CMakeFiles/vscore.dir/features/pyramid.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/features/pyramid.cpp.o.d"
+  "/root/repo/src/geometry/affine.cpp" "src/CMakeFiles/vscore.dir/geometry/affine.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/geometry/affine.cpp.o.d"
+  "/root/repo/src/geometry/homography.cpp" "src/CMakeFiles/vscore.dir/geometry/homography.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/geometry/homography.cpp.o.d"
+  "/root/repo/src/geometry/linalg.cpp" "src/CMakeFiles/vscore.dir/geometry/linalg.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/geometry/linalg.cpp.o.d"
+  "/root/repo/src/geometry/mat3.cpp" "src/CMakeFiles/vscore.dir/geometry/mat3.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/geometry/mat3.cpp.o.d"
+  "/root/repo/src/geometry/ransac.cpp" "src/CMakeFiles/vscore.dir/geometry/ransac.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/geometry/ransac.cpp.o.d"
+  "/root/repo/src/geometry/warp.cpp" "src/CMakeFiles/vscore.dir/geometry/warp.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/geometry/warp.cpp.o.d"
+  "/root/repo/src/image/draw.cpp" "src/CMakeFiles/vscore.dir/image/draw.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/image/draw.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/CMakeFiles/vscore.dir/image/image.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/image/image.cpp.o.d"
+  "/root/repo/src/image/image_io.cpp" "src/CMakeFiles/vscore.dir/image/image_io.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/image/image_io.cpp.o.d"
+  "/root/repo/src/match/matcher.cpp" "src/CMakeFiles/vscore.dir/match/matcher.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/match/matcher.cpp.o.d"
+  "/root/repo/src/perf/model.cpp" "src/CMakeFiles/vscore.dir/perf/model.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/perf/model.cpp.o.d"
+  "/root/repo/src/perf/profiler.cpp" "src/CMakeFiles/vscore.dir/perf/profiler.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/perf/profiler.cpp.o.d"
+  "/root/repo/src/quality/metric.cpp" "src/CMakeFiles/vscore.dir/quality/metric.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/quality/metric.cpp.o.d"
+  "/root/repo/src/quality/metrics_extra.cpp" "src/CMakeFiles/vscore.dir/quality/metrics_extra.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/quality/metrics_extra.cpp.o.d"
+  "/root/repo/src/quality/sdc.cpp" "src/CMakeFiles/vscore.dir/quality/sdc.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/quality/sdc.cpp.o.d"
+  "/root/repo/src/rt/instrument.cpp" "src/CMakeFiles/vscore.dir/rt/instrument.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/rt/instrument.cpp.o.d"
+  "/root/repo/src/stitch/compositor.cpp" "src/CMakeFiles/vscore.dir/stitch/compositor.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/stitch/compositor.cpp.o.d"
+  "/root/repo/src/stitch/stitcher.cpp" "src/CMakeFiles/vscore.dir/stitch/stitcher.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/stitch/stitcher.cpp.o.d"
+  "/root/repo/src/track/motion.cpp" "src/CMakeFiles/vscore.dir/track/motion.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/track/motion.cpp.o.d"
+  "/root/repo/src/track/tracker.cpp" "src/CMakeFiles/vscore.dir/track/tracker.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/track/tracker.cpp.o.d"
+  "/root/repo/src/video/camera.cpp" "src/CMakeFiles/vscore.dir/video/camera.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/video/camera.cpp.o.d"
+  "/root/repo/src/video/generator.cpp" "src/CMakeFiles/vscore.dir/video/generator.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/video/generator.cpp.o.d"
+  "/root/repo/src/video/recorded.cpp" "src/CMakeFiles/vscore.dir/video/recorded.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/video/recorded.cpp.o.d"
+  "/root/repo/src/video/scene.cpp" "src/CMakeFiles/vscore.dir/video/scene.cpp.o" "gcc" "src/CMakeFiles/vscore.dir/video/scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for vscore.
+# This may be replaced when dependencies are built.

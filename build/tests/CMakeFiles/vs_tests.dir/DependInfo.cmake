@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/vs_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/core_rng_test.cpp" "tests/CMakeFiles/vs_tests.dir/core_rng_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/core_rng_test.cpp.o.d"
+  "/root/repo/tests/coverage_extra_test.cpp" "tests/CMakeFiles/vs_tests.dir/coverage_extra_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/coverage_extra_test.cpp.o.d"
+  "/root/repo/tests/detectors_metrics_test.cpp" "tests/CMakeFiles/vs_tests.dir/detectors_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/detectors_metrics_test.cpp.o.d"
+  "/root/repo/tests/draw_test.cpp" "tests/CMakeFiles/vs_tests.dir/draw_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/draw_test.cpp.o.d"
+  "/root/repo/tests/events_test.cpp" "tests/CMakeFiles/vs_tests.dir/events_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/events_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/vs_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/vs_tests.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/fault_test.cpp.o.d"
+  "/root/repo/tests/features_test.cpp" "tests/CMakeFiles/vs_tests.dir/features_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/features_test.cpp.o.d"
+  "/root/repo/tests/geometry_test.cpp" "tests/CMakeFiles/vs_tests.dir/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/geometry_test.cpp.o.d"
+  "/root/repo/tests/homography_test.cpp" "tests/CMakeFiles/vs_tests.dir/homography_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/homography_test.cpp.o.d"
+  "/root/repo/tests/image_io_test.cpp" "tests/CMakeFiles/vs_tests.dir/image_io_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/image_io_test.cpp.o.d"
+  "/root/repo/tests/image_test.cpp" "tests/CMakeFiles/vs_tests.dir/image_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/image_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/vs_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/matcher_test.cpp" "tests/CMakeFiles/vs_tests.dir/matcher_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/matcher_test.cpp.o.d"
+  "/root/repo/tests/perf_test.cpp" "tests/CMakeFiles/vs_tests.dir/perf_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/perf_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/vs_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/vs_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/quality_test.cpp" "tests/CMakeFiles/vs_tests.dir/quality_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/quality_test.cpp.o.d"
+  "/root/repo/tests/rt_instrument_test.cpp" "tests/CMakeFiles/vs_tests.dir/rt_instrument_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/rt_instrument_test.cpp.o.d"
+  "/root/repo/tests/stitch_test.cpp" "tests/CMakeFiles/vs_tests.dir/stitch_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/stitch_test.cpp.o.d"
+  "/root/repo/tests/track_test.cpp" "tests/CMakeFiles/vs_tests.dir/track_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/track_test.cpp.o.d"
+  "/root/repo/tests/video_test.cpp" "tests/CMakeFiles/vs_tests.dir/video_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/video_test.cpp.o.d"
+  "/root/repo/tests/warp_test.cpp" "tests/CMakeFiles/vs_tests.dir/warp_test.cpp.o" "gcc" "tests/CMakeFiles/vs_tests.dir/warp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vscore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_cli.dir/vs_cli.cpp.o"
+  "CMakeFiles/vs_cli.dir/vs_cli.cpp.o.d"
+  "vs"
+  "vs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
