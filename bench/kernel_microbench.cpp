@@ -3,8 +3,24 @@
 // These complement the deterministic op-count model with real host timings:
 // the relative cost ordering (warp > match > FAST > ORB per unit work)
 // should mirror the modelled Fig 8 profile.
+//
+// Two-lane kernels are measured twice: the plain name times the clean
+// (parallel, hook-free) lane, and the `_seq` twin times the instrumented
+// sequential lane inside an rt::session with no fault armed — the exact
+// path fault campaigns replay.  The gap between the two is the price of
+// instrumentation plus the clean lane's parallel speedup.
+//
+// Unless --benchmark_out is given, results are also written to
+// BENCH_kernels.json (ns/op per kernel, both lanes) in the working
+// directory so CI can track the perf trajectory across PRs.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/instrument.h"
 
 #include "app/pipeline.h"
 #include "features/harris.h"
@@ -46,6 +62,16 @@ void bm_fast_detect(benchmark::State& state) {
 }
 BENCHMARK(bm_fast_detect);
 
+void bm_fast_detect_seq(benchmark::State& state) {
+  const auto& frame = test_frame();
+  feat::fast_params params;
+  rt::session session;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::fast_detect(frame, params));
+  }
+}
+BENCHMARK(bm_fast_detect_seq);
+
 void bm_orb_extract(benchmark::State& state) {
   const auto& frame = test_frame();
   feat::orb_params params;
@@ -54,6 +80,16 @@ void bm_orb_extract(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_orb_extract);
+
+void bm_orb_extract_seq(benchmark::State& state) {
+  const auto& frame = test_frame();
+  feat::orb_params params;
+  rt::session session;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::orb_extract(frame, params));
+  }
+}
+BENCHMARK(bm_orb_extract_seq);
 
 void bm_match_descriptors(benchmark::State& state) {
   const auto& features = test_features();
@@ -65,6 +101,17 @@ void bm_match_descriptors(benchmark::State& state) {
 }
 BENCHMARK(bm_match_descriptors);
 
+void bm_match_descriptors_seq(benchmark::State& state) {
+  const auto& features = test_features();
+  match::match_params params;
+  rt::session session;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        match::match_descriptors(features, features, params));
+  }
+}
+BENCHMARK(bm_match_descriptors_seq);
+
 void bm_warp_perspective(benchmark::State& state) {
   const auto& frame = test_frame();
   const auto transform = app::wp_default_transform();
@@ -73,6 +120,16 @@ void bm_warp_perspective(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_warp_perspective);
+
+void bm_warp_perspective_seq(benchmark::State& state) {
+  const auto& frame = test_frame();
+  const auto transform = app::wp_default_transform();
+  rt::session session;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app::run_wp(frame, transform));
+  }
+}
+BENCHMARK(bm_warp_perspective_seq);
 
 void bm_homography_estimate(benchmark::State& state) {
   // Synthetic exact correspondences under a known homography.
@@ -138,6 +195,15 @@ void bm_resize_bilinear(benchmark::State& state) {
 }
 BENCHMARK(bm_resize_bilinear);
 
+void bm_resize_bilinear_seq(benchmark::State& state) {
+  const auto& frame = test_frame();
+  rt::session session;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::resize_bilinear(frame, 96, 72));
+  }
+}
+BENCHMARK(bm_resize_bilinear_seq);
+
 void bm_harris_response(benchmark::State& state) {
   const auto& frame = test_frame();
   for (auto _ : state) {
@@ -173,4 +239,42 @@ void bm_full_pipeline(benchmark::State& state) {
 }
 BENCHMARK(bm_full_pipeline)->Arg(8)->Arg(16);
 
+void bm_full_pipeline_seq(benchmark::State& state) {
+  const auto source = video::make_input(video::input_id::input2,
+                                        static_cast<int>(state.range(0)));
+  app::pipeline_config config;
+  rt::session session;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app::summarize(*source, config));
+  }
+}
+BENCHMARK(bm_full_pipeline_seq)->Arg(8)->Arg(16);
+
 }  // namespace
+
+// Custom entry point: default to JSON output in BENCH_kernels.json so every
+// run leaves a machine-readable record, while still honouring an explicit
+// --benchmark_out from the caller.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  static std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  static std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <future>
 
 #include "core/error.h"
 #include "core/rng.h"
@@ -135,6 +136,33 @@ summary_result summarize(const video::video_source& source,
 
   const int frame_count =
       static_cast<int>(rt::ctrl(source.frame_count()));
+
+  // Clean-lane frame overlap: while frame t is matched and stitched on this
+  // thread, frame t+1 is acquired on a helper thread.  Sources are
+  // documented thread-safe for concurrent reads, and frame rendering is a
+  // pure function of the index, so the overlap cannot change any bytes.
+  // The instrumented lane never prefetches: acquisition must stay inline so
+  // its hook sequence keeps its position in the dynamic-instruction stream.
+  // A prefetched frame that RFD then drops is simply never consumed.
+  const bool overlap_acquisition = !rt::tls.enabled && frame_count > 1;
+  std::future<img::image_u8> next_frame;
+  int next_frame_index = -1;
+  auto acquire = [&](int index) {
+    img::image_u8 frame;
+    if (next_frame_index == index && next_frame.valid()) {
+      frame = next_frame.get();
+    } else {
+      frame = source.frame(index);
+    }
+    if (overlap_acquisition && index + 1 < frame_count) {
+      next_frame_index = index + 1;
+      next_frame = std::async(std::launch::async, [&source, i = index + 1] {
+        return source.frame(i);
+      });
+    }
+    return frame;
+  };
+
   for (int index = 0; index < frame_count; ++index) {
     // --- VS_RFD: random input sampling ---------------------------------
     // The drop decision is drawn for every frame (whatever the variant) so
@@ -145,7 +173,7 @@ summary_result summarize(const video::video_source& source,
       continue;
     }
 
-    const img::image_u8 frame = source.frame(index);
+    const img::image_u8 frame = acquire(index);
     feat::frame_features features = feat::orb_extract(frame, config.orb);
     result.stats.keypoints_detected += features.size();
 

@@ -1,0 +1,98 @@
+// Deterministic fork-join thread pool: the engine of the clean (parallel)
+// execution lane.
+//
+// Every hot kernel in this library has two implementations:
+//
+//   * the *instrumented lane* — sequential, routing live values through the
+//     rt:: fault-site hooks.  Fault plans address injections by dynamic-op
+//     index, so this lane must execute a fixed operation stream; it cannot
+//     be parallelized or reordered.
+//   * the *clean lane* — the production serving path, dispatched when
+//     rt::tls.enabled is false.  It runs the same arithmetic without hooks,
+//     tiled over this pool.
+//
+// parallel_for splits [begin, end) into fixed chunks of `grain` iterations.
+// Chunk boundaries depend only on (begin, end, grain) — never on the worker
+// count or on scheduling — so a kernel that writes disjoint per-chunk output
+// (or concatenates per-chunk results in chunk index order) produces
+// bit-identical results with 1, 2 or N threads.  That invariant is what the
+// parallel-equivalence tests pin: clean-lane output == instrumented-lane
+// output, byte for byte.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vs::core {
+
+class thread_pool {
+ public:
+  /// Chunk body: half-open iteration range plus the chunk's index in the
+  /// fixed tiling (for writing into per-chunk result slots).
+  using chunk_fn =
+      std::function<void(std::int64_t begin, std::int64_t end,
+                         std::size_t chunk)>;
+
+  /// threads == 0 picks std::thread::hardware_concurrency().  The calling
+  /// thread always participates, so a pool of `t` threads spawns `t - 1`
+  /// workers.
+  explicit thread_pool(unsigned threads = 0);
+  ~thread_pool();
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Total execution width (workers + the calling thread).
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Number of chunks the fixed tiling produces for a range — callers size
+  /// their per-chunk result vectors with this before fanning out.
+  [[nodiscard]] static std::size_t chunk_count(std::int64_t begin,
+                                               std::int64_t end,
+                                               std::int64_t grain) noexcept;
+
+  /// Runs `body` once per chunk.  Blocks until every chunk completed.
+  ///
+  /// Guarantees:
+  ///   * chunk boundaries are a pure function of (begin, end, grain);
+  ///   * nested calls (from inside a chunk body, from a pool worker, or
+  ///     while another caller holds the pool) degrade to inline sequential
+  ///     execution in ascending chunk order — never deadlock;
+  ///   * if bodies throw, the exception of the lowest-indexed failing chunk
+  ///     is rethrown on the calling thread after the loop drains.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const chunk_fn& body);
+
+  /// The process-wide pool the clean lanes dispatch to.  Lazily constructed;
+  /// width comes from the VS_THREADS environment variable when set, else
+  /// hardware concurrency.
+  static thread_pool& global();
+
+  /// Replaces the global pool with one of the given width (0 = auto).  Test
+  /// and benchmark hook; must not be called while parallel work is in
+  /// flight.
+  static void set_global_threads(unsigned threads);
+
+ private:
+  struct job;
+
+  void worker_loop();
+  static void run_chunks(job& j) noexcept;
+  static void run_inline(job& j) noexcept;
+
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable work_cv_;   ///< wakes workers on a new job
+  std::condition_variable done_cv_;   ///< wakes the caller on completion
+  std::mutex submit_mutex_;           ///< serializes external callers
+  job* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vs::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "core/thread_pool.h"
 #include "features/harris.h"
 #include "rt/instrument.h"
 
@@ -37,6 +38,108 @@ bool has_contiguous_arc(const int (&cls)[16], int sign) {
   return false;
 }
 
+// Clean lane: band-parallel detection without fault-site hooks.  The
+// arithmetic mirrors the instrumented lane below exactly (the hooks are
+// value-preserving when disabled), the fixed row tiling makes the result
+// independent of the worker count, and the per-band keypoint vectors are
+// concatenated in band order so the final list matches the sequential
+// raster order byte for byte.
+constexpr std::int64_t row_band = 16;
+
+std::vector<keypoint> fast_detect_clean(const img::image_u8& gray,
+                                        const fast_params& params) {
+  const int border = std::max(3, params.border);
+  const int w = gray.width();
+  const int h = gray.height();
+  if (w <= 2 * border || h <= 2 * border) return {};
+  const int threshold = std::max(1, params.threshold);
+
+  img::basic_image<float> scores(w, h, 1);
+  const std::uint8_t* data = gray.data();
+  auto& pool = core::thread_pool::global();
+
+  // Score pass: rows are independent; each band writes disjoint rows.
+  pool.parallel_for(
+      border, h - border, row_band,
+      [&](std::int64_t y0, std::int64_t y1, std::size_t) {
+        for (std::int64_t y = y0; y < y1; ++y) {
+          const std::int64_t row = y * w;
+          for (int x = border; x < w - border; ++x) {
+            const std::int64_t center_off = row + x;
+            const int center = data[center_off];
+            const int top = data[center_off - 3 * w];
+            const int bottom = data[center_off + 3 * w];
+            const int left = data[center_off - 3];
+            const int right = data[center_off + 3];
+            int extreme = 0;
+            extreme += classify(top, center, threshold) != 0;
+            extreme += classify(bottom, center, threshold) != 0;
+            extreme += classify(left, center, threshold) != 0;
+            extreme += classify(right, center, threshold) != 0;
+            if (extreme < 2) continue;
+            const int score =
+                fast_score(gray, x, static_cast<int>(y), threshold);
+            if (score <= 0) continue;
+            scores.at(x, static_cast<int>(y)) =
+                params.score == corner_score::harris
+                    ? static_cast<float>(
+                          1e6 * harris_response(gray, x, static_cast<int>(y)))
+                    : static_cast<float>(score);
+          }
+        }
+      });
+
+  // Collection pass: non-max suppression reads the (now frozen) score map;
+  // per-band outputs concatenated in band order reproduce raster order.
+  const std::size_t bands =
+      core::thread_pool::chunk_count(border, h - border, row_band);
+  std::vector<std::vector<keypoint>> band_found(bands);
+  pool.parallel_for(
+      border, h - border, row_band,
+      [&](std::int64_t y0, std::int64_t y1, std::size_t band) {
+        auto& out = band_found[band];
+        for (int y = static_cast<int>(y0); y < y1; ++y) {
+          for (int x = border; x < w - border; ++x) {
+            const float s = scores.at(x, y);
+            if (s <= 0.0f) continue;
+            if (params.nonmax_suppression) {
+              bool is_max = true;
+              for (int dy = -1; dy <= 1 && is_max; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                  if (dx == 0 && dy == 0) continue;
+                  const float neighbour = scores.at(x + dx, y + dy);
+                  if (neighbour > s ||
+                      (neighbour == s && (dy < 0 || (dy == 0 && dx < 0)))) {
+                    is_max = false;
+                    break;
+                  }
+                }
+              }
+              if (!is_max) continue;
+            }
+            out.push_back(keypoint{static_cast<float>(x),
+                                   static_cast<float>(y), s, 0.0f});
+          }
+        }
+      });
+
+  std::vector<keypoint> found;
+  std::size_t total = 0;
+  for (const auto& band : band_found) total += band.size();
+  found.reserve(total);
+  for (const auto& band : band_found) {
+    found.insert(found.end(), band.begin(), band.end());
+  }
+
+  std::stable_sort(found.begin(), found.end(),
+                   [](const keypoint& a, const keypoint& b) {
+                     return a.score > b.score;
+                   });
+  const auto cap = rt::alloc_size(params.max_keypoints, 1 << 20);
+  if (found.size() > cap) found.resize(cap);
+  return found;
+}
+
 }  // namespace
 
 int fast_score(const img::image_u8& gray, int x, int y, int threshold) {
@@ -61,6 +164,7 @@ int fast_score(const img::image_u8& gray, int x, int y, int threshold) {
 std::vector<keypoint> fast_detect(const img::image_u8& gray,
                                   const fast_params& params) {
   if (gray.channels() != 1) throw invalid_argument("fast_detect: need gray");
+  if (!rt::tls.enabled) return fast_detect_clean(gray, params);
   rt::scope attributed(rt::fn::fast_detect);
 
   const int border = std::max(3, params.border);

@@ -5,6 +5,7 @@
 
 #include "core/error.h"
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "rt/instrument.h"
 
 namespace vs::feat {
@@ -119,6 +120,90 @@ const rotated_pattern& rotated_for(int bin, int patch_radius) {
   return bins[static_cast<std::size_t>(bin % orientation_bins)];
 }
 
+// Clean lane: hook-free twins of the per-keypoint kernels.  Same arithmetic
+// as the instrumented versions (whose hooks are value-preserving when
+// disabled), with direct loads instead of guarded address arithmetic.
+
+float intensity_centroid_angle_clean(const img::image_u8& gray, int x, int y,
+                                     int radius) {
+  const std::uint8_t* data = gray.data();
+  const int w = gray.width();
+  std::int64_t m01 = 0;
+  std::int64_t m10 = 0;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx * dx + dy * dy > radius * radius) continue;
+      const int v = data[static_cast<std::int64_t>(y + dy) * w + (x + dx)];
+      m10 += static_cast<std::int64_t>(dx) * v;
+      m01 += static_cast<std::int64_t>(dy) * v;
+    }
+  }
+  return static_cast<float>(
+      std::atan2(static_cast<double>(m01), static_cast<double>(m10)));
+}
+
+descriptor orb_describe_one_clean(const img::image_u8& gray,
+                                  const keypoint& kp, int patch_radius) {
+  constexpr double two_pi = 2.0 * 3.14159265358979323846;
+  const double positive = kp.angle < 0 ? kp.angle + two_pi : kp.angle;
+  const int bin = static_cast<int>(positive / two_pi * orientation_bins + 0.5) %
+                  orientation_bins;
+  const rotated_pattern& pat = rotated_for(bin, patch_radius);
+
+  const std::uint8_t* data = gray.data();
+  const int w = gray.width();
+  const auto cx = static_cast<int>(kp.x);
+  const auto cy = static_cast<int>(kp.y);
+
+  descriptor d;
+  for (int i = 0; i < pattern_size; ++i) {
+    const std::int64_t off_a =
+        static_cast<std::int64_t>(cy + pat.ay[i]) * w + (cx + pat.ax[i]);
+    const std::int64_t off_b =
+        static_cast<std::int64_t>(cy + pat.by[i]) * w + (cx + pat.bx[i]);
+    if (data[off_a] < data[off_b]) {
+      d.bits[static_cast<std::size_t>(i >> 6)] |= 1ULL << (i & 63);
+    }
+  }
+  return d;
+}
+
+// Clean lane of the full extraction: detection dispatches to its own clean
+// lane, then orientation + description fan out over keypoint chunks.  Each
+// chunk writes disjoint slots of the pre-sized outputs, so the result is
+// identical to the sequential in-order loop.
+frame_features orb_extract_clean(const img::image_u8& gray,
+                                 const orb_params& params) {
+  fast_params fp = params.fast;
+  fp.border = std::max(fp.border, params.patch_radius * 2 + 2);
+
+  frame_features out;
+  out.keypoints = fast_detect(gray, fp);
+  const img::image_u8 smooth = img::box_blur3(gray);
+  out.descriptors.resize(out.keypoints.size());
+
+  constexpr double two_pi = 2.0 * 3.14159265358979323846;
+  constexpr int angle_bins = 30;
+  core::thread_pool::global().parallel_for(
+      0, static_cast<std::int64_t>(out.keypoints.size()), 32,
+      [&](std::int64_t i0, std::int64_t i1, std::size_t) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          auto& kp = out.keypoints[static_cast<std::size_t>(i)];
+          const float raw = intensity_centroid_angle_clean(
+              gray, static_cast<int>(kp.x), static_cast<int>(kp.y),
+              params.patch_radius);
+          const double positive = raw < 0 ? raw + two_pi : raw;
+          const int bin =
+              static_cast<int>(positive / two_pi * angle_bins + 0.5) %
+              angle_bins;
+          kp.angle = static_cast<float>(bin * two_pi / angle_bins);
+          out.descriptors[static_cast<std::size_t>(i)] =
+              orb_describe_one_clean(smooth, kp, params.patch_radius);
+        }
+      });
+  return out;
+}
+
 }  // namespace
 
 descriptor orb_describe_one(const img::image_u8& gray, const keypoint& kp,
@@ -161,6 +246,7 @@ descriptor orb_describe_one(const img::image_u8& gray, const keypoint& kp,
 frame_features orb_extract(const img::image_u8& gray,
                            const orb_params& params) {
   if (gray.channels() != 1) throw invalid_argument("orb_extract: need gray");
+  if (!rt::tls.enabled) return orb_extract_clean(gray, params);
   fast_params fp = params.fast;
   fp.border = std::max(fp.border, params.patch_radius * 2 + 2);
 

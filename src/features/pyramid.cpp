@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.h"
+#include "core/thread_pool.h"
 #include "geometry/warp.h"
 #include "rt/instrument.h"
 
@@ -20,19 +21,31 @@ img::image_u8 resize_bilinear(const img::image_u8& src, int width,
   img::image_u8 out(width, height, 1);
   const double sx = static_cast<double>(src.width()) / width;
   const double sy = static_cast<double>(src.height()) / height;
-  for (int y = 0; y < height; ++y) {
-    for (int x = 0; x < width; ++x) {
-      const double u = std::min((x + 0.5) * sx - 0.5,
-                                src.width() - 1.001);
-      const double v = std::min((y + 0.5) * sy - 0.5,
-                                src.height() - 1.001);
-      const auto sample =
-          geo::sample_bilinear(src, std::max(0.0, u), std::max(0.0, v));
-      out.at(x, y) = sample ? *sample : src.sample_clamped(
-                                            static_cast<int>(u),
-                                            static_cast<int>(v));
+  // Per-pixel work is pure, so the clean lane runs the same body tiled over
+  // row bands; the instrumented lane keeps the sequential scan.
+  const auto resize_rows = [&](int y0, int y1) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = 0; x < width; ++x) {
+        const double u = std::min((x + 0.5) * sx - 0.5,
+                                  src.width() - 1.001);
+        const double v = std::min((y + 0.5) * sy - 0.5,
+                                  src.height() - 1.001);
+        const auto sample =
+            geo::sample_bilinear(src, std::max(0.0, u), std::max(0.0, v));
+        out.at(x, y) = sample ? *sample : src.sample_clamped(
+                                              static_cast<int>(u),
+                                              static_cast<int>(v));
+      }
     }
+  };
+  if (!rt::tls.enabled) {
+    core::thread_pool::global().parallel_for(
+        0, height, 16, [&](std::int64_t y0, std::int64_t y1, std::size_t) {
+          resize_rows(static_cast<int>(y0), static_cast<int>(y1));
+        });
+    return out;
   }
+  resize_rows(0, height);
   rt::account(rt::op::fp_alu,
               static_cast<std::uint64_t>(width) * height * 4);
   return out;

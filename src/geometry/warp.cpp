@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.h"
+#include "core/thread_pool.h"
 #include "image/pixel.h"
 #include "rt/instrument.h"
 
@@ -96,6 +97,78 @@ inline std::uint8_t remap_one(const img::image_u8& src, int sx, int sy,
   return img::saturate_u8((acc + inter_round) >> (2 * inter_bits));
 }
 
+// Clean lane of remapBilinear: identical fixed-point math, direct loads.
+inline std::uint8_t remap_one_clean(const img::image_u8& src, int sx, int sy,
+                                    int wx, int wy, int channel) {
+  const int ch = src.channels();
+  const auto stride = static_cast<std::int64_t>(src.width()) * ch;
+  const std::int64_t base = static_cast<std::int64_t>(sy) * stride +
+                            static_cast<std::int64_t>(sx) * ch + channel;
+  const std::uint8_t* d = src.data();
+  const int p00 = d[base];
+  const int p10 = d[base + ch];
+  const int p01 = d[base + stride];
+  const int p11 = d[base + stride + ch];
+  const int w00 = (inter_scale - wx) * (inter_scale - wy);
+  const int w10 = wx * (inter_scale - wy);
+  const int w01 = (inter_scale - wx) * wy;
+  const int w11 = wx * wy;
+  const int acc = p00 * w00 + p10 * w10 + p01 * w01 + p11 * w11;
+  return img::saturate_u8((acc + inter_round) >> (2 * inter_bits));
+}
+
+// Clean lane: the destination rows are independent (each recomputes its
+// incremental numerators from the row coordinate, exactly as the sequential
+// invoker does), so the warp tiles over row bands.  Per-row floating-point
+// evaluation order matches the instrumented lane operation for operation —
+// including the quirk that the preimage guard tests the already-incremented
+// denominator — so the patch is bit-identical.
+void warp_rows_clean(const img::image_u8& src, const mat3& m,
+                     const rect& out_rect, warped_patch& out) {
+  const int channels = src.channels();
+  const double max_sx = src.width() - 1.0;
+  const double max_sy = src.height() - 1.0;
+  const int out_h = out.pixels.height();
+  const int out_w = out.pixels.width();
+  std::uint8_t* valid_data = out.valid.data();
+  std::uint8_t* pixel_data = out.pixels.data();
+
+  core::thread_pool::global().parallel_for(
+      0, out_h, 8, [&](std::int64_t y0, std::int64_t y1, std::size_t) {
+        for (int y = static_cast<int>(y0); y < y1; ++y) {
+          const double dy = out_rect.y0 + y;
+          double num_x = m(0, 0) * out_rect.x0 + m(0, 1) * dy + m(0, 2);
+          double num_y = m(1, 0) * out_rect.x0 + m(1, 1) * dy + m(1, 2);
+          double den = m(2, 0) * out_rect.x0 + m(2, 1) * dy + m(2, 2);
+          for (int x = 0; x < out_w; ++x) {
+            const double inv_den = den != 0.0 ? 1.0 / den : 0.0;
+            const double sx = num_x * inv_den;
+            const double sy = num_y * inv_den;
+            num_x += m(0, 0);
+            num_y += m(1, 0);
+            den += m(2, 0);
+            if (den == 0.0 || !(sx >= 0.0) || !(sy >= 0.0) || sx >= max_sx ||
+                sy >= max_sy) {
+              continue;
+            }
+            const auto fx = static_cast<int>(sx * inter_scale);
+            const auto fy = static_cast<int>(sy * inter_scale);
+            const int ix = fx >> inter_bits;
+            const int iy = fy >> inter_bits;
+            const int wx = fx & (inter_scale - 1);
+            const int wy = fy & (inter_scale - 1);
+            const std::size_t dst =
+                static_cast<std::size_t>(y) * out_w + static_cast<std::size_t>(x);
+            for (int c = 0; c < channels; ++c) {
+              pixel_data[dst * channels + c] =
+                  remap_one_clean(src, ix, iy, wx, wy, c);
+            }
+            valid_data[dst] = 255;
+          }
+        }
+      });
+}
+
 }  // namespace
 
 warped_patch warp_perspective(const img::image_u8& src, const mat3& h,
@@ -121,6 +194,11 @@ warped_patch warp_perspective(const img::image_u8& src, const mat3& h,
                              src.channels());
   out.valid = img::image_u8(static_cast<int>(w), static_cast<int>(hgt), 1);
   if (!inv) return out;  // singular homography: nothing lands
+
+  if (!rt::tls.enabled) {
+    warp_rows_clean(src, *inv, out_rect, out);
+    return out;
+  }
 
   rt::scope warp_scope(rt::fn::warp);
   const mat3& m = *inv;

@@ -3,13 +3,109 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "core/thread_pool.h"
 #include "rt/instrument.h"
 
 namespace vs::match {
 
+namespace {
+
+// One query's 2-NN / bounded-1-NN decision, shared by both lanes.  The
+// 64-bit-word popcount Hamming kernel with a running bound: the 2-NN
+// invariant only needs exact distances below the current second-best, so
+// every candidate scan is bounded and most candidates exit after one or two
+// of the four descriptor words.
+struct best_pair {
+  int best = 257;
+  int second = 257;
+  std::size_t best_index = 0;
+};
+
+inline best_pair scan_ratio(const feat::descriptor& qd,
+                            const std::vector<feat::descriptor>& train) {
+  best_pair r;
+  for (std::size_t ti = 0; ti < train.size(); ++ti) {
+    const int d = feat::hamming_distance_bounded(qd, train[ti], r.second);
+    if (d < r.best) {
+      r.second = r.best;
+      r.best = d;
+      r.best_index = ti;
+    } else if (d < r.second) {
+      r.second = d;
+    }
+  }
+  return r;
+}
+
+inline best_pair scan_simple(const feat::descriptor& qd,
+                             const std::vector<feat::descriptor>& train,
+                             int max_distance) {
+  best_pair r;
+  for (std::size_t ti = 0; ti < train.size(); ++ti) {
+    const int limit = std::min(r.best, max_distance);
+    const int d = feat::hamming_distance_bounded(qd, train[ti], limit);
+    if (d < r.best) {
+      r.best = d;
+      r.best_index = ti;
+    }
+  }
+  return r;
+}
+
+// Clean lane: query chunks fan out over the pool; per-chunk match vectors
+// concatenated in chunk order reproduce the sequential ascending-query
+// order exactly.
+std::vector<match> match_descriptors_clean(const feat::frame_features& query,
+                                           const feat::frame_features& train,
+                                           const match_params& params) {
+  std::vector<match> out;
+  if (query.empty() || train.empty()) return out;
+
+  const auto nq = static_cast<std::int64_t>(query.size());
+  constexpr std::int64_t query_chunk = 32;
+  const std::size_t chunks =
+      core::thread_pool::chunk_count(0, nq, query_chunk);
+  std::vector<std::vector<match>> partial(chunks);
+
+  core::thread_pool::global().parallel_for(
+      0, nq, query_chunk,
+      [&](std::int64_t q0, std::int64_t q1, std::size_t chunk) {
+        auto& local = partial[chunk];
+        for (std::int64_t qi = q0; qi < q1; ++qi) {
+          const feat::descriptor& qd =
+              query.descriptors[static_cast<std::size_t>(qi)];
+          const best_pair r =
+              params.mode == match_mode::ratio_test
+                  ? scan_ratio(qd, train.descriptors)
+                  : scan_simple(qd, train.descriptors, params.max_distance);
+          bool accept = false;
+          if (params.mode == match_mode::ratio_test) {
+            accept = r.second < 257 &&
+                     static_cast<double>(r.best) <
+                         params.ratio * static_cast<double>(r.second);
+          } else {
+            accept = r.best <= params.max_distance;
+          }
+          if (accept) {
+            local.push_back(match{static_cast<int>(qi),
+                                  static_cast<int>(r.best_index), r.best});
+          }
+        }
+      });
+
+  std::size_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  out.reserve(total);
+  for (const auto& p : partial) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace
+
 std::vector<match> match_descriptors(const feat::frame_features& query,
                                      const feat::frame_features& train,
                                      const match_params& params) {
+  if (!rt::tls.enabled) return match_descriptors_clean(query, train, params);
   rt::scope attributed(rt::fn::match);
   std::vector<match> out;
   if (query.empty() || train.empty()) return out;
@@ -27,10 +123,15 @@ std::vector<match> match_descriptors(const feat::frame_features& query,
     int second = 257;
     std::size_t best_index = 0;
     if (params.mode == match_mode::ratio_test) {
-      // Baseline 2-NN search: every candidate's full distance is needed to
-      // maintain the two nearest neighbours for the ratio test.
+      // Baseline 2-NN search.  The 2-NN invariant only needs exact
+      // distances below the running second-best: any candidate at or above
+      // `second` changes neither neighbour, so the scan is bounded by
+      // `second` and clips larger distances to second + 1 (which every
+      // comparison below rejects).  Match output is identical to the full
+      // unbounded scan.
       for (std::size_t ti = 0; ti < nt; ++ti) {
-        const int d = feat::hamming_distance(qd, train.descriptors[ti]);
+        const int d =
+            feat::hamming_distance_bounded(qd, train.descriptors[ti], second);
         if (d < best) {
           second = best;
           best = d;

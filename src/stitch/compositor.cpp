@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "core/thread_pool.h"
 #include "image/pixel.h"
 #include "rt/instrument.h"
 
@@ -28,13 +29,28 @@ bool compositor::ensure(const geo::rect& world_rect) {
     // Blit the old canvas into its position inside the grown one.
     const int off_x = bounds_.x0 - merged.x0;
     const int off_y = bounds_.y0 - merged.y0;
-    for (int y = 0; y < pixels_.height(); ++y) {
-      for (int x = 0; x < pixels_.width(); ++x) {
-        new_pixels.at(x + off_x, y + off_y) = pixels_.at(x, y);
-        new_mask.at(x + off_x, y + off_y) = mask_.at(x, y);
+    if (!rt::tls.enabled) {
+      // Clean lane: rows land in disjoint destination rows.
+      core::thread_pool::global().parallel_for(
+          0, pixels_.height(), 64,
+          [&](std::int64_t y0, std::int64_t y1, std::size_t) {
+            for (int y = static_cast<int>(y0); y < y1; ++y) {
+              for (int x = 0; x < pixels_.width(); ++x) {
+                new_pixels.at(x + off_x, y + off_y) = pixels_.at(x, y);
+                new_mask.at(x + off_x, y + off_y) = mask_.at(x, y);
+              }
+            }
+          });
+    } else {
+      for (int y = 0; y < pixels_.height(); ++y) {
+        for (int x = 0; x < pixels_.width(); ++x) {
+          new_pixels.at(x + off_x, y + off_y) = pixels_.at(x, y);
+          new_mask.at(x + off_x, y + off_y) = mask_.at(x, y);
+        }
+        // Row blits are wide vector copies: ~1 dynamic op per 4 pixels.
+        rt::account(rt::op::mem,
+                    static_cast<std::uint64_t>(pixels_.width()) / 4);
       }
-      // Row blits are wide vector copies: ~1 dynamic op per 4 pixels.
-      rt::account(rt::op::mem, static_cast<std::uint64_t>(pixels_.width()) / 4);
     }
   }
   pixels_ = std::move(new_pixels);
@@ -45,6 +61,10 @@ bool compositor::ensure(const geo::rect& world_rect) {
 
 void compositor::blend(const geo::warped_patch& patch, bool gain_compensate) {
   if (patch.pixels.empty()) return;
+  if (!rt::tls.enabled) {
+    blend_clean(patch, gain_compensate);
+    return;
+  }
   rt::scope attributed(rt::fn::stitch);
   if (pixels_.empty()) {
     throw invalid_argument("compositor::blend: ensure() the canvas first");
@@ -102,8 +122,84 @@ void compositor::blend(const geo::warped_patch& patch, bool gain_compensate) {
   }
 }
 
+void compositor::blend_clean(const geo::warped_patch& patch,
+                             bool gain_compensate) {
+  if (pixels_.empty()) {
+    throw invalid_argument("compositor::blend: ensure() the canvas first");
+  }
+  const std::size_t n = pixels_.size();
+  std::uint8_t* dst = pixels_.data();
+  std::uint8_t* cov = mask_.data();
+
+  // Gain estimation stays sequential: it is a light pass, and keeping the
+  // floating-point accumulation order identical to the instrumented lane is
+  // what keeps the blended bytes identical.
+  double gain = 1.0;
+  if (gain_compensate) {
+    double sum_patch = 0.0;
+    double sum_canvas = 0.0;
+    std::size_t overlap = 0;
+    for (int y = 0; y < patch.pixels.height(); ++y) {
+      const std::int64_t row_base =
+          (static_cast<std::int64_t>(patch.y0 - bounds_.y0 + y)) *
+              pixels_.width() +
+          (patch.x0 - bounds_.x0);
+      for (int x = 0; x < patch.pixels.width(); ++x) {
+        if (patch.valid.at(x, y) == 0) continue;
+        const auto at = static_cast<std::size_t>(row_base + x);
+        if (cov[at] == 0) continue;
+        sum_patch += patch.pixels.at(x, y);
+        sum_canvas += dst[at];
+        ++overlap;
+      }
+    }
+    if (overlap > 64 && sum_patch > 0.0) {
+      gain = std::clamp(sum_canvas / sum_patch, 0.7, 1.4);
+    }
+  }
+
+  // Paint pass: patch rows map to disjoint canvas rows, so row bands fan
+  // out; per-band seam-candidate lists concatenated in band order reproduce
+  // the sequential discovery order that feather_seams depends on.
+  const int patch_h = patch.pixels.height();
+  constexpr std::int64_t blend_band = 32;
+  const std::size_t bands =
+      core::thread_pool::chunk_count(0, patch_h, blend_band);
+  std::vector<std::vector<std::size_t>> band_seams(bands);
+  core::thread_pool::global().parallel_for(
+      0, patch_h, blend_band,
+      [&](std::int64_t y0, std::int64_t y1, std::size_t band) {
+        auto& seams = band_seams[band];
+        for (int y = static_cast<int>(y0); y < y1; ++y) {
+          const std::int64_t row_base =
+              (static_cast<std::int64_t>(patch.y0 - bounds_.y0 + y)) *
+                  pixels_.width() +
+              (patch.x0 - bounds_.x0);
+          for (int x = 0; x < patch.pixels.width(); ++x) {
+            if (patch.valid.at(x, y) == 0) continue;
+            const auto at = static_cast<std::size_t>(row_base + x);
+            // Unreachable after ensure(); same library-bug trap as rt::idx.
+            if (at >= n) rt::detail::raise_logic_oob(row_base + x, n);
+            if (cov[at] == 1) seams.push_back(at);  // overwrites old
+            dst[at] = gain == 1.0
+                          ? patch.pixels.at(x, y)
+                          : img::saturate_u8(gain * patch.pixels.at(x, y));
+            cov[at] = 2;  // newest generation
+          }
+        }
+      });
+  for (const auto& seams : band_seams) {
+    seam_candidates_.insert(seam_candidates_.end(), seams.begin(),
+                            seams.end());
+  }
+}
+
 void compositor::feather_seams() {
   if (pixels_.empty()) return;
+  if (!rt::tls.enabled) {
+    feather_seams_clean();
+    return;
+  }
   rt::scope attributed(rt::fn::stitch);
   const int w = pixels_.width();
   const int h = pixels_.height();
@@ -149,6 +245,57 @@ void compositor::feather_seams() {
     if (mask_[i] == 2) mask_[i] = 1;
   }
   rt::account(rt::op::mem, n / 8);
+  seam_candidates_.clear();
+}
+
+void compositor::feather_seams_clean() {
+  const int w = pixels_.width();
+  const int h = pixels_.height();
+  const std::size_t n = pixels_.size();
+  const std::uint8_t* cov = mask_.data();
+  std::uint8_t* dst = pixels_.data();
+
+  // The smoothing sweep stays sequential: a seam pixel's 3x3 mean may read
+  // neighbours smoothed earlier in the candidate list, so iteration order
+  // is part of the output.  It only visits boundary pixels — the O(canvas)
+  // work is the generation demotion below, which does fan out.
+  for (const std::size_t at : seam_candidates_) {
+    const int x = static_cast<int>(at % static_cast<std::size_t>(w));
+    const int y = static_cast<int>(at / static_cast<std::size_t>(w));
+    const bool seam =
+        (x > 0 && cov[at - 1] == 1) || (x + 1 < w && cov[at + 1] == 1) ||
+        (y > 0 && cov[at - static_cast<std::size_t>(w)] == 1) ||
+        (y + 1 < h && cov[at + static_cast<std::size_t>(w)] == 1);
+    if (!seam) continue;
+    int sum = 0;
+    int count = 0;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = x + dx;
+        const int ny = y + dy;
+        if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+        const auto neighbour =
+            static_cast<std::size_t>(ny) * static_cast<std::size_t>(w) +
+            static_cast<std::size_t>(nx);
+        if (cov[neighbour] == 0) continue;
+        sum += dst[neighbour];
+        ++count;
+      }
+    }
+    if (count > 0) {
+      dst[at] = static_cast<std::uint8_t>((sum + count / 2) / count);
+    }
+  }
+
+  for (const std::size_t at : seam_candidates_) mask_[at] = 1;
+  std::uint8_t* mask_data = mask_.data();
+  core::thread_pool::global().parallel_for(
+      0, static_cast<std::int64_t>(n), 1 << 16,
+      [&](std::int64_t i0, std::int64_t i1, std::size_t) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          if (mask_data[i] == 2) mask_data[i] = 1;
+        }
+      });
   seam_candidates_.clear();
 }
 

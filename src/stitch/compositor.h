@@ -56,6 +56,11 @@ class compositor {
   [[nodiscard]] img::image_u8 render() const;
 
  private:
+  // Clean-lane (parallel, hook-free) twins of the hot compositing passes,
+  // dispatched when instrumentation is off.  Byte-identical output.
+  void blend_clean(const geo::warped_patch& patch, bool gain_compensate);
+  void feather_seams_clean();
+
   std::size_t max_pixels_;
   geo::rect bounds_;
   img::image_u8 pixels_;

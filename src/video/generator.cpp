@@ -1,9 +1,11 @@
 #include "video/generator.h"
 
 #include <cmath>
+#include <vector>
 
 #include "core/error.h"
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "geometry/warp.h"
 #include "image/pixel.h"
 #include "rt/instrument.h"
@@ -52,6 +54,7 @@ img::image_u8 synthetic_video::frame(int index) const {
   if (index < 0 || index >= frame_count()) {
     throw invalid_argument("synthetic_video::frame: index out of range");
   }
+  if (!rt::tls.enabled) return frame_clean(index);
   rt::scope attributed(rt::fn::video_decode);
 
   const geo::mat3 to_scene =
@@ -78,9 +81,56 @@ img::image_u8 synthetic_video::frame(int index) const {
     rt::account(rt::op::mem, static_cast<std::uint64_t>(out.width()) * 6);
   }
 
+  overlay_clutter(out, to_scene, index);
+  return out;
+}
+
+img::image_u8 synthetic_video::frame_clean(int index) const {
+  const geo::mat3 to_scene =
+      pose_to_scene(path_[static_cast<std::size_t>(index)],
+                    params_.frame_width, params_.frame_height);
+
+  img::image_u8 out(params_.frame_width, params_.frame_height, 1);
+  rng noise(params_.seed * 0x51ed2701ULL + static_cast<std::uint64_t>(index));
+
+  // The per-pixel normal() draws are replicated up front in raster order:
+  // Box–Muller caches a spare draw, so the stream is call-order-sensitive
+  // and must match the instrumented lane's one-call-per-pixel sequence.
+  std::vector<double> noise_buf;
+  const bool noisy = params_.sensor_noise_sigma > 0.0;
+  if (noisy) {
+    noise_buf.resize(out.size());
+    for (auto& v : noise_buf) v = noise.normal();
+  }
+
+  const int w = out.width();
+  core::thread_pool::global().parallel_for(
+      0, out.height(), 8, [&](std::int64_t y0, std::int64_t y1, std::size_t) {
+        for (int y = static_cast<int>(y0); y < y1; ++y) {
+          for (int x = 0; x < w; ++x) {
+            const geo::vec2 s = to_scene.apply({x + 0.5, y + 0.5});
+            const auto v = geo::sample_bilinear(scene_, s.x, s.y);
+            double pixel = v ? static_cast<double>(*v) : 0.0;
+            if (noisy) {
+              pixel += noise_buf[static_cast<std::size_t>(y) * w + x] *
+                       params_.sensor_noise_sigma;
+            }
+            out.at(x, y) = img::saturate_u8(pixel);
+          }
+        }
+      });
+
+  overlay_clutter(out, to_scene, index);
+  return out;
+}
+
+void synthetic_video::overlay_clutter(img::image_u8& out,
+                                      const geo::mat3& to_scene,
+                                      int index) const {
   // Dynamic clutter overlay: each point's position is a pure function of
   // (seed, point id, relocation epoch), so it is stable while the point
-  // survives and jumps when it relocates.
+  // survives and jumps when it relocates.  Points blend over one another in
+  // id order, so both lanes run this sequentially.
   if (!clutter_epoch_.empty()) {
     const auto from_scene = to_scene.inverse();
     if (from_scene) {
@@ -160,7 +210,6 @@ img::image_u8 synthetic_video::frame(int index) const {
       rt::account(rt::op::fp_alu, clutter_epoch_.size() * 6);
     }
   }
-  return out;
 }
 
 frame_list::frame_list(std::vector<img::image_u8> frames)

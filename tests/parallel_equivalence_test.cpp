@@ -1,0 +1,249 @@
+// Two-lane equivalence: the parallel clean lane must produce byte-identical
+// results to the sequential instrumented lane, at every pool width.
+//
+// The reference is each kernel run inside an rt::session with no fault armed
+// (hooks enabled but value-preserving — the exact stream a fault campaign
+// replays).  The candidate is the same kernel with instrumentation off,
+// which dispatches to the thread-pool clean lane.  Any divergence here would
+// mean the production path and the studied path are different programs, so
+// everything is compared exactly: pixels, keypoints, descriptors, matches.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "app/pipeline.h"
+#include "core/thread_pool.h"
+#include "features/fast.h"
+#include "features/orb.h"
+#include "features/pyramid.h"
+#include "geometry/warp.h"
+#include "match/matcher.h"
+#include "rt/instrument.h"
+#include "video/generator.h"
+
+namespace vs {
+namespace {
+
+/// Pool widths each clean-lane run is repeated at.  Determinism across
+/// widths is the pool's core guarantee; width 1 also exercises the inline
+/// path.
+constexpr unsigned kWidths[] = {1, 2, 4};
+
+/// Restores the global pool to automatic width when a test exits.
+struct pool_width_guard {
+  ~pool_width_guard() { core::thread_pool::set_global_threads(0); }
+};
+
+const video::synthetic_video& clip(video::input_id id) {
+  static const auto one = video::make_input(video::input_id::input1, 8);
+  static const auto two = video::make_input(video::input_id::input2, 8);
+  return id == video::input_id::input1 ? *one : *two;
+}
+
+img::image_u8 test_frame(video::input_id id, int index) {
+  rt::session session;  // render the reference frame on the instrumented lane
+  return clip(id).frame(index);
+}
+
+void expect_same_keypoints(const std::vector<feat::keypoint>& a,
+                           const std::vector<feat::keypoint>& b,
+                           unsigned width) {
+  ASSERT_EQ(a.size(), b.size()) << "pool width " << width;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(feat::keypoint)), 0)
+        << "keypoint " << i << " at pool width " << width;
+  }
+}
+
+TEST(ParallelEquivalence, FastDetect) {
+  const pool_width_guard guard;
+  const auto gray = test_frame(video::input_id::input1, 3);
+  feat::fast_params params;
+  std::vector<feat::keypoint> reference;
+  {
+    rt::session session;
+    reference = feat::fast_detect(gray, params);
+  }
+  for (const unsigned width : kWidths) {
+    core::thread_pool::set_global_threads(width);
+    expect_same_keypoints(reference, feat::fast_detect(gray, params), width);
+  }
+}
+
+TEST(ParallelEquivalence, OrbExtract) {
+  const pool_width_guard guard;
+  const auto gray = test_frame(video::input_id::input2, 2);
+  feat::orb_params params;
+  feat::frame_features reference;
+  {
+    rt::session session;
+    reference = feat::orb_extract(gray, params);
+  }
+  for (const unsigned width : kWidths) {
+    core::thread_pool::set_global_threads(width);
+    const auto clean = feat::orb_extract(gray, params);
+    expect_same_keypoints(reference.keypoints, clean.keypoints, width);
+    ASSERT_EQ(reference.descriptors.size(), clean.descriptors.size());
+    for (std::size_t i = 0; i < reference.descriptors.size(); ++i) {
+      EXPECT_EQ(reference.descriptors[i], clean.descriptors[i])
+          << "descriptor " << i << " at pool width " << width;
+    }
+  }
+}
+
+TEST(ParallelEquivalence, MatchDescriptorsBothModes) {
+  const pool_width_guard guard;
+  feat::frame_features query;
+  feat::frame_features train;
+  {
+    rt::session session;
+    query = feat::orb_extract(test_frame(video::input_id::input1, 4),
+                              feat::orb_params{});
+    train = feat::orb_extract(test_frame(video::input_id::input1, 5),
+                              feat::orb_params{});
+  }
+  ASSERT_FALSE(query.empty());
+  ASSERT_FALSE(train.empty());
+  for (const auto mode :
+       {match::match_mode::ratio_test, match::match_mode::simple}) {
+    match::match_params params;
+    params.mode = mode;
+    std::vector<match::match> reference;
+    {
+      rt::session session;
+      reference = match::match_descriptors(query, train, params);
+    }
+    for (const unsigned width : kWidths) {
+      core::thread_pool::set_global_threads(width);
+      const auto clean = match::match_descriptors(query, train, params);
+      ASSERT_EQ(reference.size(), clean.size()) << "pool width " << width;
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(reference[i].query, clean[i].query);
+        EXPECT_EQ(reference[i].train, clean[i].train);
+        EXPECT_EQ(reference[i].distance, clean[i].distance);
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalence, WarpPerspective) {
+  const pool_width_guard guard;
+  const auto src = test_frame(video::input_id::input2, 1);
+  geo::mat3 h = geo::mat3::identity();
+  h(0, 0) = 0.98;
+  h(0, 1) = 0.05;
+  h(0, 2) = 3.5;
+  h(1, 0) = -0.04;
+  h(1, 1) = 1.02;
+  h(1, 2) = -2.25;
+  h(2, 0) = 1e-4;
+  h(2, 1) = -5e-5;
+  const geo::rect out_rect{-8, -8, src.width() + 16, src.height() + 16};
+  geo::warped_patch reference;
+  {
+    rt::session session;
+    reference = geo::warp_perspective(src, h, out_rect);
+  }
+  for (const unsigned width : kWidths) {
+    core::thread_pool::set_global_threads(width);
+    const auto clean = geo::warp_perspective(src, h, out_rect);
+    EXPECT_EQ(reference.pixels, clean.pixels) << "pool width " << width;
+    EXPECT_EQ(reference.valid, clean.valid) << "pool width " << width;
+    EXPECT_EQ(reference.x0, clean.x0);
+    EXPECT_EQ(reference.y0, clean.y0);
+  }
+}
+
+TEST(ParallelEquivalence, ResizeBilinear) {
+  const pool_width_guard guard;
+  const auto src = test_frame(video::input_id::input1, 0);
+  img::image_u8 reference;
+  {
+    rt::session session;
+    reference = feat::resize_bilinear(src, 77, 53);
+  }
+  for (const unsigned width : kWidths) {
+    core::thread_pool::set_global_threads(width);
+    EXPECT_EQ(reference, feat::resize_bilinear(src, 77, 53))
+        << "pool width " << width;
+  }
+}
+
+TEST(ParallelEquivalence, SyntheticFrameRendering) {
+  const pool_width_guard guard;
+  for (const auto id : {video::input_id::input1, video::input_id::input2}) {
+    for (const int index : {0, 3, 7}) {
+      const auto reference = test_frame(id, index);
+      for (const unsigned width : kWidths) {
+        core::thread_pool::set_global_threads(width);
+        EXPECT_EQ(reference, clip(id).frame(index))
+            << video::input_name(id) << " frame " << index << " at pool width "
+            << width;
+      }
+    }
+  }
+}
+
+void expect_same_summary(const app::summary_result& a,
+                         const app::summary_result& b, unsigned width) {
+  EXPECT_EQ(a.panorama, b.panorama) << "pool width " << width;
+  ASSERT_EQ(a.mini_panoramas.size(), b.mini_panoramas.size());
+  for (std::size_t i = 0; i < a.mini_panoramas.size(); ++i) {
+    EXPECT_EQ(a.mini_panoramas[i], b.mini_panoramas[i])
+        << "mini-panorama " << i << " at pool width " << width;
+  }
+  EXPECT_EQ(a.stats.frames_total, b.stats.frames_total);
+  EXPECT_EQ(a.stats.frames_dropped_rfd, b.stats.frames_dropped_rfd);
+  EXPECT_EQ(a.stats.frames_stitched, b.stats.frames_stitched);
+  EXPECT_EQ(a.stats.frames_discarded, b.stats.frames_discarded);
+  EXPECT_EQ(a.stats.homography_alignments, b.stats.homography_alignments);
+  EXPECT_EQ(a.stats.affine_alignments, b.stats.affine_alignments);
+  EXPECT_EQ(a.stats.mini_panoramas, b.stats.mini_panoramas);
+  EXPECT_EQ(a.stats.keypoints_detected, b.stats.keypoints_detected);
+  EXPECT_EQ(a.stats.keypoints_matched_on, b.stats.keypoints_matched_on);
+  EXPECT_EQ(a.stats.total_matches, b.stats.total_matches);
+  ASSERT_EQ(a.placements.size(), b.placements.size());
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].frame_index, b.placements[i].frame_index);
+    EXPECT_EQ(a.placements[i].panorama_index, b.placements[i].panorama_index);
+  }
+}
+
+TEST(ParallelEquivalence, EndToEndBothInputs) {
+  const pool_width_guard guard;
+  for (const auto id : {video::input_id::input1, video::input_id::input2}) {
+    const auto& source = clip(id);
+    app::summary_result reference;
+    {
+      rt::session session;
+      reference = app::summarize(source, app::pipeline_config{});
+    }
+    for (const unsigned width : kWidths) {
+      core::thread_pool::set_global_threads(width);
+      const auto clean = app::summarize(source, app::pipeline_config{});
+      expect_same_summary(reference, clean, width);
+    }
+  }
+}
+
+TEST(ParallelEquivalence, EndToEndApproximateVariants) {
+  const pool_width_guard guard;
+  const auto& source = clip(video::input_id::input1);
+  for (const auto alg : {app::algorithm::vs_rfd, app::algorithm::vs_kds,
+                         app::algorithm::vs_sm}) {
+    app::pipeline_config config;
+    config.approx.alg = alg;
+    app::summary_result reference;
+    {
+      rt::session session;
+      reference = app::summarize(source, config);
+    }
+    core::thread_pool::set_global_threads(4);
+    const auto clean = app::summarize(source, config);
+    expect_same_summary(reference, clean, 4);
+  }
+}
+
+}  // namespace
+}  // namespace vs

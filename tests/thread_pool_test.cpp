@@ -1,0 +1,144 @@
+// Unit tests for the clean-lane fork-join pool: fixed tiling, coverage,
+// error propagation, and the nested-parallelism inline fallback.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace vs::core {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  thread_pool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, 7,
+                    [&](std::int64_t begin, std::int64_t end, std::size_t) {
+                      for (std::int64_t i = begin; i < end; ++i) {
+                        hits[static_cast<std::size_t>(i)].fetch_add(1);
+                      }
+                    });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkBoundariesIndependentOfWidth) {
+  using tile = std::tuple<std::int64_t, std::int64_t, std::size_t>;
+  auto tiling_of = [](unsigned threads) {
+    thread_pool pool(threads);
+    std::mutex m;
+    std::vector<tile> tiles;
+    pool.parallel_for(3, 250, 17,
+                      [&](std::int64_t begin, std::int64_t end,
+                          std::size_t chunk) {
+                        const std::scoped_lock lock(m);
+                        tiles.emplace_back(begin, end, chunk);
+                      });
+    std::sort(tiles.begin(), tiles.end(),
+              [](const tile& a, const tile& b) {
+                return std::get<2>(a) < std::get<2>(b);
+              });
+    return tiles;
+  };
+  const auto one = tiling_of(1);
+  const auto two = tiling_of(2);
+  const auto eight = tiling_of(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  EXPECT_EQ(one.size(), thread_pool::chunk_count(3, 250, 17));
+  // Chunks must be contiguous, ordered by index, and cover [3, 250).
+  std::int64_t expect_begin = 3;
+  for (std::size_t c = 0; c < one.size(); ++c) {
+    EXPECT_EQ(std::get<0>(one[c]), expect_begin);
+    EXPECT_EQ(std::get<2>(one[c]), c);
+    expect_begin = std::get<1>(one[c]);
+  }
+  EXPECT_EQ(expect_begin, 250);
+}
+
+TEST(ThreadPool, ChunkCountMatchesCeilDiv) {
+  EXPECT_EQ(thread_pool::chunk_count(0, 10, 3), 4u);
+  EXPECT_EQ(thread_pool::chunk_count(0, 9, 3), 3u);
+  EXPECT_EQ(thread_pool::chunk_count(5, 5, 3), 0u);
+  EXPECT_EQ(thread_pool::chunk_count(5, 4, 3), 0u);
+  EXPECT_EQ(thread_pool::chunk_count(0, 1, 1000), 1u);
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody) {
+  thread_pool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(10, 10, 4,
+                    [&](std::int64_t, std::int64_t, std::size_t) { ++calls; });
+  pool.parallel_for(10, 3, 4,
+                    [&](std::int64_t, std::int64_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, LowestFailingChunkExceptionWins) {
+  thread_pool pool(4);
+  try {
+    pool.parallel_for(0, 64, 4,
+                      [&](std::int64_t, std::int64_t, std::size_t chunk) {
+                        throw std::runtime_error(std::to_string(chunk));
+                      });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
+  }
+  // The pool must still be usable after a failed loop.
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 8, 1,
+                    [&](std::int64_t begin, std::int64_t, std::size_t) {
+                      sum += static_cast<int>(begin);
+                    });
+  EXPECT_EQ(sum.load(), 28);
+}
+
+TEST(ThreadPool, NestedCallsRunInlineWithoutDeadlock) {
+  thread_pool pool(4);
+  std::vector<std::atomic<int>> hits(32 * 32);
+  pool.parallel_for(0, 32, 2,
+                    [&](std::int64_t y0, std::int64_t y1, std::size_t) {
+                      for (std::int64_t y = y0; y < y1; ++y) {
+                        pool.parallel_for(
+                            0, 32, 4,
+                            [&](std::int64_t x0, std::int64_t x1,
+                                std::size_t) {
+                              for (std::int64_t x = x0; x < x1; ++x) {
+                                hits[static_cast<std::size_t>(y * 32 + x)]
+                                    .fetch_add(1);
+                              }
+                            });
+                      }
+                    });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  thread_pool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(0, 40, 8,
+                    [&](std::int64_t, std::int64_t, std::size_t chunk) {
+                      order.push_back(chunk);  // no lock: inline == this thread
+                    });
+  const std::vector<std::size_t> expected = {0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, GlobalWidthOverride) {
+  thread_pool::set_global_threads(2);
+  EXPECT_EQ(thread_pool::global().thread_count(), 2u);
+  thread_pool::set_global_threads(3);
+  EXPECT_EQ(thread_pool::global().thread_count(), 3u);
+  thread_pool::set_global_threads(0);  // restore automatic width
+  EXPECT_GE(thread_pool::global().thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace vs::core
