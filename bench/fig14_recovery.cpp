@@ -1,0 +1,184 @@
+// Fig 14 (extension study): recovery-aware resiliency under the src/resil/
+// fault-containment subsystem.
+//
+// For each input, runs the same GPR campaign at four cumulative hardening
+// levels — off / detectors / +CFCSS / +replication — and reports how much
+// of the unhardened Crash+SDC mass the containment machinery converts into
+// Detected(recovered)/Detected(degraded), plus the fault-free wall-time
+// overhead each level costs on the production (clean) lane.
+//
+// Writes a machine-readable JSON summary (BENCH_fig14_recovery.json) next
+// to the human table.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "fault/detectors.h"
+#include "resil/hardening.h"
+#include "rt/instrument.h"
+
+namespace {
+
+using namespace vs;
+
+const std::vector<resil::hardening_level>& all_levels() {
+  static const std::vector<resil::hardening_level> levels = {
+      resil::hardening_level::off, resil::hardening_level::detectors,
+      resil::hardening_level::cfcss, resil::hardening_level::full};
+  return levels;
+}
+
+/// Fault-free wall time of one clean-lane pipeline run (best of `reps`).
+double wall_ms(const video::video_source& source,
+               const app::pipeline_config& config, int reps) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = app::summarize(source, config);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (result.panorama.empty()) std::abort();  // keep the run observable
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+struct level_row {
+  resil::hardening_level level = resil::hardening_level::off;
+  fault::outcome_rates rates;
+  double wall = 0.0;      ///< fault-free clean-lane wall time, ms
+  double overhead = 1.0;  ///< wall / wall(off)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = benchutil::parse_options(argc, argv);
+  const int fault_frames = std::min(opt.frames, 20);
+  const int timing_reps = opt.quick ? 2 : 3;
+
+  benchutil::heading(
+      "Fig 14: recovery-aware resiliency under cumulative hardening (GPR)");
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"register_class\": \"gpr\",\n"
+       << "  \"injections\": " << opt.injections << ",\n"
+       << "  \"frames\": " << fault_frames << ",\n"
+       << "  \"inputs\": [";
+
+  bool first_input = true;
+  for (const auto input : benchutil::all_inputs()) {
+    const auto source = video::make_input(input, fault_frames);
+
+    // Calibrate the hardening once per input from a fault-free profiled
+    // run (budgets from the instrumented-lane op counts, detector
+    // envelopes from the golden output) — no golden knowledge leaks into
+    // the hardened runs beyond what a deployed system would have.
+    resil::stage_budget_config budgets;
+    std::optional<fault::detector_calibration> calibration;
+    {
+      const auto config = benchutil::variant_config(app::algorithm::vs);
+      rt::session profile;
+      const auto golden = app::summarize(*source, config).panorama;
+      budgets = resil::derive_stage_budgets(profile.stats(), fault_frames);
+      calibration = fault::calibrate_detectors({golden});
+    }
+
+    std::printf("\n%s (%d frames, %d injections)\n", video::input_name(input),
+                fault_frames, opt.injections);
+    std::printf("%-10s %8s %8s %8s %8s %9s %9s %9s %9s\n", "level", "mask",
+                "crash", "sdc", "hang", "det-rec", "det-deg", "wall-ms",
+                "overhead");
+
+    std::vector<level_row> rows;
+    for (const auto level : all_levels()) {
+      auto config = benchutil::variant_config(app::algorithm::vs);
+      config.hardening.level = level;
+      if (config.hardening.enabled()) {
+        config.hardening.stage_budgets = budgets;
+        config.hardening.calibration = calibration;
+      }
+
+      level_row row;
+      row.level = level;
+      row.wall = wall_ms(*source, config, timing_reps);
+      row.overhead = rows.empty() ? 1.0 : row.wall / rows.front().wall;
+
+      fault::campaign_config campaign;
+      campaign.cls = rt::reg_class::gpr;
+      campaign.injections = opt.injections;
+      campaign.seed = opt.seed;
+      campaign.threads = opt.threads;
+      row.rates = fault::run_campaign(benchutil::vs_workload(source, config),
+                                      campaign)
+                      .rates;
+      rows.push_back(row);
+
+      const auto& r = row.rates;
+      std::printf(
+          "%-10s %8s %8s %8s %8s %9s %9s %9.1f %8.2fx\n",
+          resil::hardening_level_name(level),
+          benchutil::pct(r.rate(fault::outcome::masked)).c_str(),
+          benchutil::pct(r.crash_rate()).c_str(),
+          benchutil::pct(r.rate(fault::outcome::sdc)).c_str(),
+          benchutil::pct(r.rate(fault::outcome::hang)).c_str(),
+          benchutil::pct(r.rate(fault::outcome::detected_recovered)).c_str(),
+          benchutil::pct(r.rate(fault::outcome::detected_degraded)).c_str(),
+          row.wall, row.overhead);
+    }
+
+    const auto crash_sdc = [](const fault::outcome_rates& r) {
+      return r.crash_rate() + r.rate(fault::outcome::sdc);
+    };
+    const double before = crash_sdc(rows.front().rates);
+    const double after = crash_sdc(rows.back().rates);
+    const double reduction = before > 0.0 ? 1.0 - after / before : 0.0;
+    std::printf("Crash+SDC: %s -> %s under full hardening (%.0f%% reduction)\n",
+                benchutil::pct(before).c_str(), benchutil::pct(after).c_str(),
+                100.0 * reduction);
+
+    json << (first_input ? "" : ",") << "\n    {\n"
+         << "      \"input\": \"" << video::input_name(input) << "\",\n"
+         << "      \"crash_sdc_reduction_full_vs_off\": " << reduction
+         << ",\n"
+         << "      \"levels\": [";
+    first_input = false;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      const auto& r = row.rates;
+      json << (i == 0 ? "" : ",") << "\n        {\n"
+           << "          \"level\": \""
+           << resil::hardening_level_name(row.level) << "\",\n"
+           << "          \"experiments\": " << r.experiments << ",\n"
+           << "          \"masked\": " << r.masked << ",\n"
+           << "          \"sdc\": " << r.sdc << ",\n"
+           << "          \"crash_segfault\": " << r.crash_segfault << ",\n"
+           << "          \"crash_abort\": " << r.crash_abort << ",\n"
+           << "          \"hang\": " << r.hang << ",\n"
+           << "          \"detected_recovered\": " << r.detected_recovered
+           << ",\n"
+           << "          \"detected_degraded\": " << r.detected_degraded
+           << ",\n"
+           << "          \"crash_sdc_rate\": " << crash_sdc(r) << ",\n"
+           << "          \"wall_ms\": " << row.wall << ",\n"
+           << "          \"overhead\": " << row.overhead << "\n"
+           << "        }";
+    }
+    json << "\n      ]\n    }";
+  }
+  json << "\n  ]\n}\n";
+
+  const std::string path =
+      (opt.out_dir.empty() ? std::string(".") : opt.out_dir) +
+      "/BENCH_fig14_recovery.json";
+  std::ofstream out(path);
+  out << json.str();
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

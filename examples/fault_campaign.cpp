@@ -1,34 +1,71 @@
 // Run a fault-injection campaign from the command line — the AFI workflow
 // of Section V in miniature.
 //
-//   $ ./fault_campaign [algorithm] [gpr|fpr] [injections] [frames]
+//   $ ./fault_campaign [algorithm] [gpr|fpr] [injections] [frames] [--harden[=LEVEL]]
 //
 // Example: ./fault_campaign VS_RFD gpr 500 20
+//          ./fault_campaign VS gpr 50 10 --harden        (full hardening)
+//          ./fault_campaign VS gpr 50 10 --harden=cfcss
+//
+// With --harden the workload runs under the src/resil/ containment
+// subsystem: stage budgets and output-detector envelopes are calibrated
+// from one fault-free profiled run first.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "app/pipeline.h"
 #include "fault/campaign.h"
 #include "fault/coverage.h"
+#include "fault/detectors.h"
 #include "quality/sdc.h"
+#include "resil/hardening.h"
+#include "rt/instrument.h"
 #include "video/generator.h"
 
 int main(int argc, char** argv) {
   using namespace vs;
-  const std::string alg_name = argc > 1 ? argv[1] : "VS";
-  const bool fpr = argc > 2 && std::strcmp(argv[2], "fpr") == 0;
-  const int injections = argc > 3 ? std::atoi(argv[3]) : 300;
-  const int frames = argc > 4 ? std::atoi(argv[4]) : 20;
+  std::vector<std::string> positional;
+  std::string harden_level;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--harden", 8) == 0) {
+      harden_level = argv[i][8] == '=' ? argv[i] + 9 : "full";
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  const std::string alg_name = !positional.empty() ? positional[0] : "VS";
+  const bool fpr = positional.size() > 1 && positional[1] == "fpr";
+  const int injections =
+      positional.size() > 2 ? std::atoi(positional[2].c_str()) : 300;
+  const int frames =
+      positional.size() > 3 ? std::atoi(positional[3].c_str()) : 20;
 
   app::pipeline_config config;
   config.approx.alg = app::parse_algorithm(alg_name);
   const auto source = video::make_input(video::input_id::input1, frames);
 
-  std::printf("campaign: %s, %s, %d injections, %d-frame Input1 clip\n",
+  if (!harden_level.empty()) {
+    config.hardening.level = resil::parse_hardening_level(harden_level);
+    // Calibrate stage budgets and the output-detector envelope from one
+    // fault-free profiled (unhardened) run.
+    app::pipeline_config profile_config = config;
+    profile_config.hardening = resil::hardening_config{};
+    rt::session profile;
+    const img::image_u8 golden =
+        app::summarize(*source, profile_config).panorama;
+    config.hardening.stage_budgets =
+        resil::derive_stage_budgets(profile.stats(), frames);
+    config.hardening.calibration = fault::calibrate_detectors({golden});
+  }
+
+  std::printf("campaign: %s, %s, %d injections, %d-frame Input1 clip%s%s\n",
               app::algorithm_name(config.approx.alg), fpr ? "FPR" : "GPR",
-              injections, frames);
+              injections, frames,
+              harden_level.empty() ? "" : ", hardening=",
+              harden_level.c_str());
 
   fault::campaign_config campaign;
   campaign.cls = fpr ? rt::reg_class::fpr : rt::reg_class::gpr;
@@ -48,6 +85,12 @@ int main(int argc, char** argv) {
               100.0 * r.rate(fault::outcome::sdc));
   std::printf("  hang            %6.2f%%\n",
               100.0 * r.rate(fault::outcome::hang));
+  if (!harden_level.empty()) {
+    std::printf("  detected(rec)   %6.2f%%  (fault caught, output == golden)\n",
+                100.0 * r.rate(fault::outcome::detected_recovered));
+    std::printf("  detected(deg)   %6.2f%%  (fault caught, output degraded)\n",
+                100.0 * r.rate(fault::outcome::detected_degraded));
+  }
 
   // SDC severity, as Section V-D defines it.
   std::vector<quality::sdc_quality> sdcs;

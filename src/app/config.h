@@ -6,6 +6,7 @@
 
 #include "features/orb.h"
 #include "match/matcher.h"
+#include "resil/hardening.h"
 #include "stitch/stitcher.h"
 
 namespace vs::app {
@@ -44,6 +45,11 @@ struct pipeline_config {
   /// calibrated experiments; useful on real footage with auto-gain).
   bool gain_compensation = false;
   std::uint64_t seed = 42;  ///< seeds RANSAC sampling and RFD dropping
+
+  /// Fault containment & recovery (src/resil/).  Off by default: the
+  /// unhardened pipeline is bit-identical — including its instrumented-lane
+  /// hook stream — to builds without the subsystem.
+  resil::hardening_config hardening;
 
   /// Derives the matcher configuration implied by the approximation.
   [[nodiscard]] match::match_params matcher() const {

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <future>
+#include <optional>
 
 #include "core/error.h"
 #include "core/rng.h"
+#include "resil/recovery.h"
+#include "resil/runtime.h"
 #include "rt/instrument.h"
 
 namespace vs::app {
@@ -88,50 +91,99 @@ feat::frame_features subsample_features(const feat::frame_features& features,
 
 }  // namespace
 
-summary_result summarize(const video::video_source& source,
-                         const pipeline_config& config) {
+namespace {
+
+/// Everything one frame of work may mutate, bundled so the recovery
+/// boundary can snapshot it with one copy and restore it with one swap.
+struct pipeline_state {
   summary_result result;
-  result.stats.frames_total = source.frame_count();
-
-  const match::match_params matcher = config.matcher();
-  rng drop_rng(config.seed ^ 0xd20bULL);
-
-  // State of the currently-open mini-panorama.
-  stitch::mini_panorama_builder builder(config.max_panorama_pixels,
-                                        config.gain_compensation);
+  stitch::mini_panorama_builder builder;
   geo::mat3 cumulative = geo::mat3::identity();  // current frame -> anchor
-  feat::frame_features prev_features;            // features of last aligned frame
+  feat::frame_features prev_features;  // features of last aligned frame
   bool have_reference = false;
   int consecutive_discards = 0;
   std::vector<frame_placement> pending_placements;
+  /// Last successful inter-frame motion model (degrade step 1 reuses it to
+  /// place a failing frame by dead reckoning).
+  geo::mat3 last_delta = geo::mat3::identity();
+  bool have_last_delta = false;
+
+  pipeline_state(const pipeline_config& config)
+      : builder(config.max_panorama_pixels, config.gain_compensation) {}
+};
+
+/// Budgeted stage entry: meters the stage under the per-stage watchdog
+/// (hardened runs only) and marks the CFCSS transition.  Every branch is
+/// hook-free, so the unhardened instrumented lane's dynamic op stream is
+/// untouched.
+struct stage_meter {
+  std::optional<rt::stage_scope> scope;
+  stage_meter(bool hardened, std::uint64_t budget, resil::cfcss::node n) {
+    if (hardened) scope.emplace(budget);
+    resil::mark(n);
+  }
+};
+
+}  // namespace
+
+summary_result summarize(const video::video_source& source,
+                         const pipeline_config& config) {
+  const bool hardened = config.hardening.enabled();
+  std::optional<resil::session> hardening(std::nullopt);
+  if (hardened) hardening.emplace(config.hardening);
+
+  pipeline_state st(config);
+  st.result.stats.frames_total = source.frame_count();
+
+  const match::match_params matcher = config.matcher();
+  rng drop_rng(config.seed ^ 0xd20bULL);
 
   auto record_placement = [&](int frame_index, const geo::mat3& transform) {
     frame_placement placement;
     placement.frame_index = frame_index;
     placement.frame_to_anchor = transform;
-    pending_placements.push_back(placement);
+    st.pending_placements.push_back(placement);
+  };
+
+  auto reset_builder = [&] {
+    st.pending_placements.clear();
+    st.builder = stitch::mini_panorama_builder(config.max_panorama_pixels,
+                                               config.gain_compensation);
+    st.cumulative = geo::mat3::identity();
+    st.have_reference = false;
+    st.consecutive_discards = 0;
   };
 
   auto close_mini_panorama = [&] {
-    if (!builder.empty()) {
-      auto pano = builder.render();
+    if (!st.builder.empty()) {
+      auto pano = st.builder.render();
       if (!pano.empty()) {
-        const int pano_index = result.stats.mini_panoramas;
-        for (auto& placement : pending_placements) {
+        const int pano_index = st.result.stats.mini_panoramas;
+        for (auto& placement : st.pending_placements) {
           placement.panorama_index = pano_index;
-          result.placements.push_back(placement);
+          st.result.placements.push_back(placement);
         }
-        result.panorama_bounds.push_back(builder.content_bounds());
-        result.mini_panoramas.push_back(std::move(pano));
-        ++result.stats.mini_panoramas;
+        st.result.panorama_bounds.push_back(st.builder.content_bounds());
+        st.result.mini_panoramas.push_back(std::move(pano));
+        ++st.result.stats.mini_panoramas;
       }
     }
-    pending_placements.clear();
-    builder = stitch::mini_panorama_builder(config.max_panorama_pixels,
-                                            config.gain_compensation);
-    cumulative = geo::mat3::identity();
-    have_reference = false;
-    consecutive_discards = 0;
+    reset_builder();
+  };
+
+  /// Containment for the mini-panorama close itself: the final render walks
+  /// the whole canvas, so corrupted canvas state can crash there.  The
+  /// degradation is losing that one mini-panorama, not the summary.
+  auto close_mini_panorama_contained = [&] {
+    if (!hardened) {
+      close_mini_panorama();
+      return;
+    }
+    if (const auto failure = resil::attempt(close_mini_panorama)) {
+      ++resil::tls.report.panoramas_dropped;
+      ++resil::tls.report.frames_degraded;
+      reset_builder();
+    }
   };
 
   const int frame_count =
@@ -163,94 +215,208 @@ summary_result summarize(const video::video_source& source,
     return frame;
   };
 
-  for (int index = 0; index < frame_count; ++index) {
-    // --- VS_RFD: random input sampling ---------------------------------
-    // The drop decision is drawn for every frame (whatever the variant) so
-    // all variants see identical RNG streams downstream.
-    const bool drop = drop_rng.chance(config.approx.rfd_drop_fraction);
-    if (config.approx.alg == algorithm::vs_rfd && drop) {
-      ++result.stats.frames_dropped_rfd;
-      continue;
+  const auto& budgets = config.hardening.stage_budgets;
+
+  // --- the per-frame unit of work: detect -> describe -> match ->
+  // --- estimate -> composite, exactly the legacy statement order ---------
+  auto frame_body = [&](int index) {
+    if (resil::tls.monitor != nullptr) resil::tls.monitor->begin_frame();
+
+    img::image_u8 frame;
+    {
+      const stage_meter meter(hardened, budgets.acquire,
+                              resil::cfcss::node::acquire);
+      frame = acquire(index);
     }
 
-    const img::image_u8 frame = acquire(index);
-    feat::frame_features features = feat::orb_extract(frame, config.orb);
-    result.stats.keypoints_detected += features.size();
+    feat::frame_features features;
+    {
+      const stage_meter meter(hardened, budgets.extract,
+                              resil::cfcss::node::detect);
+      features = feat::orb_extract(frame, config.orb);
+      resil::mark(resil::cfcss::node::describe);
+    }
+    st.result.stats.keypoints_detected += features.size();
 
     // --- VS_KDS: selective computation ----------------------------------
     if (config.approx.alg == algorithm::vs_kds) {
       features =
           subsample_features(features, config.approx.kds_keypoint_fraction);
     }
-    result.stats.keypoints_matched_on += features.size();
+    st.result.stats.keypoints_matched_on += features.size();
 
-    if (!have_reference) {
+    if (!st.have_reference) {
       // First (usable) frame anchors the mini-panorama.
-      if (builder.add_frame(frame, geo::mat3::identity())) {
-        ++result.stats.frames_stitched;
+      const stage_meter meter(hardened, budgets.composite,
+                              resil::cfcss::node::composite);
+      if (st.builder.add_frame(frame, geo::mat3::identity())) {
+        ++st.result.stats.frames_stitched;
         record_placement(index, geo::mat3::identity());
-        prev_features = std::move(features);
-        have_reference = true;
-        consecutive_discards = 0;
+        st.prev_features = std::move(features);
+        st.have_reference = true;
+        st.consecutive_discards = 0;
       } else {
-        ++result.stats.frames_discarded;
+        ++st.result.stats.frames_discarded;
       }
-      continue;
+      resil::mark(resil::cfcss::node::frame_end);
+      return;
     }
 
-    const auto aligned = stitch::align_frames(
-        features, prev_features, matcher, config.alignment,
-        config.seed + static_cast<std::uint64_t>(index) * 7919u);
+    std::optional<stitch::alignment> aligned;
+    {
+      const stage_meter meter(hardened, budgets.align,
+                              resil::cfcss::node::match);
+      aligned = stitch::align_frames(
+          features, st.prev_features, matcher, config.alignment,
+          config.seed + static_cast<std::uint64_t>(index) * 7919u);
+    }
 
     if (!aligned) {
-      ++result.stats.frames_discarded;
-      if (++consecutive_discards > config.discard_limit) {
+      ++st.result.stats.frames_discarded;
+      if (++st.consecutive_discards > config.discard_limit) {
         // The view changed beyond recovery: close this mini-panorama and
         // anchor a new one at the next usable frame.
+        const stage_meter meter(hardened, budgets.composite,
+                                resil::cfcss::node::composite);
         close_mini_panorama();
-        if (builder.add_frame(frame, geo::mat3::identity())) {
-          ++result.stats.frames_stitched;
-          --result.stats.frames_discarded;  // it became the new anchor
+        if (st.builder.add_frame(frame, geo::mat3::identity())) {
+          ++st.result.stats.frames_stitched;
+          --st.result.stats.frames_discarded;  // it became the new anchor
           record_placement(index, geo::mat3::identity());
-          prev_features = std::move(features);
-          have_reference = true;
+          st.prev_features = std::move(features);
+          st.have_reference = true;
         }
       }
-      continue;
+      resil::mark(resil::cfcss::node::frame_end);
+      return;
     }
 
-    result.stats.total_matches += aligned->matches;
+    st.result.stats.total_matches += aligned->matches;
     if (aligned->kind == stitch::model_kind::homography) {
-      ++result.stats.homography_alignments;
+      ++st.result.stats.homography_alignments;
     } else {
-      ++result.stats.affine_alignments;
+      ++st.result.stats.affine_alignments;
     }
 
-    const geo::mat3 frame_to_anchor = cumulative * aligned->transform;
-    if (builder.add_frame(frame, frame_to_anchor)) {
-      cumulative = frame_to_anchor;
+    const geo::mat3 frame_to_anchor = st.cumulative * aligned->transform;
+    const stage_meter meter(hardened, budgets.composite,
+                            resil::cfcss::node::composite);
+    if (st.builder.add_frame(frame, frame_to_anchor)) {
+      st.cumulative = frame_to_anchor;
       record_placement(index, frame_to_anchor);
-      prev_features = std::move(features);
-      ++result.stats.frames_stitched;
-      consecutive_discards = 0;
+      st.prev_features = std::move(features);
+      ++st.result.stats.frames_stitched;
+      st.consecutive_discards = 0;
+      st.last_delta = aligned->transform;
+      st.have_last_delta = true;
     } else {
       // Implausible accumulated drift or canvas overflow: treat like a hard
       // view change.
-      ++result.stats.frames_discarded;
+      ++st.result.stats.frames_discarded;
       close_mini_panorama();
-      if (builder.add_frame(frame, geo::mat3::identity())) {
-        ++result.stats.frames_stitched;
-        --result.stats.frames_discarded;
+      if (st.builder.add_frame(frame, geo::mat3::identity())) {
+        ++st.result.stats.frames_stitched;
+        --st.result.stats.frames_discarded;
         record_placement(index, geo::mat3::identity());
-        prev_features = std::move(features);
-        have_reference = true;
+        st.prev_features = std::move(features);
+        st.have_reference = true;
       }
     }
-  }
-  close_mini_panorama();
+    resil::mark(resil::cfcss::node::frame_end);
+  };
 
-  result.panorama = stitch::montage(result.mini_panoramas);
-  return result;
+  // --- graceful degradation: the bottom rungs of the policy ladder -------
+  // Step 1: place the frame by dead reckoning with the last successful
+  // motion model (the compositor still paints it, just at its predicted
+  // position; the reference features stay those of the last aligned frame,
+  // so `cumulative` is deliberately not advanced).  Step 2: close the
+  // mini-panorama and skip the frame — persistent corruption in the open
+  // panorama's state cannot outlive a re-anchor.
+  auto degrade_frame = [&](int index) {
+    ++resil::tls.report.frames_degraded;
+    if (config.hardening.reuse_last_motion && st.have_reference &&
+        st.have_last_delta) {
+      const bool placed = !resil::attempt([&] {
+        const img::image_u8 frame = acquire(index);
+        const geo::mat3 frame_to_anchor = st.cumulative * st.last_delta;
+        if (!st.builder.add_frame(frame, frame_to_anchor)) {
+          throw crash_error(crash_kind::abort,
+                            "degraded placement rejected by compositor");
+        }
+        record_placement(index, frame_to_anchor);
+        ++st.result.stats.frames_stitched;
+        st.consecutive_discards = 0;
+      });
+      if (placed) return;
+    }
+    ++st.result.stats.frames_discarded;
+    ++resil::tls.report.frames_skipped;
+    if (const auto failure = resil::attempt(close_mini_panorama)) {
+      ++resil::tls.report.panoramas_dropped;
+      reset_builder();
+    }
+  };
+
+  // --- the recovery boundary: retry the frame, then degrade --------------
+  auto run_frame = [&](int index) {
+    if (!hardened) {
+      frame_body(index);
+      return;
+    }
+    const pipeline_state snapshot = st;
+    bool failed_once = false;
+    int retries_left = config.hardening.max_frame_retries;
+    for (;;) {
+      const auto failure = resil::attempt([&] { frame_body(index); });
+      if (!failure) {
+        if (failed_once) ++resil::tls.report.frames_recovered;
+        return;
+      }
+      st = snapshot;
+      failed_once = true;
+      if (retries_left-- > 0) {
+        ++resil::tls.report.retries;
+        continue;
+      }
+      degrade_frame(index);
+      return;
+    }
+  };
+
+  for (int index = 0; index < frame_count; ++index) {
+    // --- VS_RFD: random input sampling ---------------------------------
+    // The drop decision is drawn for every frame (whatever the variant) so
+    // all variants see identical RNG streams downstream — and it is drawn
+    // outside the recovery boundary so a frame retry cannot re-roll it.
+    const bool drop = drop_rng.chance(config.approx.rfd_drop_fraction);
+    if (config.approx.alg == algorithm::vs_rfd && drop) {
+      ++st.result.stats.frames_dropped_rfd;
+      continue;
+    }
+    run_frame(index);
+  }
+  close_mini_panorama_contained();
+
+  if (!hardened) {
+    st.result.panorama = stitch::montage(st.result.mini_panoramas);
+  } else if (const auto failure = resil::attempt([&] {
+               st.result.panorama = stitch::montage(st.result.mini_panoramas);
+             })) {
+    // Even the montage is contained: an empty summary is a detected,
+    // degraded output rather than a dead process.
+    ++resil::tls.report.frames_degraded;
+    st.result.panorama = img::image_u8{};
+  }
+
+  if (hardened && config.hardening.calibration.has_value()) {
+    // End-of-run symptom detectors (Section V-D): no golden knowledge, just
+    // the calibrated envelope.
+    resil::tls.report.output_checked = true;
+    resil::tls.report.output_verdict = fault::run_detectors(
+        st.result.panorama, *config.hardening.calibration);
+  }
+  if (hardened) st.result.recovery = hardening->current_report();
+  return st.result;
 }
 
 }  // namespace vs::app

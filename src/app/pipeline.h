@@ -49,6 +49,10 @@ struct summary_result {
   std::vector<geo::rect> panorama_bounds;
   std::vector<frame_placement> placements;  ///< one per stitched frame
   run_stats stats;
+  /// What the hardening detected and recovered (all zero when
+  /// config.hardening is off).  Also published per-thread via
+  /// resil::last_run_report() for the campaign driver.
+  resil::run_report recovery;
 };
 
 /// Runs the VS application (or an approximate variant, per config.approx)

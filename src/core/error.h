@@ -38,6 +38,30 @@ class hang_error : public std::runtime_error {
   explicit hang_error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// What a hardening mechanism observed when it flagged an execution.  Each
+/// kind maps to one detector of the resil subsystem (src/resil/).
+enum class detect_kind {
+  stage_hang,         ///< per-stage watchdog budget exceeded
+  control_flow,       ///< CFCSS signature mismatch / illegal stage transition
+  replica_divergence, ///< HAFT-style dual execution disagreed
+};
+
+/// Thrown by the hardening layer when a fault is *detected* (as opposed to
+/// crashing or silently corrupting): CFCSS signature checks, replicated
+/// geometry math, and the per-stage watchdog.  The frame-level recovery
+/// boundary converts these into retries / graceful degradation; when no
+/// boundary is installed they classify as detected-and-stopped.
+class detected_error : public std::runtime_error {
+ public:
+  detected_error(detect_kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] detect_kind kind() const noexcept { return kind_; }
+
+ private:
+  detect_kind kind_;
+};
+
 /// Non-fault-related I/O failure (image file parsing and the like).
 class io_error : public std::runtime_error {
  public:

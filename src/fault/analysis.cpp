@@ -97,6 +97,11 @@ protection_report analyze_protection(
         // Symptom-based detectors catch these cheaply (Section V-D).
         ++detectable;
         break;
+      case outcome::detected_recovered:
+      case outcome::detected_degraded:
+        // Already caught (and handled) by the hardening in the run itself.
+        ++detectable;
+        break;
       case outcome::sdc: {
         if (sdc_cursor >= sdc_eds.size()) {
           throw invalid_argument(

@@ -1,11 +1,13 @@
 #include "fault/campaign.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
 #include "core/error.h"
 #include "core/log.h"
 #include "core/rng.h"
+#include "resil/runtime.h"
 
 namespace vs::fault {
 
@@ -33,6 +35,7 @@ injection_record run_one_injection(const workload& work,
   injection_record record;
   record.plan = plan;
   record.register_live = true;
+  resil::clear_last_run_report();
   {
     rt::session session(plan, step_budget);
     try {
@@ -44,6 +47,29 @@ injection_record run_one_injection(const workload& work,
         record.result = outcome::sdc;
         if (faulty_out != nullptr) *faulty_out = std::move(output);
       }
+      // Recovery-aware reclassification (hardened workloads only; the
+      // report is all-zero otherwise).  A fired fault whose run shows any
+      // detection evidence is no longer silent: golden-equal output means
+      // the containment machinery recovered it, anything else means it
+      // degraded gracefully but flagged the damage.
+      const resil::run_report& recovery = resil::last_run_report();
+      record.detections = recovery.faults_detected() +
+                          (recovery.output_flagged() ? 1u : 0u);
+      record.retries = recovery.retries;
+      record.frames_degraded = recovery.frames_degraded;
+      if (record.fired && recovery.any_detection()) {
+        record.result = record.result == outcome::masked
+                            ? outcome::detected_recovered
+                            : outcome::detected_degraded;
+      }
+    } catch (const detected_error&) {
+      // A detection escaped every recovery boundary (possible only for
+      // faults striking outside the per-frame sandbox).  Detected, not
+      // recovered: the run produced no output.
+      record.fired = true;
+      record.result = outcome::detected_degraded;
+      record.detections =
+          std::max<std::uint32_t>(1, resil::last_run_report().faults_detected());
     } catch (const crash_error& e) {
       record.fired = true;
       record.result = e.kind() == crash_kind::segfault

@@ -16,6 +16,10 @@ const char* outcome_name(outcome o) noexcept {
       return "Crash(abort)";
     case outcome::hang:
       return "Hang";
+    case outcome::detected_recovered:
+      return "Detected(recovered)";
+    case outcome::detected_degraded:
+      return "Detected(degraded)";
   }
   return "?";
 }
@@ -37,6 +41,12 @@ void outcome_rates::add(outcome o) noexcept {
       break;
     case outcome::hang:
       ++hang;
+      break;
+    case outcome::detected_recovered:
+      ++detected_recovered;
+      break;
+    case outcome::detected_degraded:
+      ++detected_degraded;
       break;
   }
 }
@@ -60,6 +70,12 @@ double outcome_rates::rate(outcome o) const noexcept {
     case outcome::hang:
       n = hang;
       break;
+    case outcome::detected_recovered:
+      n = detected_recovered;
+      break;
+    case outcome::detected_degraded:
+      n = detected_degraded;
+      break;
   }
   return static_cast<double>(n) / static_cast<double>(experiments);
 }
@@ -70,12 +86,22 @@ double outcome_rates::crash_rate() const noexcept {
          static_cast<double>(experiments);
 }
 
+double outcome_rates::detected_rate() const noexcept {
+  if (experiments == 0) return 0.0;
+  return static_cast<double>(detected_recovered + detected_degraded) /
+         static_cast<double>(experiments);
+}
+
 std::string outcome_rates::to_string() const {
   std::ostringstream out;
   out << "n=" << experiments << " mask=" << rate(outcome::masked) * 100.0
       << "% sdc=" << rate(outcome::sdc) * 100.0
       << "% crash=" << crash_rate() * 100.0
       << "% hang=" << rate(outcome::hang) * 100.0 << "%";
+  if (detected_recovered + detected_degraded > 0) {
+    out << " detected=" << detected_rate() * 100.0 << "% (recovered "
+        << detected_recovered << ", degraded " << detected_degraded << ")";
+  }
   return out.str();
 }
 

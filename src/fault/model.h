@@ -9,18 +9,28 @@
 namespace vs::fault {
 
 /// The paper's four outcomes, with Crash split into its two observed causes
-/// (segfault ~92% / abort ~8% of crashes in the paper's data).
+/// (segfault ~92% / abort ~8% of crashes in the paper's data), extended
+/// with the recovery-aware pair produced by hardened runs (src/resil/):
+/// a detection that the containment machinery turned into a golden-equal
+/// output is `detected_recovered`; one that left the output altered (frame
+/// skipped, dead-reckoned placement, dropped mini-panorama) but flagged is
+/// `detected_degraded`.  Unhardened campaigns never produce either.
 enum class outcome : std::uint8_t {
-  masked,         ///< output identical to golden
-  sdc,            ///< output differs (Silent Data Corruption)
-  crash_segfault, ///< memory-access violation
-  crash_abort,    ///< library/application constraint abort
-  hang,           ///< watchdog expired
+  masked,             ///< output identical to golden
+  sdc,                ///< output differs (Silent Data Corruption)
+  crash_segfault,     ///< memory-access violation
+  crash_abort,        ///< library/application constraint abort
+  hang,               ///< watchdog expired
+  detected_recovered, ///< hardened: fault detected, output == golden
+  detected_degraded,  ///< hardened: fault detected, output degraded
 };
 
 [[nodiscard]] const char* outcome_name(outcome o) noexcept;
 [[nodiscard]] inline bool is_crash(outcome o) noexcept {
   return o == outcome::crash_segfault || o == outcome::crash_abort;
+}
+[[nodiscard]] inline bool is_detected(outcome o) noexcept {
+  return o == outcome::detected_recovered || o == outcome::detected_degraded;
 }
 
 /// Architectural liveness model.
@@ -56,6 +66,11 @@ struct injection_record {
   outcome result = outcome::masked;
   rt::fn fired_scope = rt::fn::other;      ///< where the flip landed
   rt::op fired_kind = rt::op::int_alu;     ///< what kind of op it struck
+  /// Hardened campaigns only: what the containment machinery did during
+  /// this run (all zero when the workload runs unhardened).
+  std::uint32_t detections = 0;     ///< detector firings (any mechanism)
+  std::uint32_t retries = 0;        ///< frame retries spent
+  std::uint32_t frames_degraded = 0;
 };
 
 /// Aggregate rates over a set of records (fractions in [0, 1]).
@@ -66,10 +81,13 @@ struct outcome_rates {
   std::size_t crash_segfault = 0;
   std::size_t crash_abort = 0;
   std::size_t hang = 0;
+  std::size_t detected_recovered = 0;
+  std::size_t detected_degraded = 0;
 
   void add(outcome o) noexcept;
   [[nodiscard]] double rate(outcome o) const noexcept;
   [[nodiscard]] double crash_rate() const noexcept;
+  [[nodiscard]] double detected_rate() const noexcept;
   [[nodiscard]] std::string to_string() const;
 };
 

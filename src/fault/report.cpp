@@ -9,7 +9,8 @@ namespace vs::fault {
 
 std::string records_to_csv(const campaign_result& result) {
   std::ostringstream out;
-  out << "index,cls,target,bit,reg_id,live,fired,outcome,scope,kind\n";
+  out << "index,cls,target,bit,reg_id,live,fired,outcome,scope,kind,"
+         "detections,retries,frames_degraded\n";
   for (std::size_t i = 0; i < result.records.size(); ++i) {
     const auto& r = result.records[i];
     out << i << ','
@@ -17,7 +18,8 @@ std::string records_to_csv(const campaign_result& result) {
         << r.plan.target << ',' << r.plan.bit << ',' << r.plan.reg_id << ','
         << (r.register_live ? 1 : 0) << ',' << (r.fired ? 1 : 0) << ','
         << outcome_name(r.result) << ',' << rt::fn_name(r.fired_scope) << ','
-        << rt::op_name(r.fired_kind) << '\n';
+        << rt::op_name(r.fired_kind) << ',' << r.detections << ','
+        << r.retries << ',' << r.frames_degraded << '\n';
   }
   return out.str();
 }
@@ -34,10 +36,13 @@ std::string rates_to_json(const campaign_result& result,
       << "  \"crash_segfault\": " << r.crash_segfault << ",\n"
       << "  \"crash_abort\": " << r.crash_abort << ",\n"
       << "  \"hang\": " << r.hang << ",\n"
+      << "  \"detected_recovered\": " << r.detected_recovered << ",\n"
+      << "  \"detected_degraded\": " << r.detected_degraded << ",\n"
       << "  \"mask_rate\": " << r.rate(outcome::masked) << ",\n"
       << "  \"sdc_rate\": " << r.rate(outcome::sdc) << ",\n"
       << "  \"crash_rate\": " << r.crash_rate() << ",\n"
-      << "  \"hang_rate\": " << r.rate(outcome::hang) << "\n"
+      << "  \"hang_rate\": " << r.rate(outcome::hang) << ",\n"
+      << "  \"detected_rate\": " << r.detected_rate() << "\n"
       << "}\n";
   return out.str();
 }

@@ -1,0 +1,93 @@
+// Thread-local hardening runtime: the counterpart of rt::tls for the
+// fault-containment subsystem.
+//
+// A resil::session is installed by app::summarize when hardening is
+// enabled.  While it is alive, the deep layers participate without any API
+// change: stage marks feed the CFCSS monitor, and the geometry math routes
+// its critical calls through `replicated` (HAFT-style dual execution).
+// When no session is active every entry point collapses to one thread-local
+// load and a predictable branch, so the unhardened pipeline's behaviour —
+// and, critically, its instrumented-lane hook stream — is bit-identical to
+// a build without this subsystem.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/error.h"
+#include "resil/cfcss.h"
+#include "resil/hardening.h"
+
+namespace vs::resil {
+
+/// Thread-local hardening state.  One pipeline run == one session.
+struct runtime_state {
+  bool active = false;       ///< a session is installed
+  bool replicate = false;    ///< dual-execute replicated geometry calls
+  bool in_replica = false;   ///< executing inside a replica (no nesting)
+  cfcss::monitor* monitor = nullptr;  ///< stage-signature monitor (or null)
+  run_report report;         ///< live accumulation for the current run
+};
+
+extern thread_local runtime_state tls;
+
+/// Report of the most recently *finished* session on this thread (the
+/// campaign driver reads it after the workload returns, exactly as it reads
+/// rt::tls after a run).
+[[nodiscard]] const run_report& last_run_report() noexcept;
+
+/// Zeroes last_run_report() — a campaign driver calls this before each
+/// workload run so an unhardened run cannot inherit a stale report from an
+/// earlier hardened run on the same thread.
+void clear_last_run_report() noexcept;
+
+/// RAII hardening session.  Saves/restores the previous thread state and
+/// publishes the accumulated report to last_run_report() on destruction.
+class session {
+ public:
+  explicit session(const hardening_config& config);
+  ~session();
+  session(const session&) = delete;
+  session& operator=(const session&) = delete;
+
+  /// The report accumulated so far, with the CFCSS violation count folded
+  /// in (the same value the destructor will publish).
+  [[nodiscard]] run_report current_report() const noexcept;
+
+ private:
+  runtime_state saved_;
+  cfcss::monitor monitor_;
+};
+
+/// Stage mark: records entry into stage `v` with the active monitor.
+/// No-op without a session (or below the cfcss hardening level).
+inline void mark(cfcss::node v) {
+  if (tls.monitor != nullptr) tls.monitor->transition(v);
+}
+
+/// HAFT-style selective replication of a deterministic computation: runs
+/// `f` twice and compares the results with `equal`; a divergence means a
+/// fault struck one replica, so the silent corruption is converted into a
+/// detected error.  Replicas must be pure functions of their captures.
+/// Runs once (no check) when replication is off or when already inside a
+/// replica (nested replication would quadruple cost for no extra coverage).
+template <class F, class Eq>
+auto replicated(F&& f, Eq&& equal) -> decltype(f()) {
+  runtime_state& s = tls;
+  if (!s.replicate || s.in_replica) return f();
+  s.in_replica = true;
+  struct reset {  // exception-safe: a replica may itself crash or hang
+    runtime_state& s;
+    ~reset() { s.in_replica = false; }
+  } guard{s};
+  auto first = f();
+  auto second = f();
+  if (!equal(first, second)) {
+    ++s.report.replica_divergences;
+    throw detected_error(detect_kind::replica_divergence,
+                         "replicated computation diverged");
+  }
+  return first;
+}
+
+}  // namespace vs::resil

@@ -58,6 +58,15 @@ void raise_hang() {
   throw hang_error("step budget exceeded (watchdog): execution hangs");
 }
 
+void raise_stage_hang() {
+  // Disarm the meter before throwing: the unwind path (and any diagnostic
+  // code run by a recovery boundary) executes hooks of its own, which must
+  // not re-raise out of a destructor.
+  tls.stage_budget = ~0ULL;
+  throw detected_error(detect_kind::stage_hang,
+                       "stage step budget exceeded (per-stage watchdog)");
+}
+
 void raise_segfault(std::int64_t index, std::size_t bound) {
   throw crash_error(crash_kind::segfault,
                     "guarded access fault: index " + std::to_string(index) +

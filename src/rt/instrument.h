@@ -158,6 +158,15 @@ struct state {
   std::uint64_t steps = 0;
   std::uint64_t step_budget = ~0ULL;
 
+  // --- per-stage watchdog (hardening; see src/resil/) ---
+  // A stage_scope grants each pipeline stage its own step allowance so one
+  // corrupted loop bound is flagged within the stage it corrupts instead of
+  // only after burning the whole run's global budget — and so a frame retry
+  // starts from a fresh allowance instead of inheriting a nearly-exhausted
+  // one.  ~0ULL (the default) means no stage is being metered.
+  std::uint64_t stage_steps = 0;
+  std::uint64_t stage_budget = ~0ULL;
+
   // --- guarded-memory policy ---
   // An out-of-bounds access within `mem_slack` elements of the buffer reads a
   // wrapped (wrong but mapped) location; farther out raises segfault.  2^14
@@ -169,6 +178,7 @@ extern thread_local state tls;
 
 namespace detail {
 [[noreturn]] void raise_hang();
+[[noreturn]] void raise_stage_hang();
 [[noreturn]] void raise_segfault(std::int64_t index, std::size_t bound);
 [[noreturn]] void raise_logic_oob(std::int64_t index, std::size_t bound);
 
@@ -183,6 +193,7 @@ inline void bump(state& s, op k) {
   const int cls = k == op::fp_alu ? 1 : 0;
   ++s.c.hooks_by_fn[static_cast<int>(s.cur)][cls];
   if (++s.steps >= s.step_budget) raise_hang();
+  if (++s.stage_steps >= s.stage_budget) raise_stage_hang();
 }
 }  // namespace detail
 
@@ -318,6 +329,8 @@ inline void account(op k, std::uint64_t n) {
   s.c.by_fn[static_cast<int>(s.cur)][static_cast<int>(k)] += n;
   s.steps += n;
   if (s.steps >= s.step_budget) detail::raise_hang();
+  s.stage_steps += n;
+  if (s.stage_steps >= s.stage_budget) detail::raise_stage_hang();
 }
 
 /// RAII scope attribution: everything executed while alive is attributed to
@@ -331,6 +344,54 @@ class scope {
 
  private:
   fn prev_;
+};
+
+/// RAII per-stage watchdog: meters everything executed while alive against
+/// `budget` steps (0 or ~0ULL disables metering).  Exceeding the budget
+/// raises detected_error(stage_hang) — a *detected* symptom the frame-level
+/// recovery boundary can act on, unlike the global watchdog's hang_error
+/// which remains the campaign-level Hang classification.  Nesting restores
+/// the enclosing stage's meter (its own elapsed steps keep accumulating).
+class stage_scope {
+ public:
+  explicit stage_scope(std::uint64_t budget) noexcept
+      : prev_steps_(tls.stage_steps), prev_budget_(tls.stage_budget) {
+    tls.stage_steps = 0;
+    tls.stage_budget = budget == 0 ? ~0ULL : budget;
+  }
+  ~stage_scope() {
+    // The enclosing stage also paid for the nested stage's steps.
+    tls.stage_steps = prev_steps_ + tls.stage_steps;
+    tls.stage_budget = prev_budget_;
+  }
+  stage_scope(const stage_scope&) = delete;
+  stage_scope& operator=(const stage_scope&) = delete;
+
+ private:
+  std::uint64_t prev_steps_;
+  std::uint64_t prev_budget_;
+};
+
+/// Snapshot of the session-level mutable instrumentation state that a
+/// recovery boundary must restore before re-attempting a unit of work whose
+/// first attempt unwound mid-kernel: the attribution scope (normally
+/// restored by rt::scope destructors, re-asserted here for defence in
+/// depth) and the per-stage watchdog meter.  Injection bookkeeping (armed /
+/// fired / match_count) is deliberately NOT restored: a transient fault
+/// strikes once, so a retry must not re-arm or replay the same flip.
+struct unwind_snapshot {
+  fn cur = fn::other;
+  std::uint64_t stage_steps = 0;
+  std::uint64_t stage_budget = ~0ULL;
+
+  static unwind_snapshot capture() noexcept {
+    return {tls.cur, tls.stage_steps, tls.stage_budget};
+  }
+  void restore() const noexcept {
+    tls.cur = cur;
+    tls.stage_steps = stage_steps;
+    tls.stage_budget = stage_budget;
+  }
 };
 
 /// RAII instrumentation session: clears counters, enables hooks, optionally

@@ -2,6 +2,7 @@
 
 #include "geometry/affine.h"
 #include "geometry/homography.h"
+#include "resil/runtime.h"
 #include "rt/instrument.h"
 
 namespace vs::stitch {
@@ -28,6 +29,7 @@ std::optional<alignment> align_frames(const feat::frame_features& current,
   };
 
   if (n_matches >= params.min_matches_homography) {
+    resil::mark(resil::cfcss::node::estimate);
     if (const auto fit = geo::ransac_homography(pairs, params.homography,
                                                 seed)) {
       if (geo::plausible_homography(fit->model, params.max_scale) &&
@@ -38,6 +40,7 @@ std::optional<alignment> align_frames(const feat::frame_features& current,
     }
   }
   if (n_matches >= params.min_matches_affine) {
+    resil::mark(resil::cfcss::node::estimate);
     if (const auto fit = geo::ransac_affine(pairs, params.affine, seed ^ 1)) {
       if (geo::plausible_homography(fit->model, params.max_scale) &&
           within_motion_prior(fit->model)) {

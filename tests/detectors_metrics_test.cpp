@@ -84,6 +84,57 @@ TEST(Detectors, SummaryCountsByCheck) {
   EXPECT_NEAR(summary.coverage(), 2.0 / 3.0, 1e-12);
 }
 
+TEST(Detectors, AllBlackOutputFlaggedByCoverage) {
+  const auto calibration = fault::calibrate_detectors({textured(100, 60)});
+  const img::image_u8 black(100, 60, 1, 0);
+  EXPECT_EQ(fault::run_detectors(black, calibration),
+            fault::detection_verdict::coverage);
+}
+
+TEST(Detectors, GeometrySlackBoundaryExactIsClean) {
+  // Uniform golden: calibrated width 100, height 80, mean 100, coverage 1.
+  const auto calibration =
+      fault::calibrate_detectors({img::image_u8(100, 80, 1, 100)});
+  // |150 - 100| / 100 == dimension_slack exactly: checks use strict >, so a
+  // boundary-exact output must stay clean...
+  EXPECT_EQ(fault::run_detectors(img::image_u8(150, 80, 1, 100), calibration),
+            fault::detection_verdict::clean);
+  // ...while one pixel past the envelope is flagged.
+  EXPECT_EQ(fault::run_detectors(img::image_u8(151, 80, 1, 100), calibration),
+            fault::detection_verdict::geometry);
+}
+
+TEST(Detectors, IntensitySlackBoundaryExactIsClean) {
+  const auto calibration =
+      fault::calibrate_detectors({img::image_u8(100, 80, 1, 100)});
+  // |135 - 100| / 100 == intensity_slack exactly.
+  EXPECT_EQ(fault::run_detectors(img::image_u8(100, 80, 1, 135), calibration),
+            fault::detection_verdict::clean);
+  EXPECT_EQ(fault::run_detectors(img::image_u8(100, 80, 1, 136), calibration),
+            fault::detection_verdict::intensity);
+}
+
+TEST(Detectors, CoverageSlackBoundaryExactIsClean) {
+  const auto calibration =
+      fault::calibrate_detectors({img::image_u8(100, 80, 1, 100)});
+  // 4800 of 8000 pixels nonzero == nonzero_fraction * (1 - coverage_slack)
+  // exactly; value 167 keeps the mean inside the intensity envelope so only
+  // the coverage check is in play.
+  img::image_u8 boundary(100, 80, 1, 0);
+  int painted = 0;
+  for (int y = 0; y < 80 && painted < 4800; ++y) {
+    for (int x = 0; x < 100 && painted < 4800; ++x) {
+      boundary.at(x, y) = 167;
+      ++painted;
+    }
+  }
+  EXPECT_EQ(fault::run_detectors(boundary, calibration),
+            fault::detection_verdict::clean);
+  boundary.at(99, 47) = 0;  // last painted pixel: one under the floor now
+  EXPECT_EQ(fault::run_detectors(boundary, calibration),
+            fault::detection_verdict::coverage);
+}
+
 TEST(Detectors, VerdictNamesDistinct) {
   EXPECT_STRNE(
       fault::detection_verdict_name(fault::detection_verdict::clean),

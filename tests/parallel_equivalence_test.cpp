@@ -14,6 +14,8 @@
 
 #include "app/pipeline.h"
 #include "core/thread_pool.h"
+#include "fault/detectors.h"
+#include "resil/hardening.h"
 #include "features/fast.h"
 #include "features/orb.h"
 #include "features/pyramid.h"
@@ -224,6 +226,43 @@ TEST(ParallelEquivalence, EndToEndBothInputs) {
       const auto clean = app::summarize(source, app::pipeline_config{});
       expect_same_summary(reference, clean, width);
     }
+  }
+}
+
+TEST(ParallelEquivalence, EndToEndFullyHardened) {
+  const pool_width_guard guard;
+  for (const auto id : {video::input_id::input1, video::input_id::input2}) {
+    const auto& source = clip(id);
+
+    // Calibrate the hardening from a fault-free profiled run, exactly as
+    // the campaign drivers do.
+    app::pipeline_config config;
+    config.hardening.level = resil::hardening_level::full;
+    {
+      rt::session profile;
+      const auto golden = app::summarize(source, app::pipeline_config{});
+      config.hardening.stage_budgets = resil::derive_stage_budgets(
+          profile.stats(), source.frame_count());
+      config.hardening.calibration =
+          fault::calibrate_detectors({golden.panorama});
+    }
+
+    app::summary_result reference;
+    {
+      rt::session session;
+      reference = app::summarize(source, config);
+    }
+    for (const unsigned width : kWidths) {
+      core::thread_pool::set_global_threads(width);
+      const auto clean = app::summarize(source, config);
+      expect_same_summary(reference, clean, width);
+    }
+
+    // Hardening must not perturb the fault-free output either: the clean
+    // lane at width 4 still matches the unhardened pipeline.
+    const auto unhardened = app::summarize(source, app::pipeline_config{});
+    EXPECT_EQ(reference.panorama, unhardened.panorama)
+        << video::input_name(id);
   }
 }
 

@@ -7,7 +7,11 @@
 //                [--csv=path] [--json=path]
 //   vs quality   <golden.pgm> <faulty.pgm>                 Section V-D metric
 //   vs profile   <input1|input2> [frames]                  Fig 8 breakdown
+//   vs resil     <input1|input2> [algorithm] [frames]      hardened run +
+//                [--level=off|detectors|cfcss|full]        recovery report
+//                [--retries=N] [--no-motion-reuse] [--budget-factor=F]
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -15,10 +19,12 @@
 #include "app/events.h"
 #include "app/pipeline.h"
 #include "fault/analysis.h"
+#include "fault/detectors.h"
 #include "fault/report.h"
 #include "image/image_io.h"
 #include "perf/profiler.h"
 #include "quality/metric.h"
+#include "resil/runtime.h"
 #include "video/generator.h"
 
 namespace {
@@ -35,7 +41,10 @@ using namespace vs;
       "  vs inject    <input1|input2> <gpr|fpr> <injections> [algorithm]\n"
       "               [--csv=path] [--json=path]\n"
       "  vs quality   <golden.pnm> <faulty.pnm>\n"
-      "  vs profile   <input1|input2> [frames]\n");
+      "  vs profile   <input1|input2> [frames]\n"
+      "  vs resil     <input1|input2> [algorithm] [frames]\n"
+      "               [--level=off|detectors|cfcss|full] [--retries=N]\n"
+      "               [--no-motion-reuse] [--budget-factor=F]\n");
   std::exit(2);
 }
 
@@ -199,6 +208,72 @@ int cmd_profile(int argc, char** argv) {
   return 0;
 }
 
+int cmd_resil(int argc, char** argv) {
+  if (argc < 3) usage();
+  const auto input = parse_input(argv[2]);
+
+  app::pipeline_config config;
+  config.hardening.level = resil::hardening_level::full;
+  int frames = 48;
+  double budget_factor = 25.0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--level=", 8) == 0) {
+      config.hardening.level = resil::parse_hardening_level(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      config.hardening.max_frame_retries = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--no-motion-reuse") == 0) {
+      config.hardening.reuse_last_motion = false;
+    } else if (std::strncmp(argv[i], "--budget-factor=", 16) == 0) {
+      budget_factor = std::atof(argv[i] + 16);
+    } else if (std::isdigit(static_cast<unsigned char>(argv[i][0]))) {
+      frames = std::atoi(argv[i]);
+    } else {
+      config.approx.alg = app::parse_algorithm(argv[i]);
+    }
+  }
+
+  const auto source = video::make_input(input, frames);
+
+  // Calibrate the hardening from one fault-free profiled run, exactly as a
+  // deployed system would (no golden knowledge at run time).
+  if (config.hardening.enabled()) {
+    app::pipeline_config profile_config = config;
+    profile_config.hardening = resil::hardening_config{};
+    rt::session profile;
+    const auto golden = app::summarize(*source, profile_config).panorama;
+    config.hardening.stage_budgets =
+        resil::derive_stage_budgets(profile.stats(), frames, budget_factor);
+    config.hardening.calibration = fault::calibrate_detectors({golden});
+  }
+
+  const auto result = app::summarize(*source, config);
+  const auto& rec = result.recovery;
+  std::printf("hardened run: %s on %s, %d frames, level=%s, retries=%d, "
+              "motion-reuse=%s\n",
+              app::algorithm_name(config.approx.alg), video::input_name(input),
+              frames, resil::hardening_level_name(config.hardening.level),
+              config.hardening.max_frame_retries,
+              config.hardening.reuse_last_motion ? "on" : "off");
+  std::printf("  stitched %d/%d frames into %d mini-panorama(s)\n",
+              result.stats.frames_stitched, result.stats.frames_total,
+              result.stats.mini_panoramas);
+  std::printf("recovery report:\n");
+  std::printf("  crashes contained    %u\n", rec.crashes_contained);
+  std::printf("  stage hangs          %u\n", rec.stage_hangs);
+  std::printf("  cfcss violations     %u\n", rec.cfcss_violations);
+  std::printf("  replica divergences  %u\n", rec.replica_divergences);
+  std::printf("  frame retries        %u\n", rec.retries);
+  std::printf("  frames recovered     %u\n", rec.frames_recovered);
+  std::printf("  frames degraded      %u (skipped %u)\n", rec.frames_degraded,
+              rec.frames_skipped);
+  std::printf("  panoramas dropped    %u\n", rec.panoramas_dropped);
+  if (rec.output_checked) {
+    std::printf("  output detectors     %s\n",
+                fault::detection_verdict_name(rec.output_verdict));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,6 +286,7 @@ int main(int argc, char** argv) {
     if (command == "inject") return cmd_inject(argc, argv);
     if (command == "quality") return cmd_quality(argc, argv);
     if (command == "profile") return cmd_profile(argc, argv);
+    if (command == "resil") return cmd_resil(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
