@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Campaign bit-identity gate.
+#
+# Runs the reference injection campaign (`fault_campaign VS gpr 120 10`)
+# and compares the four outcome rates against ci/golden_campaign.txt.
+# The instrumented lane addresses fault sites by dynamic-op index, so the
+# distribution is a fingerprint of the whole hook stream: it only matches
+# if every rt:: hook still fires in the same order with the same count.
+#
+# Usage: ci/check_campaign_gate.sh [path/to/fault_campaign]
+set -euo pipefail
+
+campaign_bin="${1:-build/examples/fault_campaign}"
+golden="$(dirname "$0")/golden_campaign.txt"
+
+if [[ ! -x "$campaign_bin" ]]; then
+  echo "error: campaign binary not found at $campaign_bin" >&2
+  exit 2
+fi
+
+out="$("$campaign_bin" VS gpr 120 10)"
+echo "$out"
+echo
+
+actual="$(echo "$out" | awk '
+  /^  masked/ { printf "masked %s\n", substr($2, 1, length($2)-1) }
+  /^  crash/  { printf "crash %s\n",  substr($2, 1, length($2)-1) }
+  /^  sdc/    { printf "sdc %s\n",    substr($2, 1, length($2)-1) }
+  /^  hang/   { printf "hang %s\n",   substr($2, 1, length($2)-1) }')"
+expected="$(grep -v '^#' "$golden")"
+
+if [[ "$actual" == "$expected" ]]; then
+  echo "campaign gate: PASS (distribution matches $golden)"
+else
+  echo "campaign gate: FAIL — outcome distribution diverged from golden" >&2
+  echo "--- expected ($golden)" >&2
+  echo "$expected" >&2
+  echo "--- actual" >&2
+  echo "$actual" >&2
+  echo >&2
+  echo "The instrumented lane's hook stream has changed.  If intentional," >&2
+  echo "rerun the campaign and update ci/golden_campaign.txt in the same" >&2
+  echo "commit; otherwise this is a regression in fault-site addressing." >&2
+  exit 1
+fi

@@ -46,6 +46,14 @@ struct pipeline_config {
   bool gain_compensation = false;
   std::uint64_t seed = 42;  ///< seeds RANSAC sampling and RFD dropping
 
+  /// Clean-lane frame lookahead: how many frames beyond the one being
+  /// stitched may have their prefetchable stage prefix (acquire + detect +
+  /// describe) in flight on helper threads.  0 disables the overlap; the
+  /// instrumented lane always runs strictly inline whatever this says.
+  /// Output is byte-identical at every depth (the prefix is a pure
+  /// function of the frame index, consumed in stitch order).
+  int frames_in_flight = 2;
+
   /// Fault containment & recovery (src/resil/).  Off by default: the
   /// unhardened pipeline is bit-identical — including its instrumented-lane
   /// hook stream — to builds without the subsystem.

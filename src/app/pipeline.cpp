@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
-#include <future>
 #include <optional>
 
 #include "core/error.h"
 #include "core/rng.h"
+#include "pipeline/executor.h"
 #include "resil/recovery.h"
 #include "resil/runtime.h"
 #include "rt/instrument.h"
@@ -39,6 +39,8 @@ algorithm parse_algorithm(const std::string& name) {
 }
 
 namespace {
+
+using pipeline::stage_id;
 
 // VS_KDS: match on only a fraction of the keypoints.  Matching cost —
 // O(n^2) in keypoints — falls by ~fraction^2.  The subset is chosen as the
@@ -89,10 +91,6 @@ feat::frame_features subsample_features(const feat::frame_features& features,
   return out;
 }
 
-}  // namespace
-
-namespace {
-
 /// Everything one frame of work may mutate, bundled so the recovery
 /// boundary can snapshot it with one copy and restore it with one swap.
 struct pipeline_state {
@@ -110,18 +108,6 @@ struct pipeline_state {
 
   pipeline_state(const pipeline_config& config)
       : builder(config.max_panorama_pixels, config.gain_compensation) {}
-};
-
-/// Budgeted stage entry: meters the stage under the per-stage watchdog
-/// (hardened runs only) and marks the CFCSS transition.  Every branch is
-/// hook-free, so the unhardened instrumented lane's dynamic op stream is
-/// untouched.
-struct stage_meter {
-  std::optional<rt::stage_scope> scope;
-  stage_meter(bool hardened, std::uint64_t budget, resil::cfcss::node n) {
-    if (hardened) scope.emplace(budget);
-    resil::mark(n);
-  }
 };
 
 }  // namespace
@@ -189,85 +175,52 @@ summary_result summarize(const video::video_source& source,
   const int frame_count =
       static_cast<int>(rt::ctrl(source.frame_count()));
 
-  // Clean-lane frame overlap: while frame t is matched and stitched on this
-  // thread, frame t+1 is acquired on a helper thread.  Sources are
-  // documented thread-safe for concurrent reads, and frame rendering is a
-  // pure function of the index, so the overlap cannot change any bytes.
-  // The instrumented lane never prefetches: acquisition must stay inline so
-  // its hook sequence keeps its position in the dynamic-instruction stream.
-  // A prefetched frame that RFD then drops is simply never consumed.
-  const bool overlap_acquisition = !rt::tls.enabled && frame_count > 1;
-  std::future<img::image_u8> next_frame;
-  int next_frame_index = -1;
-  auto acquire = [&](int index) {
-    img::image_u8 frame;
-    if (next_frame_index == index && next_frame.valid()) {
-      frame = next_frame.get();
-    } else {
-      frame = source.frame(index);
-    }
-    if (overlap_acquisition && index + 1 < frame_count) {
-      next_frame_index = index + 1;
-      next_frame = std::async(std::launch::async, [&source, i = index + 1] {
-        return source.frame(i);
+  // The stage-graph spine: the executor owns CFCSS transitions, watchdog
+  // budgets, the recovery boundary, lane selection, and — clean lane only —
+  // the multi-frame lookahead that keeps the prefetchable prefix of frames
+  // t+1..t+k in flight while frame t is matched and composited.  What
+  // remains below is stage definitions plus mini-panorama policy.
+  pipeline::frame_executor exec(
+      config.hardening, frame_count, config.frames_in_flight,
+      [&source](int index) { return source.frame(index); },
+      [&config](const img::image_u8& frame) {
+        return feat::orb_extract(frame, config.orb);
       });
-    }
-    return frame;
-  };
 
-  const auto& budgets = config.hardening.stage_budgets;
-
-  // --- the per-frame unit of work: detect -> describe -> match ->
-  // --- estimate -> composite, exactly the legacy statement order ---------
+  // --- the per-frame unit of work: acquire -> detect -> describe ->
+  // --- match -> estimate -> composite, exactly the legacy statement order -
   auto frame_body = [&](int index) {
-    if (resil::tls.monitor != nullptr) resil::tls.monitor->begin_frame();
-
-    img::image_u8 frame;
-    {
-      const stage_meter meter(hardened, budgets.acquire,
-                              resil::cfcss::node::acquire);
-      frame = acquire(index);
-    }
-
-    feat::frame_features features;
-    {
-      const stage_meter meter(hardened, budgets.extract,
-                              resil::cfcss::node::detect);
-      features = feat::orb_extract(frame, config.orb);
-      resil::mark(resil::cfcss::node::describe);
-    }
-    st.result.stats.keypoints_detected += features.size();
+    pipeline::frame_work work = exec.obtain(index);
+    st.result.stats.keypoints_detected += work.features.size();
 
     // --- VS_KDS: selective computation ----------------------------------
     if (config.approx.alg == algorithm::vs_kds) {
-      features =
-          subsample_features(features, config.approx.kds_keypoint_fraction);
+      work.features = subsample_features(work.features,
+                                         config.approx.kds_keypoint_fraction);
     }
-    st.result.stats.keypoints_matched_on += features.size();
+    st.result.stats.keypoints_matched_on += work.features.size();
 
     if (!st.have_reference) {
       // First (usable) frame anchors the mini-panorama.
-      const stage_meter meter(hardened, budgets.composite,
-                              resil::cfcss::node::composite);
-      if (st.builder.add_frame(frame, geo::mat3::identity())) {
+      const auto guard = exec.enter(stage_id::composite);
+      if (st.builder.add_frame(work.frame, geo::mat3::identity())) {
         ++st.result.stats.frames_stitched;
         record_placement(index, geo::mat3::identity());
-        st.prev_features = std::move(features);
+        st.prev_features = std::move(work.features);
         st.have_reference = true;
         st.consecutive_discards = 0;
       } else {
         ++st.result.stats.frames_discarded;
       }
-      resil::mark(resil::cfcss::node::frame_end);
+      exec.end_frame();
       return;
     }
 
     std::optional<stitch::alignment> aligned;
     {
-      const stage_meter meter(hardened, budgets.align,
-                              resil::cfcss::node::match);
+      const auto guard = exec.enter(stage_id::match);
       aligned = stitch::align_frames(
-          features, st.prev_features, matcher, config.alignment,
+          work.features, st.prev_features, matcher, config.alignment,
           config.seed + static_cast<std::uint64_t>(index) * 7919u);
     }
 
@@ -276,18 +229,17 @@ summary_result summarize(const video::video_source& source,
       if (++st.consecutive_discards > config.discard_limit) {
         // The view changed beyond recovery: close this mini-panorama and
         // anchor a new one at the next usable frame.
-        const stage_meter meter(hardened, budgets.composite,
-                                resil::cfcss::node::composite);
+        const auto guard = exec.enter(stage_id::composite);
         close_mini_panorama();
-        if (st.builder.add_frame(frame, geo::mat3::identity())) {
+        if (st.builder.add_frame(work.frame, geo::mat3::identity())) {
           ++st.result.stats.frames_stitched;
           --st.result.stats.frames_discarded;  // it became the new anchor
           record_placement(index, geo::mat3::identity());
-          st.prev_features = std::move(features);
+          st.prev_features = std::move(work.features);
           st.have_reference = true;
         }
       }
-      resil::mark(resil::cfcss::node::frame_end);
+      exec.end_frame();
       return;
     }
 
@@ -299,12 +251,11 @@ summary_result summarize(const video::video_source& source,
     }
 
     const geo::mat3 frame_to_anchor = st.cumulative * aligned->transform;
-    const stage_meter meter(hardened, budgets.composite,
-                            resil::cfcss::node::composite);
-    if (st.builder.add_frame(frame, frame_to_anchor)) {
+    const auto guard = exec.enter(stage_id::composite);
+    if (st.builder.add_frame(work.frame, frame_to_anchor)) {
       st.cumulative = frame_to_anchor;
       record_placement(index, frame_to_anchor);
-      st.prev_features = std::move(features);
+      st.prev_features = std::move(work.features);
       ++st.result.stats.frames_stitched;
       st.consecutive_discards = 0;
       st.last_delta = aligned->transform;
@@ -314,15 +265,15 @@ summary_result summarize(const video::video_source& source,
       // view change.
       ++st.result.stats.frames_discarded;
       close_mini_panorama();
-      if (st.builder.add_frame(frame, geo::mat3::identity())) {
+      if (st.builder.add_frame(work.frame, geo::mat3::identity())) {
         ++st.result.stats.frames_stitched;
         --st.result.stats.frames_discarded;
         record_placement(index, geo::mat3::identity());
-        st.prev_features = std::move(features);
+        st.prev_features = std::move(work.features);
         st.have_reference = true;
       }
     }
-    resil::mark(resil::cfcss::node::frame_end);
+    exec.end_frame();
   };
 
   // --- graceful degradation: the bottom rungs of the policy ladder -------
@@ -337,7 +288,7 @@ summary_result summarize(const video::video_source& source,
     if (config.hardening.reuse_last_motion && st.have_reference &&
         st.have_last_delta) {
       const bool placed = !resil::attempt([&] {
-        const img::image_u8 frame = acquire(index);
+        const img::image_u8 frame = exec.reacquire(index);
         const geo::mat3 frame_to_anchor = st.cumulative * st.last_delta;
         if (!st.builder.add_frame(frame, frame_to_anchor)) {
           throw crash_error(crash_kind::abort,
@@ -357,32 +308,6 @@ summary_result summarize(const video::video_source& source,
     }
   };
 
-  // --- the recovery boundary: retry the frame, then degrade --------------
-  auto run_frame = [&](int index) {
-    if (!hardened) {
-      frame_body(index);
-      return;
-    }
-    const pipeline_state snapshot = st;
-    bool failed_once = false;
-    int retries_left = config.hardening.max_frame_retries;
-    for (;;) {
-      const auto failure = resil::attempt([&] { frame_body(index); });
-      if (!failure) {
-        if (failed_once) ++resil::tls.report.frames_recovered;
-        return;
-      }
-      st = snapshot;
-      failed_once = true;
-      if (retries_left-- > 0) {
-        ++resil::tls.report.retries;
-        continue;
-      }
-      degrade_frame(index);
-      return;
-    }
-  };
-
   for (int index = 0; index < frame_count; ++index) {
     // --- VS_RFD: random input sampling ---------------------------------
     // The drop decision is drawn for every frame (whatever the variant) so
@@ -393,7 +318,8 @@ summary_result summarize(const video::video_source& source,
       ++st.result.stats.frames_dropped_rfd;
       continue;
     }
-    run_frame(index);
+    exec.run_frame(st, [&] { frame_body(index); },
+                   [&] { degrade_frame(index); });
   }
   close_mini_panorama_contained();
 

@@ -1,0 +1,28 @@
+// Two-lane kernel dispatch.
+//
+// Every hot kernel has two implementations: a sequential instrumented body
+// routing live values through the rt:: fault-site hooks (the lane the
+// campaigns study — its dynamic-op stream must stay fixed), and a hook-free
+// clean body that may tile the same arithmetic over core::thread_pool.
+// This helper is the single place the lane decision lives; kernels write
+//
+//   return core::dispatch([&] { return kernel_clean(...); },
+//                         [&] { return kernel_instrumented(...); });
+//
+// instead of each repeating the rt::tls.enabled branch.  Works at function
+// or block granularity (both lambdas may return void).
+#pragma once
+
+#include <utility>
+
+#include "rt/instrument.h"
+
+namespace vs::core {
+
+template <class Clean, class Instrumented>
+decltype(auto) dispatch(Clean&& clean, Instrumented&& instrumented) {
+  if (!rt::instrumented()) return std::forward<Clean>(clean)();
+  return std::forward<Instrumented>(instrumented)();
+}
+
+}  // namespace vs::core

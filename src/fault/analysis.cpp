@@ -50,6 +50,29 @@ std::vector<site_class> scope_breakdown(
   return group_records(records, /*use_kind=*/false, /*use_band=*/false);
 }
 
+std::vector<stage_class> stage_breakdown(
+    const std::vector<injection_record>& records) {
+  std::map<int, stage_class> classes;
+  for (const auto& record : records) {
+    if (!record.fired) continue;
+    const pipeline::stage_id stage = pipeline::stage_of(record.fired_scope);
+    auto& cls = classes[static_cast<int>(stage)];
+    cls.stage = stage;
+    cls.rates.add(record.result);
+  }
+  std::vector<stage_class> out;
+  out.reserve(classes.size());
+  for (auto& [key, cls] : classes) {
+    (void)key;
+    out.push_back(cls);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const stage_class& a, const stage_class& b) {
+              return a.rates.experiments > b.rates.experiments;
+            });
+  return out;
+}
+
 pruning_estimate estimate_pruning(const std::vector<injection_record>& records,
                                   double purity) {
   pruning_estimate estimate;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fault/campaign.h"
+#include "pipeline/stage.h"
 #include "quality/sdc.h"
 
 namespace vs::fault {
@@ -38,6 +39,20 @@ struct site_class {
 
 /// Per-scope outcome rates (a coarser view of the same grouping).
 [[nodiscard]] std::vector<site_class> scope_breakdown(
+    const std::vector<injection_record>& records);
+
+/// Outcome profile of one pipeline stage (fired scopes rolled up through
+/// the stage registry; scopes outside the per-frame graph aggregate under
+/// stage_id::count_).
+struct stage_class {
+  pipeline::stage_id stage = pipeline::stage_id::count_;
+  outcome_rates rates;
+};
+
+/// Groups fired injections by the pipeline stage that owns their scope —
+/// the coarsest, most actionable view of where the vulnerable sites live
+/// (which stage to protect first), most-populated stages first.
+[[nodiscard]] std::vector<stage_class> stage_breakdown(
     const std::vector<injection_record>& records);
 
 /// Relyzer-style pruning estimate: with per-class profiles available, how

@@ -4,12 +4,23 @@
 #include <sstream>
 
 #include "core/error.h"
+#include "pipeline/stage.h"
 
 namespace vs::fault {
 
+namespace {
+// Pipeline stage owning the fired scope, or "-" for injections that struck
+// outside the per-frame stage graph (quality metrics, glue, never fired).
+const char* fired_stage_name(rt::fn scope) noexcept {
+  const pipeline::stage_id stage = pipeline::stage_of(scope);
+  return stage == pipeline::stage_id::count_ ? "-"
+                                             : pipeline::stage_name(stage);
+}
+}  // namespace
+
 std::string records_to_csv(const campaign_result& result) {
   std::ostringstream out;
-  out << "index,cls,target,bit,reg_id,live,fired,outcome,scope,kind,"
+  out << "index,cls,target,bit,reg_id,live,fired,outcome,scope,kind,stage,"
          "detections,retries,frames_degraded\n";
   for (std::size_t i = 0; i < result.records.size(); ++i) {
     const auto& r = result.records[i];
@@ -18,8 +29,9 @@ std::string records_to_csv(const campaign_result& result) {
         << r.plan.target << ',' << r.plan.bit << ',' << r.plan.reg_id << ','
         << (r.register_live ? 1 : 0) << ',' << (r.fired ? 1 : 0) << ','
         << outcome_name(r.result) << ',' << rt::fn_name(r.fired_scope) << ','
-        << rt::op_name(r.fired_kind) << ',' << r.detections << ','
-        << r.retries << ',' << r.frames_degraded << '\n';
+        << rt::op_name(r.fired_kind) << ',' << fired_stage_name(r.fired_scope)
+        << ',' << r.detections << ',' << r.retries << ','
+        << r.frames_degraded << '\n';
   }
   return out.str();
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/dispatch.h"
 #include "core/error.h"
 #include "core/thread_pool.h"
 #include "features/harris.h"
@@ -161,10 +162,10 @@ int fast_score(const img::image_u8& gray, int x, int y, int threshold) {
   return std::max(sum_bright, sum_dark);
 }
 
-std::vector<keypoint> fast_detect(const img::image_u8& gray,
-                                  const fast_params& params) {
-  if (gray.channels() != 1) throw invalid_argument("fast_detect: need gray");
-  if (!rt::tls.enabled) return fast_detect_clean(gray, params);
+namespace {
+
+std::vector<keypoint> fast_detect_instrumented(const img::image_u8& gray,
+                                               const fast_params& params) {
   rt::scope attributed(rt::fn::fast_detect);
 
   const int border = std::max(3, params.border);
@@ -254,6 +255,16 @@ std::vector<keypoint> fast_detect(const img::image_u8& gray,
   const auto cap = rt::alloc_size(params.max_keypoints, 1 << 20);
   if (found.size() > cap) found.resize(cap);
   return found;
+}
+
+}  // namespace
+
+std::vector<keypoint> fast_detect(const img::image_u8& gray,
+                                  const fast_params& params) {
+  if (gray.channels() != 1) throw invalid_argument("fast_detect: need gray");
+  return core::dispatch(
+      [&] { return fast_detect_clean(gray, params); },
+      [&] { return fast_detect_instrumented(gray, params); });
 }
 
 }  // namespace vs::feat

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/dispatch.h"
 #include "core/error.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
@@ -243,10 +244,10 @@ descriptor orb_describe_one(const img::image_u8& gray, const keypoint& kp,
   return d;
 }
 
-frame_features orb_extract(const img::image_u8& gray,
-                           const orb_params& params) {
-  if (gray.channels() != 1) throw invalid_argument("orb_extract: need gray");
-  if (!rt::tls.enabled) return orb_extract_clean(gray, params);
+namespace {
+
+frame_features orb_extract_instrumented(const img::image_u8& gray,
+                                        const orb_params& params) {
   fast_params fp = params.fast;
   fp.border = std::max(fp.border, params.patch_radius * 2 + 2);
 
@@ -280,6 +281,16 @@ frame_features orb_extract(const img::image_u8& gray,
         orb_describe_one(smooth, kp, params.patch_radius));
   }
   return out;
+}
+
+}  // namespace
+
+frame_features orb_extract(const img::image_u8& gray,
+                           const orb_params& params) {
+  if (gray.channels() != 1) throw invalid_argument("orb_extract: need gray");
+  return core::dispatch(
+      [&] { return orb_extract_clean(gray, params); },
+      [&] { return orb_extract_instrumented(gray, params); });
 }
 
 }  // namespace vs::feat

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/dispatch.h"
 #include "core/error.h"
 #include "core/thread_pool.h"
 #include "geometry/warp.h"
@@ -38,16 +39,18 @@ img::image_u8 resize_bilinear(const img::image_u8& src, int width,
       }
     }
   };
-  if (!rt::tls.enabled) {
-    core::thread_pool::global().parallel_for(
-        0, height, 16, [&](std::int64_t y0, std::int64_t y1, std::size_t) {
-          resize_rows(static_cast<int>(y0), static_cast<int>(y1));
-        });
-    return out;
-  }
-  resize_rows(0, height);
-  rt::account(rt::op::fp_alu,
-              static_cast<std::uint64_t>(width) * height * 4);
+  core::dispatch(
+      [&] {
+        core::thread_pool::global().parallel_for(
+            0, height, 16, [&](std::int64_t y0, std::int64_t y1, std::size_t) {
+              resize_rows(static_cast<int>(y0), static_cast<int>(y1));
+            });
+      },
+      [&] {
+        resize_rows(0, height);
+        rt::account(rt::op::fp_alu,
+                    static_cast<std::uint64_t>(width) * height * 4);
+      });
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/dispatch.h"
 #include "core/error.h"
 #include "core/thread_pool.h"
 #include "image/pixel.h"
@@ -169,6 +170,9 @@ void warp_rows_clean(const img::image_u8& src, const mat3& m,
       });
 }
 
+void warp_rows_instrumented(const img::image_u8& src, const mat3& m,
+                            const rect& out_rect, warped_patch& out);
+
 }  // namespace
 
 warped_patch warp_perspective(const img::image_u8& src, const mat3& h,
@@ -195,21 +199,28 @@ warped_patch warp_perspective(const img::image_u8& src, const mat3& h,
   out.valid = img::image_u8(static_cast<int>(w), static_cast<int>(hgt), 1);
   if (!inv) return out;  // singular homography: nothing lands
 
-  if (!rt::tls.enabled) {
-    warp_rows_clean(src, *inv, out_rect, out);
-    return out;
-  }
+  core::dispatch(
+      [&] { warp_rows_clean(src, *inv, out_rect, out); },
+      [&] { warp_rows_instrumented(src, *inv, out_rect, out); });
+  return out;
+}
 
+namespace {
+
+// Instrumented lane of the warp: the same incremental row evaluation as the
+// clean lane, with every register-resident value routed through its rt::
+// fault site.
+void warp_rows_instrumented(const img::image_u8& src, const mat3& m,
+                            const rect& out_rect, warped_patch& out) {
   rt::scope warp_scope(rt::fn::warp);
-  const mat3& m = *inv;
   const int channels = src.channels();
   // Interpolation domain: [0, width-1) x [0, height-1) so that the 2x2
   // neighbourhood is fully inside the image.
   const double max_sx = src.width() - 1.0;
   const double max_sy = src.height() - 1.0;
 
-  const int out_h = static_cast<int>(hgt);
-  const int out_w = static_cast<int>(w);
+  const int out_h = out.pixels.height();
+  const int out_w = out.pixels.width();
   const std::size_t out_n = out.valid.size();
   std::uint8_t* valid_data = out.valid.data();
   std::uint8_t* pixel_data = out.pixels.data();
@@ -265,8 +276,9 @@ warped_patch warp_perspective(const img::image_u8& src, const mat3& h,
     }
     rt::account(rt::op::branch, static_cast<std::uint64_t>(out_w));
   }
-  return out;
 }
+
+}  // namespace
 
 std::optional<std::uint8_t> sample_bilinear(const img::image_u8& src, double x,
                                             double y, int channel) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/dispatch.h"
 #include "core/error.h"
 #include "core/thread_pool.h"
 #include "rt/instrument.h"
@@ -102,10 +103,11 @@ std::vector<match> match_descriptors_clean(const feat::frame_features& query,
 
 }  // namespace
 
-std::vector<match> match_descriptors(const feat::frame_features& query,
-                                     const feat::frame_features& train,
-                                     const match_params& params) {
-  if (!rt::tls.enabled) return match_descriptors_clean(query, train, params);
+namespace {
+
+std::vector<match> match_descriptors_instrumented(
+    const feat::frame_features& query, const feat::frame_features& train,
+    const match_params& params) {
   rt::scope attributed(rt::fn::match);
   std::vector<match> out;
   if (query.empty() || train.empty()) return out;
@@ -179,6 +181,16 @@ std::vector<match> match_descriptors(const feat::frame_features& query,
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<match> match_descriptors(const feat::frame_features& query,
+                                     const feat::frame_features& train,
+                                     const match_params& params) {
+  return core::dispatch(
+      [&] { return match_descriptors_clean(query, train, params); },
+      [&] { return match_descriptors_instrumented(query, train, params); });
 }
 
 std::vector<geo::point_pair> to_point_pairs(const std::vector<match>& matches,

@@ -34,21 +34,36 @@ std::vector<profile_entry> function_profile(const rt::counters& counters,
   return entries;
 }
 
-namespace {
-bool is_opencv_scope(rt::fn f) noexcept {
-  switch (f) {
-    case rt::fn::fast_detect:
-    case rt::fn::orb_describe:
-    case rt::fn::match:
-    case rt::fn::ransac:
-    case rt::fn::homography:
-    case rt::fn::warp:
-    case rt::fn::remap:
-    case rt::fn::stitch:
-      return true;
-    default:
-      return false;
+std::vector<stage_profile_entry> stage_profile(const rt::counters& counters,
+                                               const cost_model& model) {
+  const auto functions = function_profile(counters, model);
+  stage_profile_entry by_stage[pipeline::stage_count + 1];
+  for (const auto& e : functions) {
+    const pipeline::stage_id stage = pipeline::stage_of(e.function);
+    auto& agg = by_stage[static_cast<int>(stage)];
+    agg.stage = stage;
+    agg.ops += e.ops;
+    agg.cycles += e.cycles;
+    agg.fraction += e.fraction;
   }
+  std::vector<stage_profile_entry> entries;
+  for (const auto& agg : by_stage) {
+    if (agg.ops > 0) entries.push_back(agg);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const stage_profile_entry& a, const stage_profile_entry& b) {
+              return a.cycles > b.cycles;
+            });
+  return entries;
+}
+
+namespace {
+// "OpenCV" scopes are the library half of the pipeline: every stage of the
+// registry except frame acquisition (the application's own decode stand-in).
+bool is_opencv_scope(rt::fn f) noexcept {
+  const pipeline::stage_id stage = pipeline::stage_of(f);
+  return stage != pipeline::stage_id::count_ &&
+         stage != pipeline::stage_id::acquire;
 }
 }  // namespace
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "perf/model.h"
+#include "pipeline/stage.h"
 #include "rt/instrument.h"
 
 namespace vs::perf {
@@ -21,6 +22,20 @@ struct profile_entry {
 
 /// Per-function cycle attribution, sorted by descending share.
 [[nodiscard]] std::vector<profile_entry> function_profile(
+    const rt::counters& counters, const cost_model& model = {});
+
+/// Cycle attribution rolled up to the pipeline's stage graph (scopes that
+/// belong to no stage — quality metrics, uninstrumented glue — aggregate
+/// under stage_id::count_).
+struct stage_profile_entry {
+  pipeline::stage_id stage = pipeline::stage_id::count_;
+  std::uint64_t ops = 0;
+  double cycles = 0.0;
+  double fraction = 0.0;  ///< share of total modelled cycles
+};
+
+/// Per-stage cycle attribution, sorted by descending share.
+[[nodiscard]] std::vector<stage_profile_entry> stage_profile(
     const rt::counters& counters, const cost_model& model = {});
 
 /// Share of modelled cycles spent in "OpenCV" scopes (feature detection,

@@ -1,0 +1,99 @@
+#include "pipeline/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vs::pipeline {
+
+frame_executor::frame_executor(const resil::hardening_config& hardening,
+                               int frame_count, int frames_in_flight,
+                               acquire_fn acquire, detect_fn detect)
+    : hardening_(hardening),
+      hardened_(hardening.enabled()),
+      frame_count_(frame_count),
+      depth_(std::max(0, frames_in_flight)),
+      // The instrumented lane never prefetches: acquisition must stay
+      // inline so its hooks keep their position in the dynamic-instruction
+      // stream the fault plans address.
+      overlap_(!rt::instrumented() && depth_ > 0 && frame_count > 1),
+      acquire_(std::move(acquire)),
+      detect_(std::move(detect)) {}
+
+frame_executor::~frame_executor() {
+  for (slot& s : ring_) {
+    if (s.work.valid()) s.work.wait();
+  }
+}
+
+frame_executor::stage_guard::stage_guard(const frame_executor& exec,
+                                         stage_id s) {
+  const stage_desc& desc = stage_info(s);
+  if (exec.hardened_ && desc.opens_scope) {
+    scope_.emplace(budget_value(exec.hardening_.stage_budgets, desc.budget));
+  }
+  resil::mark(desc.node);
+}
+
+frame_work frame_executor::produce(int index) const {
+  frame_work w;
+  w.frame = acquire_(index);
+  w.features = detect_(w.frame);
+  return w;
+}
+
+void frame_executor::drain_stale(int index) {
+  while (!ring_.empty() && ring_.front().index < index) {
+    if (ring_.front().work.valid()) ring_.front().work.wait();
+    ring_.pop_front();
+  }
+}
+
+void frame_executor::top_up(int index) {
+  const int horizon = std::min(frame_count_, index + 1 + depth_);
+  if (next_prefetch_ <= index) next_prefetch_ = index + 1;
+  while (next_prefetch_ < horizon) {
+    const int i = next_prefetch_++;
+    ring_.push_back(
+        {i, std::async(std::launch::async, [this, i] { return produce(i); })});
+  }
+}
+
+frame_work frame_executor::obtain(int index) {
+  if (overlap_ && !retrying_) {
+    drain_stale(index);
+    if (!ring_.empty() && ring_.front().index == index) {
+      std::future<frame_work> work = std::move(ring_.front().work);
+      ring_.pop_front();
+      frame_work w;
+      {
+        // A poisoned prefetch (the helper's acquisition or extraction
+        // threw) rethrows here, inside the acquire stage, where the
+        // recovery boundary contains it like an inline failure.
+        const stage_guard g = enter(stage_id::acquire);
+        w = work.get();
+      }
+      {
+        const stage_guard g = enter(stage_id::detect);
+        mark(stage_id::describe);
+      }
+      top_up(index);
+      return w;
+    }
+  }
+  // Inline: the instrumented lane, depth 0, the ring's cold start, or a
+  // recovery retry recomputing a consumed slot.
+  frame_work w;
+  {
+    const stage_guard g = enter(stage_id::acquire);
+    w.frame = acquire_(index);
+  }
+  {
+    const stage_guard g = enter(stage_id::detect);
+    w.features = detect_(w.frame);
+    mark(stage_id::describe);
+  }
+  if (overlap_ && !retrying_) top_up(index);
+  return w;
+}
+
+}  // namespace vs::pipeline

@@ -1,0 +1,178 @@
+// frame_executor — the one pipeline spine that drives a frame through the
+// stage graph and owns every cross-cutting concern declaratively:
+//
+//   * CFCSS transitions   — entering a stage marks its registry node;
+//   * watchdog budgets    — a stage that opens_scope runs under its
+//                           budget_key's rt::stage_scope allowance;
+//   * recovery boundary   — run_frame wraps the whole frame in
+//                           resil::attempt with snapshot/restore and the
+//                           retry -> degrade policy ladder;
+//   * lane selection      — the instrumented lane executes every stage
+//                           inline (fault plans address injections by
+//                           dynamic-op index, so acquisition must keep its
+//                           position in the hook stream), while the clean
+//                           lane schedules the prefetchable stage prefix
+//                           (acquire/detect/describe) of frames t+1..t+k
+//                           on helper threads while frame t is matched and
+//                           composited;
+//   * profiling           — attribution scopes stay inside the kernels,
+//                           but the registry's fn->stage mapping is what
+//                           perf and fault reports aggregate by.
+//
+// The scheduling invariant: prefetched stages are pure functions of the
+// frame index, consumed strictly in stitch order, so the summary is
+// byte-identical at any in-flight depth — and the instrumented lane never
+// prefetches, so its hook stream is bit-for-bit the one the campaigns
+// measured.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <future>
+#include <optional>
+
+#include "features/keypoint.h"
+#include "image/image.h"
+#include "pipeline/stage.h"
+#include "resil/hardening.h"
+#include "resil/recovery.h"
+#include "resil/runtime.h"
+#include "rt/instrument.h"
+
+namespace vs::pipeline {
+
+/// What the prefetchable stage prefix (acquire + detect + describe)
+/// produces for one frame.
+struct frame_work {
+  img::image_u8 frame;
+  feat::frame_features features;
+};
+
+class frame_executor {
+ public:
+  using acquire_fn = std::function<img::image_u8(int)>;
+  using detect_fn = std::function<feat::frame_features(const img::image_u8&)>;
+
+  /// `hardening` must outlive the executor (it is the pipeline_config's).
+  /// `frames_in_flight` bounds the clean-lane lookahead ring; the
+  /// instrumented lane ignores it and runs strictly inline.
+  frame_executor(const resil::hardening_config& hardening, int frame_count,
+                 int frames_in_flight, acquire_fn acquire, detect_fn detect);
+  /// Drains every in-flight prefetch before the frame source can die.
+  ~frame_executor();
+  frame_executor(const frame_executor&) = delete;
+  frame_executor& operator=(const frame_executor&) = delete;
+
+  /// RAII stage entry: opens the stage's watchdog allowance (hardened runs,
+  /// opens_scope stages only) and drives its CFCSS transition — in that
+  /// order, so the transition's own signature update is metered against the
+  /// stage it enters, exactly as the hand-threaded pipeline did.
+  class stage_guard {
+   public:
+    stage_guard(const frame_executor& exec, stage_id s);
+    stage_guard(const stage_guard&) = delete;
+    stage_guard& operator=(const stage_guard&) = delete;
+
+   private:
+    std::optional<rt::stage_scope> scope_;
+  };
+
+  /// Enters stage `s` for the current block.
+  [[nodiscard]] stage_guard enter(stage_id s) const {
+    return stage_guard(*this, s);
+  }
+
+  /// Fused stage transition: CFCSS mark only, inside the enclosing stage's
+  /// open allowance (describe rides in detect's scope).
+  void mark(stage_id s) const { resil::mark(stage_info(s).node); }
+
+  /// Marks the frame_end CFCSS node closing the per-frame graph.
+  void end_frame() const { resil::mark(resil::cfcss::node::frame_end); }
+
+  /// Runs the prefetchable stage prefix for `index` and returns its
+  /// products.  Clean lane: consumes the in-flight ring (draining slots of
+  /// frames the policy skipped) and tops it up to the lookahead depth.
+  /// Instrumented lane, depth 0, or a recovery retry: computes inline.
+  [[nodiscard]] frame_work obtain(int index);
+
+  /// Re-acquires a frame for the degraded placement path: always inline,
+  /// never touches the ring, launches nothing.
+  [[nodiscard]] img::image_u8 reacquire(int index) const {
+    return acquire_(index);
+  }
+
+  /// The frame-level recovery boundary over one frame's unit of work:
+  /// re-seeds the CFCSS monitor, attempts `body`, and on a contained
+  /// failure restores `st` from a pre-attempt snapshot and walks the
+  /// policy ladder (retry max_frame_retries times, then `degrade`).
+  /// Unhardened runs execute `body` directly with zero overhead.
+  template <class State, class Body, class Degrade>
+  void run_frame(State& st, Body&& body, Degrade&& degrade) {
+    const auto attempt_body = [&] {
+      if (resil::tls.monitor != nullptr) resil::tls.monitor->begin_frame();
+      body();
+    };
+    if (!hardened_) {
+      attempt_body();
+      return;
+    }
+    const State snapshot = st;
+    bool failed_once = false;
+    int retries_left = hardening_.max_frame_retries;
+    for (;;) {
+      const auto failure = resil::attempt(attempt_body);
+      if (!failure) {
+        if (failed_once) ++resil::tls.report.frames_recovered;
+        retrying_ = false;
+        return;
+      }
+      st = snapshot;
+      failed_once = true;
+      // The failed attempt already consumed (or poisoned) this frame's
+      // prefetch slot; obtain() must bypass the ring and recompute inline
+      // rather than dequeue a later frame's work.
+      retrying_ = true;
+      if (retries_left-- > 0) {
+        ++resil::tls.report.retries;
+        continue;
+      }
+      degrade();
+      retrying_ = false;
+      return;
+    }
+  }
+
+  /// Whether the clean-lane lookahead is active this run.
+  [[nodiscard]] bool overlapping() const noexcept { return overlap_; }
+  [[nodiscard]] int frames_in_flight() const noexcept { return depth_; }
+
+ private:
+  /// The whole prefetchable prefix composed, as helper threads run it.
+  [[nodiscard]] frame_work produce(int index) const;
+  /// Finishes and discards slots of frames consumption skipped past
+  /// (RFD-dropped frames): the helper thread reads the source, so the slot
+  /// must complete before it dies.
+  void drain_stale(int index);
+  /// Schedules the prefix of frames index+1 .. index+depth.  Monotonic:
+  /// a frame is scheduled at most once per run, so a retry can never
+  /// double-schedule work the first attempt already launched.
+  void top_up(int index);
+
+  const resil::hardening_config& hardening_;
+  const bool hardened_;
+  const int frame_count_;
+  const int depth_;
+  const bool overlap_;
+  bool retrying_ = false;
+  acquire_fn acquire_;
+  detect_fn detect_;
+
+  struct slot {
+    int index = -1;
+    std::future<frame_work> work;
+  };
+  std::deque<slot> ring_;  ///< in-flight frames, ascending index
+  int next_prefetch_ = 0;  ///< first frame index never scheduled
+};
+
+}  // namespace vs::pipeline

@@ -82,6 +82,10 @@ const char* node_name(node n) noexcept {
   return "?";
 }
 
+std::uint64_t static_signature(node n) noexcept {
+  return n == node::count_ ? 0 : kSig[static_cast<int>(n)];
+}
+
 void monitor::begin_frame() noexcept {
   cur_ = node::frame_begin;
   g_ = kSig[static_cast<int>(node::frame_begin)];

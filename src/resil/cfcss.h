@@ -42,6 +42,10 @@ inline constexpr int node_count = static_cast<int>(node::count_);
 
 [[nodiscard]] const char* node_name(node n) noexcept;
 
+/// Static signature s_v of a node (for introspection dumps; the monitor
+/// keeps the constants private to its transition math).
+[[nodiscard]] std::uint64_t static_signature(node n) noexcept;
+
 /// Per-frame signature monitor.  One instance per hardened pipeline run;
 /// `begin_frame` re-seeds it at every frame (and at every retry of one).
 class monitor {

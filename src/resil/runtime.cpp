@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "pipeline/stage.h"
+
 namespace vs::resil {
 
 thread_local runtime_state tls;
@@ -73,15 +75,24 @@ stage_budget_config derive_stage_budgets(const rt::counters& golden,
                           1024, static_cast<std::uint64_t>(b))
                     : 0;
   };
-  budgets.acquire = per_frame(golden.fn_total(rt::fn::video_decode));
-  budgets.extract = per_frame(golden.fn_total(rt::fn::fast_detect) +
-                              golden.fn_total(rt::fn::orb_describe));
-  budgets.align = per_frame(golden.fn_total(rt::fn::match) +
-                            golden.fn_total(rt::fn::ransac) +
-                            golden.fn_total(rt::fn::homography));
-  budgets.composite = per_frame(golden.fn_total(rt::fn::warp) +
-                                golden.fn_total(rt::fn::remap) +
-                                golden.fn_total(rt::fn::stitch));
+  // One total per watchdog allowance, accumulated over the stage registry's
+  // fn -> stage mapping instead of a hand-written grouping that could drift
+  // from the graph the executor and profiler use.
+  std::uint64_t totals[pipeline::budget_key_count] = {};
+  for (const auto& stage : pipeline::stage_registry()) {
+    for (const rt::fn f : stage.scopes) {
+      if (f != rt::fn::count_) {
+        totals[static_cast<int>(stage.budget)] += golden.fn_total(f);
+      }
+    }
+  }
+  const auto total = [&](pipeline::budget_key key) {
+    return per_frame(totals[static_cast<int>(key)]);
+  };
+  budgets.acquire = total(pipeline::budget_key::acquire);
+  budgets.extract = total(pipeline::budget_key::extract);
+  budgets.align = total(pipeline::budget_key::align);
+  budgets.composite = total(pipeline::budget_key::composite);
   return budgets;
 }
 

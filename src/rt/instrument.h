@@ -176,6 +176,11 @@ struct state {
 
 extern thread_local state tls;
 
+/// Whether this thread is executing on the instrumented lane (an rt session
+/// is active, hooks are live).  The two-lane kernel dispatch and the
+/// pipeline's frame scheduler key off this one predicate.
+[[nodiscard]] inline bool instrumented() noexcept { return tls.enabled; }
+
 namespace detail {
 [[noreturn]] void raise_hang();
 [[noreturn]] void raise_stage_hang();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/dispatch.h"
 #include "core/error.h"
 #include "core/thread_pool.h"
 #include "image/pixel.h"
@@ -29,29 +30,31 @@ bool compositor::ensure(const geo::rect& world_rect) {
     // Blit the old canvas into its position inside the grown one.
     const int off_x = bounds_.x0 - merged.x0;
     const int off_y = bounds_.y0 - merged.y0;
-    if (!rt::tls.enabled) {
-      // Clean lane: rows land in disjoint destination rows.
-      core::thread_pool::global().parallel_for(
-          0, pixels_.height(), 64,
-          [&](std::int64_t y0, std::int64_t y1, std::size_t) {
-            for (int y = static_cast<int>(y0); y < y1; ++y) {
-              for (int x = 0; x < pixels_.width(); ++x) {
-                new_pixels.at(x + off_x, y + off_y) = pixels_.at(x, y);
-                new_mask.at(x + off_x, y + off_y) = mask_.at(x, y);
-              }
+    core::dispatch(
+        [&] {
+          // Clean lane: rows land in disjoint destination rows.
+          core::thread_pool::global().parallel_for(
+              0, pixels_.height(), 64,
+              [&](std::int64_t y0, std::int64_t y1, std::size_t) {
+                for (int y = static_cast<int>(y0); y < y1; ++y) {
+                  for (int x = 0; x < pixels_.width(); ++x) {
+                    new_pixels.at(x + off_x, y + off_y) = pixels_.at(x, y);
+                    new_mask.at(x + off_x, y + off_y) = mask_.at(x, y);
+                  }
+                }
+              });
+        },
+        [&] {
+          for (int y = 0; y < pixels_.height(); ++y) {
+            for (int x = 0; x < pixels_.width(); ++x) {
+              new_pixels.at(x + off_x, y + off_y) = pixels_.at(x, y);
+              new_mask.at(x + off_x, y + off_y) = mask_.at(x, y);
             }
-          });
-    } else {
-      for (int y = 0; y < pixels_.height(); ++y) {
-        for (int x = 0; x < pixels_.width(); ++x) {
-          new_pixels.at(x + off_x, y + off_y) = pixels_.at(x, y);
-          new_mask.at(x + off_x, y + off_y) = mask_.at(x, y);
-        }
-        // Row blits are wide vector copies: ~1 dynamic op per 4 pixels.
-        rt::account(rt::op::mem,
-                    static_cast<std::uint64_t>(pixels_.width()) / 4);
-      }
-    }
+            // Row blits are wide vector copies: ~1 dynamic op per 4 pixels.
+            rt::account(rt::op::mem,
+                        static_cast<std::uint64_t>(pixels_.width()) / 4);
+          }
+        });
   }
   pixels_ = std::move(new_pixels);
   mask_ = std::move(new_mask);
@@ -61,10 +64,12 @@ bool compositor::ensure(const geo::rect& world_rect) {
 
 void compositor::blend(const geo::warped_patch& patch, bool gain_compensate) {
   if (patch.pixels.empty()) return;
-  if (!rt::tls.enabled) {
-    blend_clean(patch, gain_compensate);
-    return;
-  }
+  core::dispatch([&] { blend_clean(patch, gain_compensate); },
+                 [&] { blend_instrumented(patch, gain_compensate); });
+}
+
+void compositor::blend_instrumented(const geo::warped_patch& patch,
+                                    bool gain_compensate) {
   rt::scope attributed(rt::fn::stitch);
   if (pixels_.empty()) {
     throw invalid_argument("compositor::blend: ensure() the canvas first");
@@ -196,10 +201,11 @@ void compositor::blend_clean(const geo::warped_patch& patch,
 
 void compositor::feather_seams() {
   if (pixels_.empty()) return;
-  if (!rt::tls.enabled) {
-    feather_seams_clean();
-    return;
-  }
+  core::dispatch([&] { feather_seams_clean(); },
+                 [&] { feather_seams_instrumented(); });
+}
+
+void compositor::feather_seams_instrumented() {
   rt::scope attributed(rt::fn::stitch);
   const int w = pixels_.width();
   const int h = pixels_.height();

@@ -59,7 +59,10 @@ class compositor {
   // Clean-lane (parallel, hook-free) twins of the hot compositing passes,
   // dispatched when instrumentation is off.  Byte-identical output.
   void blend_clean(const geo::warped_patch& patch, bool gain_compensate);
+  void blend_instrumented(const geo::warped_patch& patch,
+                          bool gain_compensate);
   void feather_seams_clean();
+  void feather_seams_instrumented();
 
   std::size_t max_pixels_;
   geo::rect bounds_;

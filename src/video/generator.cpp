@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/dispatch.h"
 #include "core/error.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
@@ -54,7 +55,11 @@ img::image_u8 synthetic_video::frame(int index) const {
   if (index < 0 || index >= frame_count()) {
     throw invalid_argument("synthetic_video::frame: index out of range");
   }
-  if (!rt::tls.enabled) return frame_clean(index);
+  return core::dispatch([&] { return frame_clean(index); },
+                        [&] { return frame_instrumented(index); });
+}
+
+img::image_u8 synthetic_video::frame_instrumented(int index) const {
   rt::scope attributed(rt::fn::video_decode);
 
   const geo::mat3 to_scene =

@@ -74,6 +74,8 @@ class synthetic_video final : public video_source {
  private:
   /// Clean (parallel) lane of frame(): identical bytes, no fault hooks.
   [[nodiscard]] img::image_u8 frame_clean(int index) const;
+  /// Instrumented lane of frame(): sequential, rt:: hooks as fault sites.
+  [[nodiscard]] img::image_u8 frame_instrumented(int index) const;
   /// Dynamic-clutter overlay shared by both lanes (order-dependent
   /// blending, so it runs sequentially in each).
   void overlay_clutter(img::image_u8& out, const geo::mat3& to_scene,

@@ -48,7 +48,8 @@ TEST(MontageExtra, PromotesGrayPanelsIntoRgb) {
 TEST(ReportExtra, EmptyCampaignCsvIsHeaderOnly) {
   fault::campaign_result result;
   const auto csv = fault::records_to_csv(result);
-  EXPECT_EQ(csv, "index,cls,target,bit,reg_id,live,fired,outcome,scope,kind,"
+  EXPECT_EQ(csv,
+            "index,cls,target,bit,reg_id,live,fired,outcome,scope,kind,stage,"
             "detections,retries,frames_degraded\n");
 }
 

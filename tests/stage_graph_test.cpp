@@ -1,0 +1,358 @@
+// Stage-graph architecture tests: the registry as the one shared stage
+// description, and the frame_executor's scheduling invariant — the summary
+// is byte-identical across every (pool width, in-flight depth) combination,
+// for both inputs, every approximation variant and hardening off/full, with
+// the sequential instrumented lane as the reference.  Plus the regression
+// test for recovery retries racing the acquisition prefetch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "app/pipeline.h"
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "fault/detectors.h"
+#include "pipeline/executor.h"
+#include "pipeline/stage.h"
+#include "resil/runtime.h"
+#include "rt/instrument.h"
+#include "video/generator.h"
+
+namespace vs {
+namespace {
+
+using pipeline::budget_key;
+using pipeline::stage_id;
+
+// ---------------------------------------------------------------------------
+// Registry sanity: the one description every subsystem derives from.
+// ---------------------------------------------------------------------------
+
+TEST(StageRegistry, IsInDataflowOrder) {
+  const auto registry = pipeline::stage_registry();
+  ASSERT_EQ(registry.size(), static_cast<std::size_t>(pipeline::stage_count));
+  for (int i = 0; i < pipeline::stage_count; ++i) {
+    EXPECT_EQ(static_cast<int>(registry[static_cast<std::size_t>(i)].id), i);
+  }
+  EXPECT_STREQ(pipeline::stage_name(stage_id::acquire), "acquire");
+  EXPECT_STREQ(pipeline::stage_name(stage_id::composite), "composite");
+}
+
+TEST(StageRegistry, ScopeOwnershipRoundTrips) {
+  for (const auto& stage : pipeline::stage_registry()) {
+    for (const rt::fn f : stage.scopes) {
+      if (f == rt::fn::count_) continue;
+      EXPECT_EQ(pipeline::stage_of(f), stage.id) << rt::fn_name(f);
+    }
+  }
+  // Scopes outside the per-frame graph belong to no stage.
+  EXPECT_EQ(pipeline::stage_of(rt::fn::other), stage_id::count_);
+}
+
+TEST(StageRegistry, PrefetchableStagesFormAPrefix) {
+  // The clean lane runs the prefetchable prefix of a frame ahead of the
+  // stitch point; a gap in the prefix would make obtain() skip a stage.
+  bool seen_unprefetchable = false;
+  for (const auto& stage : pipeline::stage_registry()) {
+    if (!stage.prefetchable) seen_unprefetchable = true;
+    if (seen_unprefetchable) EXPECT_FALSE(stage.prefetchable) << stage.name;
+  }
+  EXPECT_TRUE(pipeline::stage_info(stage_id::acquire).prefetchable);
+  EXPECT_TRUE(pipeline::stage_info(stage_id::describe).prefetchable);
+  EXPECT_FALSE(pipeline::stage_info(stage_id::match).prefetchable);
+}
+
+TEST(StageRegistry, FusedStagesShareTheirPredecessorsBudget) {
+  // describe rides inside detect's watchdog scope, estimate inside match's:
+  // re-opening would grant corrupted loop bounds a second allowance.
+  EXPECT_FALSE(pipeline::stage_info(stage_id::describe).opens_scope);
+  EXPECT_EQ(pipeline::stage_info(stage_id::describe).budget,
+            pipeline::stage_info(stage_id::detect).budget);
+  EXPECT_FALSE(pipeline::stage_info(stage_id::estimate).opens_scope);
+  EXPECT_EQ(pipeline::stage_info(stage_id::estimate).budget,
+            pipeline::stage_info(stage_id::match).budget);
+  // estimate's CFCSS transition is owned by the alignment cascade.
+  EXPECT_FALSE(pipeline::stage_info(stage_id::estimate).executor_marked);
+}
+
+TEST(StageRegistry, BudgetValueSelectsTheMatchingAllowance) {
+  resil::stage_budget_config budgets;
+  budgets.acquire = 11;
+  budgets.extract = 22;
+  budgets.align = 33;
+  budgets.composite = 44;
+  EXPECT_EQ(pipeline::budget_value(budgets, budget_key::acquire), 11u);
+  EXPECT_EQ(pipeline::budget_value(budgets, budget_key::extract), 22u);
+  EXPECT_EQ(pipeline::budget_value(budgets, budget_key::align), 33u);
+  EXPECT_EQ(pipeline::budget_value(budgets, budget_key::composite), 44u);
+}
+
+TEST(StageRegistry, DerivedBudgetsFollowTheRegistryGrouping) {
+  rt::counters golden{};
+  const auto charge = [&](rt::fn f, std::uint64_t ops) {
+    golden.by_fn[static_cast<int>(f)][static_cast<int>(rt::op::int_alu)] = ops;
+  };
+  charge(rt::fn::video_decode, 1000);
+  charge(rt::fn::fast_detect, 2000);
+  charge(rt::fn::orb_describe, 3000);
+  charge(rt::fn::match, 4000);
+  charge(rt::fn::ransac, 5000);
+  charge(rt::fn::homography, 6000);
+  charge(rt::fn::warp, 7000);
+  charge(rt::fn::remap, 8000);
+  charge(rt::fn::stitch, 9000);
+  const auto budgets = resil::derive_stage_budgets(golden, 1, 1.0);
+  EXPECT_EQ(budgets.acquire, 1024u);  // floor of max(1024, total * factor)
+  EXPECT_EQ(budgets.extract, 5000u);
+  EXPECT_EQ(budgets.align, 15000u);
+  EXPECT_EQ(budgets.composite, 24000u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden end-to-end matrix: byte identity across widths and depths.
+// ---------------------------------------------------------------------------
+
+constexpr unsigned kWidths[] = {1, 2, 4};
+constexpr int kDepths[] = {1, 2, 4};
+
+struct pool_width_guard {
+  ~pool_width_guard() { core::thread_pool::set_global_threads(0); }
+};
+
+const video::synthetic_video& clip(video::input_id id) {
+  static const auto one = video::make_input(video::input_id::input1, 8);
+  static const auto two = video::make_input(video::input_id::input2, 8);
+  return id == video::input_id::input1 ? *one : *two;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_value(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+/// One 64-bit digest of everything the summary promises to keep
+/// byte-identical: the montage, every mini-panorama, every placement and
+/// the run statistics.
+std::uint64_t summary_hash(const app::summary_result& result) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto hash_image = [&](const img::image_u8& image) {
+    h = fnv1a_value(h, static_cast<std::uint64_t>(image.width()));
+    h = fnv1a_value(h, static_cast<std::uint64_t>(image.height()));
+    h = fnv1a_value(h, static_cast<std::uint64_t>(image.channels()));
+    h = fnv1a(h, image.data(), image.size());
+  };
+  hash_image(result.panorama);
+  for (const auto& pano : result.mini_panoramas) hash_image(pano);
+  for (const auto& placement : result.placements) {
+    h = fnv1a_value(h, static_cast<std::uint64_t>(placement.frame_index));
+    h = fnv1a_value(h, static_cast<std::uint64_t>(placement.panorama_index));
+    h = fnv1a(h, &placement.frame_to_anchor, sizeof(placement.frame_to_anchor));
+  }
+  h = fnv1a(h, &result.stats, sizeof(result.stats));
+  return h;
+}
+
+/// Calibrates a fully-hardened config from a fault-free profiled run,
+/// exactly as the campaign drivers do.
+app::pipeline_config hardened_config(const video::video_source& source,
+                                     app::algorithm alg) {
+  app::pipeline_config config;
+  config.approx.alg = alg;
+  config.hardening.level = resil::hardening_level::full;
+  app::pipeline_config profile_config = config;
+  profile_config.hardening = resil::hardening_config{};
+  rt::session profile;
+  const auto golden = app::summarize(source, profile_config);
+  config.hardening.stage_budgets = resil::derive_stage_budgets(
+      profile.stats(), source.frame_count());
+  config.hardening.calibration =
+      fault::calibrate_detectors({golden.panorama});
+  return config;
+}
+
+void expect_matrix_matches_instrumented_lane(video::input_id id,
+                                             bool hardened) {
+  const pool_width_guard guard;
+  const auto& source = clip(id);
+  for (const auto alg : {app::algorithm::vs, app::algorithm::vs_rfd,
+                         app::algorithm::vs_kds, app::algorithm::vs_sm}) {
+    app::pipeline_config config;
+    if (hardened) {
+      config = hardened_config(source, alg);
+    } else {
+      config.approx.alg = alg;
+    }
+
+    // Reference: the sequential instrumented lane (depth is ignored there —
+    // its hook stream must keep every acquisition inline).
+    std::uint64_t reference = 0;
+    {
+      rt::session session;
+      reference = summary_hash(app::summarize(source, config));
+    }
+
+    for (const unsigned width : kWidths) {
+      core::thread_pool::set_global_threads(width);
+      for (const int depth : kDepths) {
+        config.frames_in_flight = depth;
+        EXPECT_EQ(reference, summary_hash(app::summarize(source, config)))
+            << video::input_name(id) << " " << app::algorithm_name(alg)
+            << (hardened ? " hardened" : " unhardened") << " width " << width
+            << " depth " << depth;
+      }
+    }
+  }
+}
+
+TEST(StageGraphGolden, Input1AllVariantsUnhardened) {
+  expect_matrix_matches_instrumented_lane(video::input_id::input1, false);
+}
+
+TEST(StageGraphGolden, Input2AllVariantsUnhardened) {
+  expect_matrix_matches_instrumented_lane(video::input_id::input2, false);
+}
+
+TEST(StageGraphGolden, Input1AllVariantsFullyHardened) {
+  expect_matrix_matches_instrumented_lane(video::input_id::input1, true);
+}
+
+TEST(StageGraphGolden, Input2AllVariantsFullyHardened) {
+  expect_matrix_matches_instrumented_lane(video::input_id::input2, true);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: recovery retry racing the acquisition prefetch.
+// ---------------------------------------------------------------------------
+
+/// Wraps a pristine source and throws crash_error from exactly one frame()
+/// call for the chosen index — the first one, which under prefetching is
+/// the helper thread's.  The second call (the recovery retry) succeeds.
+class transient_fault_source final : public video::video_source {
+ public:
+  transient_fault_source(const video::video_source& inner, int faulty_index)
+      : inner_(inner), faulty_index_(faulty_index) {}
+
+  [[nodiscard]] int frame_count() const override {
+    return inner_.frame_count();
+  }
+  [[nodiscard]] int frame_width() const override {
+    return inner_.frame_width();
+  }
+  [[nodiscard]] int frame_height() const override {
+    return inner_.frame_height();
+  }
+  [[nodiscard]] img::image_u8 frame(int index) const override {
+    if (index == faulty_index_ && !thrown_.exchange(true)) {
+      throw crash_error(crash_kind::segfault,
+                        "transient acquisition fault (test)");
+    }
+    return inner_.frame(index);
+  }
+
+ private:
+  const video::video_source& inner_;
+  const int faulty_index_;
+  mutable std::atomic<bool> thrown_{false};
+};
+
+TEST(StageGraphRecovery, RetryRecomputesAPoisonedPrefetchInline) {
+  const pool_width_guard guard;
+  const auto& pristine = clip(video::input_id::input1);
+  const auto config = hardened_config(pristine, app::algorithm::vs);
+  const auto expected = summary_hash(app::summarize(pristine, config));
+
+  for (const int depth : kDepths) {
+    // Frame 2's prefetch is launched while frame 1 is being stitched at
+    // every depth >= 1; its poisoned future must be contained at the
+    // recovery boundary and recomputed inline, not swapped for a later
+    // frame's slot or re-scheduled on top of the running helper.
+    const transient_fault_source source(pristine, 2);
+    app::pipeline_config run_config = config;
+    run_config.frames_in_flight = depth;
+    const auto result = app::summarize(source, run_config);
+    EXPECT_EQ(expected, summary_hash(result)) << "depth " << depth;
+    EXPECT_GE(result.recovery.crashes_contained, 1u) << "depth " << depth;
+    EXPECT_GE(result.recovery.retries, 1u) << "depth " << depth;
+    EXPECT_GE(result.recovery.frames_recovered, 1u) << "depth " << depth;
+    EXPECT_EQ(result.recovery.frames_degraded, 0u) << "depth " << depth;
+  }
+}
+
+TEST(StageGraphRecovery, InstrumentedLaneContainsTheSameTransientFault) {
+  // The instrumented lane never prefetches; the same transient fault is
+  // contained on its inline path with an identical summary.
+  const auto& pristine = clip(video::input_id::input1);
+  const auto config = hardened_config(pristine, app::algorithm::vs);
+  std::uint64_t expected = 0;
+  {
+    rt::session session;
+    expected = summary_hash(app::summarize(pristine, config));
+  }
+  const transient_fault_source source(pristine, 2);
+  rt::session session;
+  const auto result = app::summarize(source, config);
+  EXPECT_EQ(expected, summary_hash(result));
+  EXPECT_GE(result.recovery.crashes_contained, 1u);
+  EXPECT_GE(result.recovery.frames_recovered, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Executor unit behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(FrameExecutor, InstrumentedLaneNeverOverlaps) {
+  rt::session session;
+  resil::hardening_config hardening;
+  pipeline::frame_executor exec(
+      hardening, 8, 4, [](int) { return img::image_u8(2, 2, 1); },
+      [](const img::image_u8&) { return feat::frame_features{}; });
+  EXPECT_FALSE(exec.overlapping());
+}
+
+TEST(FrameExecutor, CleanLaneOverlapsOnlyWithDepthAndFrames) {
+  resil::hardening_config hardening;
+  const auto acquire = [](int) { return img::image_u8(2, 2, 1); };
+  const auto detect = [](const img::image_u8&) {
+    return feat::frame_features{};
+  };
+  EXPECT_TRUE(
+      pipeline::frame_executor(hardening, 8, 2, acquire, detect).overlapping());
+  EXPECT_FALSE(
+      pipeline::frame_executor(hardening, 8, 0, acquire, detect).overlapping());
+  EXPECT_FALSE(
+      pipeline::frame_executor(hardening, 1, 2, acquire, detect).overlapping());
+}
+
+TEST(FrameExecutor, ObtainDrainsSkippedFramesAndConsumesInOrder) {
+  // Consumption that skips indices (the RFD drop path) must finish and
+  // discard the stale slots, and every consumed frame must be the right one.
+  std::atomic<int> calls{0};
+  resil::hardening_config hardening;
+  pipeline::frame_executor exec(
+      hardening, 10, 3,
+      [&calls](int index) {
+        ++calls;
+        return img::image_u8(4, 1, 1, static_cast<std::uint8_t>(index));
+      },
+      [](const img::image_u8&) { return feat::frame_features{}; });
+  for (const int index : {0, 1, 4, 5, 9}) {
+    const auto work = exec.obtain(index);
+    EXPECT_EQ(work.frame.at(0, 0), static_cast<std::uint8_t>(index))
+        << "frame " << index;
+  }
+  // Every scheduled acquisition ran exactly once: 0 and the prefetches of
+  // 1..9 (monotonic top-up never re-schedules a frame).
+  EXPECT_EQ(calls.load(), 10);
+}
+
+}  // namespace
+}  // namespace vs

@@ -7,6 +7,7 @@
 //                [--csv=path] [--json=path]
 //   vs quality   <golden.pgm> <faulty.pgm>                 Section V-D metric
 //   vs profile   <input1|input2> [frames]                  Fig 8 breakdown
+//   vs stages                                              stage registry dump
 //   vs resil     <input1|input2> [algorithm] [frames]      hardened run +
 //                [--level=off|detectors|cfcss|full]        recovery report
 //                [--retries=N] [--no-motion-reuse] [--budget-factor=F]
@@ -23,6 +24,8 @@
 #include "fault/report.h"
 #include "image/image_io.h"
 #include "perf/profiler.h"
+#include "pipeline/stage.h"
+#include "resil/cfcss.h"
 #include "quality/metric.h"
 #include "resil/runtime.h"
 #include "video/generator.h"
@@ -42,6 +45,7 @@ using namespace vs;
       "               [--csv=path] [--json=path]\n"
       "  vs quality   <golden.pnm> <faulty.pnm>\n"
       "  vs profile   <input1|input2> [frames]\n"
+      "  vs stages\n"
       "  vs resil     <input1|input2> [algorithm] [frames]\n"
       "               [--level=off|detectors|cfcss|full] [--retries=N]\n"
       "               [--no-motion-reuse] [--budget-factor=F]\n");
@@ -156,6 +160,17 @@ int cmd_inject(int argc, char** argv) {
                 100.0 * cls.rates.crash_rate(),
                 100.0 * cls.rates.rate(fault::outcome::sdc));
   }
+  std::printf("fired injections by pipeline stage:\n");
+  for (const auto& cls : fault::stage_breakdown(result.records)) {
+    std::printf("  %-18s n=%-5zu mask=%.0f%% crash=%.0f%% sdc=%.0f%%\n",
+                cls.stage == pipeline::stage_id::count_
+                    ? "(outside graph)"
+                    : pipeline::stage_name(cls.stage),
+                cls.rates.experiments,
+                100.0 * cls.rates.rate(fault::outcome::masked),
+                100.0 * cls.rates.crash_rate(),
+                100.0 * cls.rates.rate(fault::outcome::sdc));
+  }
   const auto pruning = fault::estimate_pruning(result.records);
   std::printf("Relyzer-style pruning: %.0f%% of fired experiments fall in "
               ">=95%%-pure site classes\n",
@@ -205,6 +220,40 @@ int cmd_profile(int argc, char** argv) {
               100.0 * perf::opencv_fraction(profile));
   std::printf("%-20s %6.1f%%\n", "warpPerspective",
               100.0 * perf::warp_fraction(profile));
+  std::printf("by pipeline stage:\n");
+  for (const auto& entry : perf::stage_profile(session.stats())) {
+    std::printf("  %-18s %6.1f%%\n",
+                entry.stage == pipeline::stage_id::count_
+                    ? "(outside graph)"
+                    : pipeline::stage_name(entry.stage),
+                100.0 * entry.fraction);
+  }
+  return 0;
+}
+
+int cmd_stages() {
+  std::printf("%-10s %-12s %-18s %-8s %-6s %-6s %s\n", "stage", "budget",
+              "cfcss signature", "scope?", "ahead", "clean", "rt scopes");
+  for (const auto& stage : pipeline::stage_registry()) {
+    std::string scopes;
+    for (const rt::fn f : stage.scopes) {
+      if (f == rt::fn::count_) continue;
+      if (!scopes.empty()) scopes += ",";
+      scopes += rt::fn_name(f);
+    }
+    std::printf("%-10s %-12s 0x%016llx %-8s %-6s %-6s %s\n", stage.name,
+                pipeline::budget_key_name(stage.budget),
+                static_cast<unsigned long long>(
+                    resil::cfcss::static_signature(stage.node)),
+                stage.opens_scope ? "opens" : "fused",
+                stage.prefetchable ? "yes" : "no",
+                stage.clean_lane ? "yes" : "no", scopes.c_str());
+  }
+  std::printf(
+      "\n'ahead' stages form the clean lane's prefetchable frame prefix; "
+      "'fused' stages\nride inside the previous stage's watchdog scope.  "
+      "The estimate transition is\nmarked inside the alignment cascade, not "
+      "by the executor.\n");
   return 0;
 }
 
@@ -286,6 +335,7 @@ int main(int argc, char** argv) {
     if (command == "inject") return cmd_inject(argc, argv);
     if (command == "quality") return cmd_quality(argc, argv);
     if (command == "profile") return cmd_profile(argc, argv);
+    if (command == "stages") return cmd_stages();
     if (command == "resil") return cmd_resil(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
