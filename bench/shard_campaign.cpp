@@ -1,0 +1,119 @@
+// Sharded-campaign throughput sweep: supervisor overhead and scaling.
+//
+// Runs one reference campaign in-process (fault::run_campaign, threads=1),
+// then the same campaign under the supervisor across jobs {1,2,4} x
+// isolation {off,on}, self-checking that every configuration reproduces the
+// reference outcome distribution bit-for-bit (the determinism contract the
+// CI gate also enforces — a drift here fails the bench).  Emits
+// BENCH_shard_campaign.json with per-configuration wall time, per-experiment
+// cost, and supervisor overhead relative to the reference.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "supervise/supervisor.h"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point t0) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - t0)
+      .count();
+}
+
+std::string rates_key(const vs::fault::outcome_rates& r) {
+  // Exact integer counts, not formatted percentages: bit-identical or bust.
+  return std::to_string(r.experiments) + "/" + std::to_string(r.masked) +
+         "/" + std::to_string(r.crash_segfault) + "/" +
+         std::to_string(r.crash_abort) + "/" + std::to_string(r.sdc) + "/" +
+         std::to_string(r.hang);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vs;
+  auto opt = benchutil::parse_options(argc, argv);
+  const int frames = std::min(opt.frames, opt.quick ? 8 : 16);
+  const int injections = std::min(opt.injections, opt.quick ? 30 : 120);
+
+  const auto source = video::make_input(video::input_id::input1, frames);
+  const auto config = benchutil::variant_config(app::algorithm::vs);
+  const auto work = benchutil::vs_workload(source, config);
+
+  fault::campaign_config campaign;
+  campaign.injections = injections;
+  campaign.seed = opt.seed;
+  campaign.threads = 1;
+
+  benchutil::heading("Sharded campaign throughput (" +
+                     std::to_string(injections) + " injections, " +
+                     std::to_string(frames) + "-frame Input1)");
+
+  const auto ref_t0 = clock_type::now();
+  const auto reference = fault::run_campaign(work, campaign);
+  const double ref_ms = ms_since(ref_t0);
+  const std::string ref_key = rates_key(reference.rates);
+  std::printf("%-22s %9.0f ms %9.1f ms/exp   (reference)\n",
+              "in-process threads=1", ref_ms, ref_ms / injections);
+
+  struct row {
+    int jobs;
+    bool isolate;
+    double wall_ms;
+  };
+  std::vector<row> rows;
+  bool ok = true;
+  for (const bool isolate : {false, true}) {
+    for (const int jobs : {1, 2, 4}) {
+      supervise::supervisor_config super;
+      super.jobs = jobs;
+      super.isolate = isolate;
+      const auto t0 = clock_type::now();
+      const auto sharded = supervise::run_sharded_campaign(work, campaign, super);
+      const double wall = ms_since(t0);
+      rows.push_back({jobs, isolate, wall});
+      const bool match = rates_key(sharded.campaign.rates) == ref_key;
+      ok = ok && match;
+      std::printf("%-22s %9.0f ms %9.1f ms/exp   overhead %+5.1f%%  %s\n",
+                  ("jobs=" + std::to_string(jobs) +
+                   (isolate ? " isolate" : "        "))
+                      .c_str(),
+                  wall, wall / injections, 100.0 * (wall - ref_ms) / ref_ms,
+                  match ? "distribution OK" : "DISTRIBUTION DRIFT");
+    }
+  }
+
+  const std::string out_path =
+      (opt.out_dir.empty() ? std::string(".") : opt.out_dir) +
+      "/BENCH_shard_campaign.json";
+  std::ofstream out(out_path);
+  out << "{\n  \"injections\": " << injections << ",\n  \"frames\": " << frames
+      << ",\n  \"reference_ms\": " << ref_ms
+      << ",\n  \"reference_ms_per_experiment\": " << ref_ms / injections
+      << ",\n  \"configs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"jobs\": " << r.jobs
+        << ", \"isolate\": " << (r.isolate ? "true" : "false")
+        << ", \"wall_ms\": " << r.wall_ms
+        << ", \"ms_per_experiment\": " << r.wall_ms / injections
+        << ", \"overhead_pct\": " << 100.0 * (r.wall_ms - ref_ms) / ref_ms
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: a sharded configuration drifted from the reference "
+                 "outcome distribution\n");
+    return 1;
+  }
+  return 0;
+}

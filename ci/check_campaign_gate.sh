@@ -2,10 +2,14 @@
 # Campaign bit-identity gate.
 #
 # Runs the reference injection campaign (`fault_campaign VS gpr 120 10`)
-# and compares the four outcome rates against ci/golden_campaign.txt.
-# The instrumented lane addresses fault sites by dynamic-op index, so the
-# distribution is a fingerprint of the whole hook stream: it only matches
-# if every rt:: hook still fires in the same order with the same count.
+# three ways — plain in-process, supervised with one job, and supervised
+# with four isolated worker processes — and compares the four outcome
+# rates of each against ci/golden_campaign.txt.  The instrumented lane
+# addresses fault sites by dynamic-op index, so the distribution is a
+# fingerprint of the whole hook stream: it only matches if every rt:: hook
+# still fires in the same order with the same count.  The supervised runs
+# additionally pin the sharding determinism contract: the merged
+# distribution must be bit-identical at any job count, isolated or not.
 #
 # Usage: ci/check_campaign_gate.sh [path/to/fault_campaign]
 set -euo pipefail
@@ -18,28 +22,47 @@ if [[ ! -x "$campaign_bin" ]]; then
   exit 2
 fi
 
-out="$("$campaign_bin" VS gpr 120 10)"
-echo "$out"
-echo
-
-actual="$(echo "$out" | awk '
-  /^  masked/ { printf "masked %s\n", substr($2, 1, length($2)-1) }
-  /^  crash/  { printf "crash %s\n",  substr($2, 1, length($2)-1) }
-  /^  sdc/    { printf "sdc %s\n",    substr($2, 1, length($2)-1) }
-  /^  hang/   { printf "hang %s\n",   substr($2, 1, length($2)-1) }')"
 expected="$(grep -v '^#' "$golden")"
+fail=0
 
-if [[ "$actual" == "$expected" ]]; then
-  echo "campaign gate: PASS (distribution matches $golden)"
-else
-  echo "campaign gate: FAIL — outcome distribution diverged from golden" >&2
-  echo "--- expected ($golden)" >&2
-  echo "$expected" >&2
-  echo "--- actual" >&2
-  echo "$actual" >&2
+check_variant() {
+  local label="$1"
+  shift
+  local out
+  out="$("$campaign_bin" VS gpr 120 10 "$@")"
+  echo "$out"
+  echo
+
+  local actual
+  actual="$(echo "$out" | awk '
+    /^  masked/ { printf "masked %s\n", substr($2, 1, length($2)-1) }
+    /^  crash/  { printf "crash %s\n",  substr($2, 1, length($2)-1) }
+    /^  sdc/    { printf "sdc %s\n",    substr($2, 1, length($2)-1) }
+    /^  hang/   { printf "hang %s\n",   substr($2, 1, length($2)-1) }')"
+
+  if [[ "$actual" == "$expected" ]]; then
+    echo "campaign gate [$label]: PASS (distribution matches $golden)"
+  else
+    echo "campaign gate [$label]: FAIL — distribution diverged from golden" >&2
+    echo "--- expected ($golden)" >&2
+    echo "$expected" >&2
+    echo "--- actual" >&2
+    echo "$actual" >&2
+    fail=1
+  fi
+}
+
+check_variant "in-process"
+check_variant "supervised jobs=1" --jobs=1
+check_variant "supervised jobs=4 isolate" --jobs=4 --isolate
+
+if [[ "$fail" -ne 0 ]]; then
   echo >&2
-  echo "The instrumented lane's hook stream has changed.  If intentional," >&2
-  echo "rerun the campaign and update ci/golden_campaign.txt in the same" >&2
-  echo "commit; otherwise this is a regression in fault-site addressing." >&2
+  echo "The instrumented lane's hook stream has changed, or the supervisor" >&2
+  echo "broke the shard merge order.  If the hook stream changed" >&2
+  echo "intentionally, rerun the campaign and update ci/golden_campaign.txt" >&2
+  echo "in the same commit; otherwise this is a regression in fault-site" >&2
+  echo "addressing or in sharded-campaign determinism." >&2
   exit 1
 fi
+echo "campaign gate: PASS (all three variants match $golden)"

@@ -1,15 +1,26 @@
 // Run a fault-injection campaign from the command line — the AFI workflow
 // of Section V in miniature.
 //
-//   $ ./fault_campaign [algorithm] [gpr|fpr] [injections] [frames] [--harden[=LEVEL]]
+//   $ ./fault_campaign [algorithm] [gpr|fpr] [injections] [frames]
+//         [--harden[=LEVEL]] [--jobs=N] [--isolate] [--journal=PATH]
+//         [--resume] [--timeout=SECONDS]
 //
 // Example: ./fault_campaign VS_RFD gpr 500 20
 //          ./fault_campaign VS gpr 50 10 --harden        (full hardening)
 //          ./fault_campaign VS gpr 50 10 --harden=cfcss
+//          ./fault_campaign VS gpr 300 20 --jobs=4 --isolate \
+//              --journal=campaign.journal --resume
 //
 // With --harden the workload runs under the src/resil/ containment
 // subsystem: stage budgets and output-detector envelopes are calibrated
 // from one fault-free profiled run first.
+//
+// Any of --jobs/--isolate/--journal/--resume engages the process-isolated
+// supervisor (src/supervise/): experiments shard across workers,
+// --isolate forks one process per shard attempt (real crash/hang
+// containment), --journal checkpoints completed work so --resume continues
+// an interrupted campaign.  The outcome distribution is bit-identical to
+// the plain run at any job count.
 
 #include <cstdio>
 #include <cstring>
@@ -23,15 +34,33 @@
 #include "quality/sdc.h"
 #include "resil/hardening.h"
 #include "rt/instrument.h"
+#include "supervise/supervisor.h"
 #include "video/generator.h"
 
 int main(int argc, char** argv) {
   using namespace vs;
   std::vector<std::string> positional;
   std::string harden_level;
+  supervise::supervisor_config super;
+  bool supervised = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--harden", 8) == 0) {
       harden_level = argv[i][8] == '=' ? argv[i] + 9 : "full";
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      super.jobs = std::atoi(argv[i] + 7);
+      supervised = true;
+    } else if (std::strcmp(argv[i], "--isolate") == 0) {
+      super.isolate = true;
+      supervised = true;
+    } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
+      super.journal_path = argv[i] + 10;
+      supervised = true;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      super.resume = true;
+      supervised = true;
+    } else if (std::strncmp(argv[i], "--timeout=", 10) == 0) {
+      super.shard_timeout_s = std::atof(argv[i] + 10);
+      supervised = true;
     } else {
       positional.emplace_back(argv[i]);
     }
@@ -70,10 +99,24 @@ int main(int argc, char** argv) {
   fault::campaign_config campaign;
   campaign.cls = fpr ? rt::reg_class::fpr : rt::reg_class::gpr;
   campaign.injections = injections;
-  campaign.keep_sdc_outputs = true;
+  // The supervisor does not ship SDC images across worker pipes.
+  campaign.keep_sdc_outputs = !supervised;
 
-  const auto result = fault::run_campaign(
-      [&] { return app::summarize(*source, config).panorama; }, campaign);
+  const fault::workload work = [&] {
+    return app::summarize(*source, config).panorama;
+  };
+  fault::campaign_result result;
+  supervise::shard_stats stats;
+  if (supervised) {
+    super.workload_label = alg_name + (fpr ? "/fpr" : "/gpr") + "/f" +
+                           std::to_string(frames) +
+                           (harden_level.empty() ? "" : "/" + harden_level);
+    auto sharded = supervise::run_sharded_campaign(work, campaign, super);
+    result = std::move(sharded.campaign);
+    stats = std::move(sharded.stats);
+  } else {
+    result = fault::run_campaign(work, campaign);
+  }
 
   const auto& r = result.rates;
   std::printf("\noutcomes over %zu experiments:\n", r.experiments);
@@ -90,6 +133,16 @@ int main(int argc, char** argv) {
                 100.0 * r.rate(fault::outcome::detected_recovered));
     std::printf("  detected(deg)   %6.2f%%  (fault caught, output degraded)\n",
                 100.0 * r.rate(fault::outcome::detected_degraded));
+  }
+
+  if (supervised) {
+    std::printf(
+        "\nsupervisor: %zu shards (%zu resumed), %zu records recovered, "
+        "%zu retries, %zu worker crashes, %zu watchdog kills, "
+        "%zu quarantined\n",
+        stats.shards_total, stats.shards_resumed, stats.records_recovered,
+        stats.retries, stats.worker_crashes, stats.worker_timeouts,
+        stats.quarantined.size());
   }
 
   // SDC severity, as Section V-D defines it.

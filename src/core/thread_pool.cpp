@@ -50,6 +50,7 @@ struct thread_pool::job {
   std::int64_t grain = 1;
   std::size_t chunks = 0;
   std::atomic<std::size_t> next{0};  ///< next chunk index to claim
+  std::atomic<bool> failed{false};   ///< any chunk threw: stop claiming more
   int active = 0;                    ///< workers inside run_chunks (under m_)
   std::mutex err_mutex;
   std::size_t err_chunk = std::numeric_limits<std::size_t>::max();
@@ -61,6 +62,7 @@ struct thread_pool::job {
       err_chunk = chunk;
       err = std::current_exception();
     }
+    failed.store(true, std::memory_order_release);
   }
 };
 
@@ -91,6 +93,11 @@ thread_pool::~thread_pool() {
 void thread_pool::run_chunks(job& j) noexcept {
   const region_guard guard;
   for (;;) {
+    // Best-effort cancellation: once any chunk has thrown, the loop will
+    // rethrow anyway, so claiming further chunks only risks observable side
+    // effects from work "after" the failure.  Chunks already in flight on
+    // other workers still finish — callers must tolerate that much.
+    if (j.failed.load(std::memory_order_acquire)) return;
     const std::size_t chunk = j.next.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= j.chunks) return;
     const std::int64_t lo =

@@ -64,7 +64,10 @@ class thread_pool {
   ///     while another caller holds the pool) degrade to inline sequential
   ///     execution in ascending chunk order — never deadlock;
   ///   * if bodies throw, the exception of the lowest-indexed failing chunk
-  ///     is rethrown on the calling thread after the loop drains.
+  ///     is rethrown on the calling thread after the loop drains, and no new
+  ///     chunks are claimed after the first failure is recorded (inline
+  ///     execution stops at the throwing chunk exactly; parallel execution
+  ///     stops best-effort — chunks already running elsewhere still finish).
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     const chunk_fn& body);
 

@@ -103,6 +103,63 @@ injection_record run_one_injection(const workload& work,
   return record;
 }
 
+campaign_setup measure_golden(const workload& work,
+                              const campaign_config& config) {
+  campaign_setup setup;
+  {
+    rt::session session;
+    setup.golden = work();
+    setup.golden_counters = session.stats();
+    setup.total_ops = class_ops(setup.golden_counters, config);
+    const double budget = static_cast<double>(setup.golden_counters.steps()) *
+                          config.step_budget_factor;
+    setup.step_budget =
+        budget < 1e18 ? static_cast<std::uint64_t>(budget) : ~0ULL;
+  }
+  if (setup.total_ops == 0) {
+    throw invalid_argument(
+        "campaign: workload executed no dynamic ops of the targeted class");
+  }
+  return setup;
+}
+
+experiment_plan plan_experiment(const campaign_config& config,
+                                std::uint64_t total_ops, std::size_t index) {
+  std::uint64_t stream =
+      config.seed + 0x1000 * static_cast<std::uint64_t>(index);
+  rng gen(splitmix64(stream));
+  experiment_plan p;
+  p.plan.cls = config.cls;
+  p.plan.target = gen.uniform(total_ops);
+  p.plan.bit = static_cast<std::uint32_t>(gen.uniform(64));
+  p.plan.reg_id = static_cast<std::uint32_t>(
+      gen.uniform(static_cast<std::uint64_t>(config.liveness.register_count)));
+  p.plan.scoped = config.scoped;
+  p.plan.scope = config.scope;
+  p.plan.scope_b = config.scoped && config.include_remap_scope
+                       ? rt::fn::remap
+                       : config.scope;
+  p.register_live = gen.chance(config.liveness.live_probability(config.cls));
+  return p;
+}
+
+injection_record run_experiment(const workload& work,
+                                const campaign_config& config,
+                                const campaign_setup& setup, std::size_t index,
+                                img::image_u8* faulty_out) {
+  const experiment_plan p = plan_experiment(config, setup.total_ops, index);
+  if (!p.register_live) {
+    // Dead-register strike: architecturally masked without execution.
+    injection_record record;
+    record.plan = p.plan;
+    record.register_live = false;
+    record.result = outcome::masked;
+    return record;
+  }
+  return run_one_injection(work, p.plan, setup.step_budget, setup.golden,
+                           faulty_out);
+}
+
 campaign_result run_campaign(const workload& work,
                              const campaign_config& config) {
   if (config.injections < 0) throw invalid_argument("campaign: injections < 0");
@@ -110,67 +167,31 @@ campaign_result run_campaign(const workload& work,
   campaign_result result;
 
   // --- golden run -------------------------------------------------------
-  std::uint64_t total_ops = 0;
-  std::uint64_t step_budget = 0;
-  {
-    rt::session session;
-    result.golden = work();
-    result.golden_counters = session.stats();
-    total_ops = class_ops(result.golden_counters, config);
-    const double budget =
-        static_cast<double>(result.golden_counters.steps()) *
-        config.step_budget_factor;
-    step_budget = budget < 1e18 ? static_cast<std::uint64_t>(budget) : ~0ULL;
-  }
-  if (total_ops == 0) {
-    throw invalid_argument(
-        "campaign: workload executed no dynamic ops of the targeted class");
-  }
+  campaign_setup setup = measure_golden(work, config);
+  result.golden_counters = setup.golden_counters;
 
-  // --- plan all experiments up front (deterministic, order-independent) --
+  // --- resolve the experiment range --------------------------------------
   const auto n = static_cast<std::size_t>(config.injections);
-  std::vector<injection_record> records(n);
-  std::vector<img::image_u8> faulty(config.keep_sdc_outputs ? n : 0);
-
-  struct planned {
-    rt::fault_plan plan;
-    bool live = false;
-  };
-  std::vector<planned> plans(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t stream = config.seed + 0x1000 * static_cast<std::uint64_t>(i);
-    rng gen(splitmix64(stream));
-    planned p;
-    p.plan.cls = config.cls;
-    p.plan.target = gen.uniform(total_ops);
-    p.plan.bit = static_cast<std::uint32_t>(gen.uniform(64));
-    p.plan.reg_id = static_cast<std::uint32_t>(
-        gen.uniform(static_cast<std::uint64_t>(config.liveness.register_count)));
-    p.plan.scoped = config.scoped;
-    p.plan.scope = config.scope;
-    p.plan.scope_b =
-        config.scoped && config.include_remap_scope ? rt::fn::remap
-                                                    : config.scope;
-    p.live = gen.chance(config.liveness.live_probability(config.cls));
-    plans[i] = p;
-  }
+  const std::size_t first = std::min(config.range_first, n);
+  const std::size_t last =
+      config.range_count == campaign_config::npos ||
+              config.range_count > n - first
+          ? n
+          : first + config.range_count;
+  const std::size_t m = last - first;
+  std::vector<injection_record> records(m);
+  std::vector<img::image_u8> faulty(config.keep_sdc_outputs ? m : 0);
 
   // --- execute (parallel, deterministic results) -------------------------
+  // Plans are derived per experiment inside the worker (plan_experiment is a
+  // pure function of index), so order and thread count never matter.
   std::atomic<std::size_t> cursor{0};
   auto worker = [&] {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1);
-      if (i >= n) return;
-      const planned& p = plans[i];
-      if (!p.live) {
-        // Dead-register strike: architecturally masked without execution.
-        records[i].plan = p.plan;
-        records[i].register_live = false;
-        records[i].result = outcome::masked;
-        continue;
-      }
-      records[i] = run_one_injection(
-          work, p.plan, step_budget, result.golden,
+      if (i >= m) return;
+      records[i] = run_experiment(
+          work, config, setup, first + i,
           config.keep_sdc_outputs ? &faulty[i] : nullptr);
     }
   };
@@ -180,7 +201,7 @@ campaign_result run_campaign(const workload& work,
                               : std::thread::hardware_concurrency();
   if (thread_count == 0) thread_count = 1;
   thread_count = std::min<unsigned>(thread_count, 64);
-  if (thread_count <= 1 || n < 2) {
+  if (thread_count <= 1 || m < 2) {
     worker();
   } else {
     std::vector<std::thread> pool;
@@ -190,7 +211,8 @@ campaign_result run_campaign(const workload& work,
   }
 
   // --- aggregate ----------------------------------------------------------
-  for (std::size_t i = 0; i < n; ++i) {
+  result.golden = std::move(setup.golden);
+  for (std::size_t i = 0; i < m; ++i) {
     result.rates.add(records[i].result);
     if (config.keep_sdc_outputs && records[i].result == outcome::sdc) {
       result.sdc_outputs.emplace_back(i, std::move(faulty[i]));

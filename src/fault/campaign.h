@@ -21,6 +21,8 @@ namespace vs::fault {
 using workload = std::function<img::image_u8()>;
 
 struct campaign_config {
+  static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+
   rt::reg_class cls = rt::reg_class::gpr;
   int injections = 1000;      ///< the paper's per-class experiment count
   std::uint64_t seed = 2018;  ///< derives every experiment's plan
@@ -31,6 +33,16 @@ struct campaign_config {
   bool include_remap_scope = true;   ///< also target remapBilinear ops
   bool keep_sdc_outputs = false;     ///< retain faulty images for ED analysis
   int threads = 0;                   ///< 0 = hardware concurrency
+
+  /// Range restriction: execute only experiments [range_first, range_first +
+  /// range_count) of the `injections`-experiment campaign.  Every
+  /// experiment's plan is still derived from (seed, index) exactly as in the
+  /// full campaign, so range-restricted runs merged in experiment order are
+  /// bit-identical to one full run — this is what lets the supervisor
+  /// (src/supervise/) shard a campaign across worker processes.
+  /// range_count == npos means "through the last experiment".
+  std::size_t range_first = 0;
+  std::size_t range_count = npos;
 };
 
 struct campaign_result {
@@ -47,6 +59,46 @@ struct campaign_result {
   [[nodiscard]] std::vector<outcome_rates> convergence(
       const std::vector<std::size_t>& checkpoints) const;
 };
+
+/// The campaign-wide measurements every experiment classifies against: one
+/// golden (fault-free, instrumented) run of the workload.  Shard workers
+/// inherit this from the supervisor instead of re-measuring it, so every
+/// process draws targets over the same op count and compares against the
+/// same golden image.
+struct campaign_setup {
+  img::image_u8 golden;
+  rt::counters golden_counters;
+  std::uint64_t total_ops = 0;    ///< in-scope fault sites of config.cls
+  std::uint64_t step_budget = 0;  ///< hang watchdog budget
+};
+
+/// Performs the golden run and derives the fault-site count and watchdog
+/// budget.  Throws invalid_argument when the workload executes no dynamic
+/// ops of the targeted class.
+[[nodiscard]] campaign_setup measure_golden(const workload& work,
+                                            const campaign_config& config);
+
+/// One experiment's planned injection plus its architectural-liveness roll.
+struct experiment_plan {
+  rt::fault_plan plan;
+  bool register_live = false;  ///< false => masked without execution
+};
+
+/// Derives experiment `index`'s plan.  A pure function of (config, total_ops,
+/// index) — the same index yields the same plan in every process, which is
+/// the determinism contract sharded campaigns rely on.
+[[nodiscard]] experiment_plan plan_experiment(const campaign_config& config,
+                                              std::uint64_t total_ops,
+                                              std::size_t index);
+
+/// Plans and executes experiment `index` against `setup`, returning its
+/// record (dead-register strikes classify as masked without running).
+[[nodiscard]] injection_record run_experiment(const workload& work,
+                                              const campaign_config& config,
+                                              const campaign_setup& setup,
+                                              std::size_t index,
+                                              img::image_u8* faulty_out =
+                                                  nullptr);
 
 /// Runs a campaign.  Deterministic given (workload determinism, config).
 /// Experiments run on `threads` parallel workers; results are identical to

@@ -1,0 +1,181 @@
+#include "fault/wire.h"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace vs::fault::wire {
+
+namespace {
+
+constexpr std::uint32_t kFnvOffset32 = 2166136261u;
+constexpr std::uint32_t kFnvPrime32 = 16777619u;
+constexpr std::uint64_t kFnvOffset64 = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime64 = 1099511628211ULL;
+
+std::vector<std::string_view> split(std::string_view payload) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    while (pos < payload.size() && payload[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < payload.size() && payload[end] != ' ') ++end;
+    if (end > pos) tokens.push_back(payload.substr(pos, end - pos));
+    pos = end;
+  }
+  return tokens;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view token) {
+  std::uint64_t value = 0;
+  const auto* first = token.data();
+  const auto* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<bool> parse_bool(std::string_view token) {
+  const auto v = parse_u64(token);
+  if (!v || *v > 1) return std::nullopt;
+  return *v == 1;
+}
+
+}  // namespace
+
+std::uint32_t checksum(std::string_view payload) noexcept {
+  std::uint32_t h = kFnvOffset32;
+  for (const char c : payload) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime32;
+  }
+  return h;
+}
+
+std::string seal(std::string_view payload) {
+  char tag[16];
+  std::snprintf(tag, sizeof(tag), " ~%08x", checksum(payload));
+  return std::string(payload) + tag;
+}
+
+std::optional<std::string> unseal(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  const std::size_t tag = line.rfind(" ~");
+  if (tag == std::string_view::npos) return std::nullopt;
+  const std::string_view payload = line.substr(0, tag);
+  const std::string_view crc = line.substr(tag + 2);
+  if (crc.size() != 8) return std::nullopt;
+  std::uint32_t stated = 0;
+  const auto [ptr, ec] =
+      std::from_chars(crc.data(), crc.data() + crc.size(), stated, 16);
+  if (ec != std::errc{} || ptr != crc.data() + crc.size()) return std::nullopt;
+  if (stated != checksum(payload)) return std::nullopt;
+  if (payload.find('\n') != std::string_view::npos) return std::nullopt;
+  return std::string(payload);
+}
+
+std::string record_payload(std::size_t index, const injection_record& r) {
+  std::string out = "R ";
+  const auto append = [&out](std::uint64_t v) {
+    out += std::to_string(v);
+    out += ' ';
+  };
+  append(index);
+  append(static_cast<std::uint64_t>(r.plan.cls));
+  append(r.plan.target);
+  append(r.plan.bit);
+  append(r.plan.reg_id);
+  append(r.plan.scoped ? 1 : 0);
+  append(static_cast<std::uint64_t>(r.plan.scope));
+  append(static_cast<std::uint64_t>(r.plan.scope_b));
+  append(r.register_live ? 1 : 0);
+  append(r.fired ? 1 : 0);
+  append(static_cast<std::uint64_t>(r.result));
+  append(static_cast<std::uint64_t>(r.fired_scope));
+  append(static_cast<std::uint64_t>(r.fired_kind));
+  append(r.detections);
+  append(r.retries);
+  out += std::to_string(r.frames_degraded);
+  return out;
+}
+
+std::optional<parsed_record> parse_record(std::string_view payload) {
+  const auto tokens = split(payload);
+  if (tokens.size() != 17 || tokens[0] != "R") return std::nullopt;
+
+  const auto index = parse_u64(tokens[1]);
+  const auto cls = parse_u64(tokens[2]);
+  const auto target = parse_u64(tokens[3]);
+  const auto bit = parse_u64(tokens[4]);
+  const auto reg_id = parse_u64(tokens[5]);
+  const auto scoped = parse_bool(tokens[6]);
+  const auto scope = parse_u64(tokens[7]);
+  const auto scope_b = parse_u64(tokens[8]);
+  const auto live = parse_bool(tokens[9]);
+  const auto fired = parse_bool(tokens[10]);
+  const auto result = parse_u64(tokens[11]);
+  const auto fired_scope = parse_u64(tokens[12]);
+  const auto fired_kind = parse_u64(tokens[13]);
+  const auto detections = parse_u64(tokens[14]);
+  const auto retries = parse_u64(tokens[15]);
+  const auto degraded = parse_u64(tokens[16]);
+
+  if (!index || !cls || !target || !bit || !reg_id || !scoped || !scope ||
+      !scope_b || !live || !fired || !result || !fired_scope || !fired_kind ||
+      !detections || !retries || !degraded) {
+    return std::nullopt;
+  }
+  if (*cls >= rt::reg_class_count || *bit >= 64 ||
+      *scope >= static_cast<std::uint64_t>(rt::fn_count) ||
+      *scope_b >= static_cast<std::uint64_t>(rt::fn_count) ||
+      *result > static_cast<std::uint64_t>(outcome::detected_degraded) ||
+      *fired_scope >= static_cast<std::uint64_t>(rt::fn_count) ||
+      *fired_kind >= static_cast<std::uint64_t>(rt::op_count) ||
+      *reg_id > 0xFFFFFFFFULL || *detections > 0xFFFFFFFFULL ||
+      *retries > 0xFFFFFFFFULL || *degraded > 0xFFFFFFFFULL) {
+    return std::nullopt;
+  }
+
+  parsed_record out;
+  out.index = static_cast<std::size_t>(*index);
+  injection_record& r = out.record;
+  r.plan.cls = static_cast<rt::reg_class>(*cls);
+  r.plan.target = *target;
+  r.plan.bit = static_cast<std::uint32_t>(*bit);
+  r.plan.reg_id = static_cast<std::uint32_t>(*reg_id);
+  r.plan.scoped = *scoped;
+  r.plan.scope = static_cast<rt::fn>(*scope);
+  r.plan.scope_b = static_cast<rt::fn>(*scope_b);
+  r.register_live = *live;
+  r.fired = *fired;
+  r.result = static_cast<outcome>(*result);
+  r.fired_scope = static_cast<rt::fn>(*fired_scope);
+  r.fired_kind = static_cast<rt::op>(*fired_kind);
+  r.detections = static_cast<std::uint32_t>(*detections);
+  r.retries = static_cast<std::uint32_t>(*retries);
+  r.frames_degraded = static_cast<std::uint32_t>(*degraded);
+  return out;
+}
+
+std::uint64_t hash_image(const img::image_u8& image) noexcept {
+  std::uint64_t h = kFnvOffset64;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xFF;
+      h *= kFnvPrime64;
+    }
+  };
+  mix(static_cast<std::uint64_t>(image.width()));
+  mix(static_cast<std::uint64_t>(image.height()));
+  mix(static_cast<std::uint64_t>(image.channels()));
+  const std::uint8_t* data = image.data();
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    h ^= data[i];
+    h *= kFnvPrime64;
+  }
+  return h;
+}
+
+}  // namespace vs::fault::wire

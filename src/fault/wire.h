@@ -1,0 +1,51 @@
+// Checksummed line-oriented (de)serialization of campaign records — the
+// wire format shared by the supervisor's worker pipes and the append-only
+// campaign journal (src/supervise/).
+//
+// Every payload travels as one text line of space-separated fields sealed
+// with a trailing FNV-1a checksum token ("~xxxxxxxx").  A reader first
+// validates the seal, then parses fields with full range checks, so a line
+// truncated by a SIGKILL mid-write or overwritten with garbage is rejected
+// as a unit instead of producing a half-parsed record.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fault/model.h"
+#include "image/image.h"
+
+namespace vs::fault::wire {
+
+/// FNV-1a over the payload bytes (the seal appended by `seal`).
+[[nodiscard]] std::uint32_t checksum(std::string_view payload) noexcept;
+
+/// `payload` + " ~crc32hex".  The payload must not contain newlines.
+[[nodiscard]] std::string seal(std::string_view payload);
+
+/// Validates and strips the seal; nullopt for truncated/garbled lines.
+[[nodiscard]] std::optional<std::string> unseal(std::string_view line);
+
+/// Serializes one experiment record (unsealed payload, "R" tag first):
+///   R index cls target bit reg_id scoped scope scope_b live fired outcome
+///     fired_scope fired_kind detections retries frames_degraded
+[[nodiscard]] std::string record_payload(std::size_t index,
+                                         const injection_record& record);
+
+struct parsed_record {
+  std::size_t index = 0;
+  injection_record record;
+};
+
+/// Parses a record payload (already unsealed).  Every enum field is range
+/// checked; nullopt on any malformed field.
+[[nodiscard]] std::optional<parsed_record> parse_record(
+    std::string_view payload);
+
+/// FNV-1a 64 over an image's shape and pixels — the summary fingerprint
+/// workers report instead of shipping whole panoramas across the pipe.
+[[nodiscard]] std::uint64_t hash_image(const img::image_u8& image) noexcept;
+
+}  // namespace vs::fault::wire

@@ -1,0 +1,102 @@
+// core::backoff_policy / retry_with_backoff — the supervisor's retry engine,
+// pinned in isolation: exponential growth, cap, deterministic bounded
+// jitter, and the attempt/sleep accounting retry loops rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/retry.h"
+
+namespace vs::core {
+namespace {
+
+backoff_policy no_jitter() {
+  backoff_policy p;
+  p.base_delay_ms = 10.0;
+  p.max_delay_ms = 100.0;
+  p.multiplier = 2.0;
+  p.jitter = 0.0;
+  return p;
+}
+
+TEST(Retry, DelayGrowsExponentiallyThenCaps) {
+  const backoff_policy p = no_jitter();
+  EXPECT_DOUBLE_EQ(p.delay_ms(1), 10.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(2), 20.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(3), 40.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(4), 80.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(5), 100.0);   // capped
+  EXPECT_DOUBLE_EQ(p.delay_ms(50), 100.0);  // stays capped, no overflow
+  EXPECT_DOUBLE_EQ(p.delay_ms(0), 10.0);    // clamped to the first attempt
+}
+
+TEST(Retry, JitterIsBoundedAndDeterministic) {
+  backoff_policy p = no_jitter();
+  p.jitter = 0.5;
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const double nominal = no_jitter().delay_ms(attempt);
+    const double d = p.delay_ms(attempt);
+    EXPECT_GE(d, nominal * 0.5) << "attempt " << attempt;
+    EXPECT_LT(d, nominal * 1.5) << "attempt " << attempt;
+    // Same policy, same attempt => same delay (replayable schedules).
+    EXPECT_DOUBLE_EQ(d, p.delay_ms(attempt));
+  }
+  // Different seeds decorrelate the schedules.
+  backoff_policy q = p;
+  q.seed = p.seed + 1;
+  bool any_differs = false;
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    any_differs = any_differs || p.delay_ms(attempt) != q.delay_ms(attempt);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Retry, StopsOnFirstSuccess) {
+  backoff_policy p = no_jitter();
+  p.max_attempts = 5;
+  std::vector<double> sleeps;
+  int calls = 0;
+  const retry_outcome out = retry_with_backoff(
+      p, [&](int attempt) { return ++calls == 3 && attempt == 3; },
+      [&](double ms) { sleeps.push_back(ms); });
+  EXPECT_TRUE(out.succeeded);
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(sleeps.size(), 2u);  // slept after failures 1 and 2 only
+  EXPECT_DOUBLE_EQ(sleeps[0], p.delay_ms(1));
+  EXPECT_DOUBLE_EQ(sleeps[1], p.delay_ms(2));
+  EXPECT_DOUBLE_EQ(out.slept_ms, sleeps[0] + sleeps[1]);
+}
+
+TEST(Retry, ExhaustsAttemptsWithoutSleepingAfterLast) {
+  backoff_policy p = no_jitter();
+  p.max_attempts = 3;
+  int calls = 0;
+  int sleeps = 0;
+  const retry_outcome out = retry_with_backoff(
+      p,
+      [&](int) {
+        ++calls;
+        return false;
+      },
+      [&](double) { ++sleeps; });
+  EXPECT_FALSE(out.succeeded);
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps, 2);  // no backoff after the final failure
+}
+
+TEST(Retry, SingleAttemptPolicyNeverSleeps) {
+  backoff_policy p = no_jitter();
+  p.max_attempts = 0;  // clamped to one try
+  int sleeps = 0;
+  const retry_outcome out =
+      retry_with_backoff(p, [&](int) { return false; },
+                         [&](double) { ++sleeps; });
+  EXPECT_FALSE(out.succeeded);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(sleeps, 0);
+}
+
+}  // namespace
+}  // namespace vs::core

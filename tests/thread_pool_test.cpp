@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -97,6 +99,55 @@ TEST(ThreadPool, LowestFailingChunkExceptionWins) {
                       sum += static_cast<int>(begin);
                     });
   EXPECT_EQ(sum.load(), 28);
+}
+
+TEST(ThreadPool, InlineExecutionStopsAtThrowingChunk) {
+  // Inline path (single-threaded pool): sequential semantics exactly — the
+  // supervisor's in-process shard attempts rely on nothing after the
+  // throwing chunk having executed.
+  thread_pool pool(1);
+  std::vector<std::size_t> executed;
+  try {
+    pool.parallel_for(0, 40, 8,
+                      [&](std::int64_t, std::int64_t, std::size_t chunk) {
+                        if (chunk == 2) {
+                          throw std::runtime_error("chunk 2 failed");
+                        }
+                        executed.push_back(chunk);  // inline == this thread
+                      });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 2 failed");
+  }
+  // Chunks 3 and 4 never ran: their side effects are not observed.
+  const std::vector<std::size_t> expected = {0, 1};
+  EXPECT_EQ(executed, expected);
+}
+
+TEST(ThreadPool, ParallelExecutionStopsClaimingAfterFirstError) {
+  // Parallel path: chunk 0 is always claimed first (the calling thread's
+  // first fetch_add) and throws immediately, so its exception is the one
+  // rethrown; every other chunk dawdles long enough that the early-stop
+  // check prevents most of the remaining chunks from ever being claimed.
+  thread_pool pool(2);
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(0, 64, 1,
+                      [&](std::int64_t, std::int64_t, std::size_t chunk) {
+                        if (chunk == 0) {
+                          throw std::runtime_error("0");
+                        }
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                        executed.fetch_add(1);
+                      });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
+  }
+  // Without early stop all 63 non-throwing chunks run; with it, only the
+  // few already in flight when chunk 0 recorded its error may finish.
+  EXPECT_LT(executed.load(), 63);
 }
 
 TEST(ThreadPool, NestedCallsRunInlineWithoutDeadlock) {

@@ -4,13 +4,16 @@
 //   vs summarize <input1|input2> [VS|VS_RFD|VS_KDS|VS_SM] [frames] [out.pgm]
 //   vs events    <input1|input2> [frames] [out.ppm]        tracked summary
 //   vs inject    <input1|input2> <gpr|fpr> <injections> [algorithm]
-//                [--csv=path] [--json=path]
+//                [--csv=path] [--json=path] [--jobs=N] [--isolate]
+//                [--journal=path] [--resume] [--timeout=S]
 //   vs quality   <golden.pgm> <faulty.pgm>                 Section V-D metric
 //   vs profile   <input1|input2> [frames]                  Fig 8 breakdown
 //   vs stages                                              stage registry dump
 //   vs resil     <input1|input2> [algorithm] [frames]      hardened run +
 //                [--level=off|detectors|cfcss|full]        recovery report
 //                [--retries=N] [--no-motion-reuse] [--budget-factor=F]
+//   vs fleet     <input1|input2> [algorithms...] [--frames=N] [--jobs=N]
+//                [--isolate] [--timeout=S]                 multi-clip workers
 
 #include <cctype>
 #include <cstdio>
@@ -28,6 +31,7 @@
 #include "resil/cfcss.h"
 #include "quality/metric.h"
 #include "resil/runtime.h"
+#include "supervise/supervisor.h"
 #include "video/generator.h"
 
 namespace {
@@ -42,13 +46,16 @@ using namespace vs;
       "  vs summarize <input1|input2> [algorithm] [frames] [out.pgm]\n"
       "  vs events    <input1|input2> [frames] [out.ppm]\n"
       "  vs inject    <input1|input2> <gpr|fpr> <injections> [algorithm]\n"
-      "               [--csv=path] [--json=path]\n"
+      "               [--csv=path] [--json=path] [--jobs=N] [--isolate]\n"
+      "               [--journal=path] [--resume] [--timeout=S]\n"
       "  vs quality   <golden.pnm> <faulty.pnm>\n"
       "  vs profile   <input1|input2> [frames]\n"
       "  vs stages\n"
       "  vs resil     <input1|input2> [algorithm] [frames]\n"
       "               [--level=off|detectors|cfcss|full] [--retries=N]\n"
-      "               [--no-motion-reuse] [--budget-factor=F]\n");
+      "               [--no-motion-reuse] [--budget-factor=F]\n"
+      "  vs fleet     <input1|input2> [algorithms...] [--frames=N]\n"
+      "               [--jobs=N] [--isolate] [--timeout=S]\n");
   std::exit(2);
 }
 
@@ -133,11 +140,28 @@ int cmd_inject(int argc, char** argv) {
   app::pipeline_config config;
   std::string csv_path;
   std::string json_path;
+  supervise::supervisor_config super;
+  bool supervised = false;
   for (int i = 5; i < argc; ++i) {
     if (std::strncmp(argv[i], "--csv=", 6) == 0) {
       csv_path = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      super.jobs = std::atoi(argv[i] + 7);
+      supervised = true;
+    } else if (std::strcmp(argv[i], "--isolate") == 0) {
+      super.isolate = true;
+      supervised = true;
+    } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
+      super.journal_path = argv[i] + 10;
+      supervised = true;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      super.resume = true;
+      supervised = true;
+    } else if (std::strncmp(argv[i], "--timeout=", 10) == 0) {
+      super.shard_timeout_s = std::atof(argv[i] + 10);
+      supervised = true;
     } else {
       config.approx.alg = app::parse_algorithm(argv[i]);
     }
@@ -147,8 +171,26 @@ int cmd_inject(int argc, char** argv) {
   fault::campaign_config campaign;
   campaign.cls = fpr ? rt::reg_class::fpr : rt::reg_class::gpr;
   campaign.injections = injections;
-  const auto result = fault::run_campaign(
-      [&] { return app::summarize(*source, config).panorama; }, campaign);
+  const fault::workload work = [&] {
+    return app::summarize(*source, config).panorama;
+  };
+  fault::campaign_result result;
+  if (supervised) {
+    super.workload_label = std::string(video::input_name(input)) + "/" +
+                           app::algorithm_name(config.approx.alg) +
+                           (fpr ? "/fpr" : "/gpr");
+    auto sharded = supervise::run_sharded_campaign(work, campaign, super);
+    result = std::move(sharded.campaign);
+    const auto& st = sharded.stats;
+    std::printf(
+        "supervisor: %zu shards (%zu resumed), %zu records recovered, "
+        "%zu retries, %zu worker crashes, %zu watchdog kills, "
+        "%zu quarantined\n",
+        st.shards_total, st.shards_resumed, st.records_recovered, st.retries,
+        st.worker_crashes, st.worker_timeouts, st.quarantined.size());
+  } else {
+    result = fault::run_campaign(work, campaign);
+  }
 
   std::printf("%s\n", result.rates.to_string().c_str());
   const auto scopes = fault::scope_breakdown(result.records);
@@ -323,6 +365,58 @@ int cmd_resil(int argc, char** argv) {
   return 0;
 }
 
+int cmd_fleet(int argc, char** argv) {
+  if (argc < 3) usage();
+  const auto input = parse_input(argv[2]);
+
+  supervise::supervisor_config super;
+  super.jobs = 2;
+  int frames = 20;
+  std::vector<app::algorithm> algorithms;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--frames=", 9) == 0) {
+      frames = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      super.jobs = std::atoi(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--isolate") == 0) {
+      super.isolate = true;
+    } else if (std::strncmp(argv[i], "--timeout=", 10) == 0) {
+      super.shard_timeout_s = std::atof(argv[i] + 10);
+    } else {
+      algorithms.push_back(app::parse_algorithm(argv[i]));
+    }
+  }
+  if (algorithms.empty()) {
+    algorithms = {app::algorithm::vs, app::algorithm::vs_rfd,
+                  app::algorithm::vs_kds, app::algorithm::vs_sm};
+  }
+
+  std::vector<supervise::clip_job> jobs;
+  for (const app::algorithm alg : algorithms) {
+    jobs.push_back({input, alg, frames});
+  }
+  const auto results = supervise::run_clip_fleet(jobs, super);
+
+  int failed = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (r.completed) {
+      std::printf(
+          "%-7s %s: panorama %016llx, %d frame(s) in %d mini-panorama(s), "
+          "%.0f ms, %d attempt(s)\n",
+          app::algorithm_name(jobs[i].alg), video::input_name(input),
+          static_cast<unsigned long long>(r.panorama_hash), r.frames_stitched,
+          r.mini_panoramas, r.wall_ms, r.attempts);
+    } else {
+      ++failed;
+      std::printf("%-7s %s: FAILED (%s) after %d attempt(s)\n",
+                  app::algorithm_name(jobs[i].alg), video::input_name(input),
+                  fault::outcome_name(r.failure), r.attempts);
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -337,6 +431,7 @@ int main(int argc, char** argv) {
     if (command == "profile") return cmd_profile(argc, argv);
     if (command == "stages") return cmd_stages();
     if (command == "resil") return cmd_resil(argc, argv);
+    if (command == "fleet") return cmd_fleet(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
