@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# Serving-mode drain gate.
+#
+# Boots `vs serve`, pushes 8 mixed-variant jobs through it at concurrency
+# 4, sends the server SIGTERM while the stream is still in flight, and
+# requires that (a) every job that was accepted before the signal drains
+# to completion, and (b) every drained montage is byte-identical to the
+# one-shot `vs summarize` output for the same (input, algorithm, frames)
+# triple.  The byte-compare is the whole point: admission control, shared
+# pool leases, and graceful drain must never change a single output pixel.
+#
+# Usage: ci/check_serve_gate.sh [path/to/vs]
+set -euo pipefail
+
+vs_bin="${1:-build/tools/vs}"
+
+if [[ ! -x "$vs_bin" ]]; then
+  echo "error: vs binary not found at $vs_bin" >&2
+  exit 2
+fi
+
+tmp="$(mktemp -d)"
+sock="$tmp/serve.sock"
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -KILL "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+frames=8
+
+# input algorithm hardening priority — 8 mixed-variant jobs.
+jobs=(
+  "input1 VS     off  batch"
+  "input1 VS_RFD off  interactive"
+  "input1 VS_KDS cfcss batch"
+  "input1 VS_SM  off  batch"
+  "input2 VS     off  interactive"
+  "input2 VS_RFD cfcss batch"
+  "input2 VS_KDS off  batch"
+  "input2 VS_SM  off  interactive"
+)
+
+echo "== one-shot references =="
+# Hardening with zero injected faults never fires a recovery retry, so the
+# hardened montage is byte-identical to the plain one — `vs summarize` is
+# the reference for every variant.
+for spec in "${jobs[@]}"; do
+  read -r input alg _ _ <<< "$spec"
+  ref="$tmp/ref_${input}_${alg}.pgm"
+  if [[ ! -f "$ref" ]]; then
+    "$vs_bin" summarize "$input" "$alg" "$frames" "$ref" > /dev/null
+  fi
+done
+
+echo "== start server =="
+"$vs_bin" serve "$sock" --queue=16 --runners=4 \
+  --report="$tmp/report.csv" > "$tmp/server.log" 2>&1 &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+  [[ -S "$sock" ]] && break
+  sleep 0.1
+done
+if [[ ! -S "$sock" ]]; then
+  echo "serve gate: FAIL — server never bound $sock" >&2
+  cat "$tmp/server.log" >&2
+  exit 1
+fi
+
+echo "== submit 8 jobs at concurrency 4, SIGTERM mid-stream =="
+submit_pids=()
+i=0
+for spec in "${jobs[@]}"; do
+  read -r input alg hardening priority <<< "$spec"
+  out="$tmp/served_$i.pgm"
+  "$vs_bin" submit "$sock" "$input" "$alg" "$frames" "$out" \
+    "--hardening=$hardening" "--priority=$priority" \
+    > "$tmp/submit_$i.log" 2>&1 &
+  submit_pids+=("$!")
+  i=$((i + 1))
+  # Concurrency 4: once four clients are in flight, wait for the eldest.
+  if (( ${#submit_pids[@]} >= 4 )); then
+    wait "${submit_pids[0]}" || true
+    submit_pids=("${submit_pids[@]:1}")
+    # First completions are streaming back — drain signal lands here, with
+    # jobs queued, jobs in flight, and clients still reading.
+    if (( i == 5 )); then
+      kill -TERM "$server_pid"
+      echo "   (SIGTERM sent to server with jobs still streaming)"
+    fi
+  fi
+done
+for pid in "${submit_pids[@]}"; do
+  wait "$pid" || true
+done
+server_rc=0
+wait "$server_pid" || server_rc=$?
+server_pid=""
+if [[ "$server_rc" -ne 0 ]]; then
+  echo "serve gate: FAIL — server exited rc=$server_rc after drain" >&2
+  cat "$tmp/server.log" >&2
+  exit 1
+fi
+
+echo "== verify drained results byte-identical to one-shot =="
+fail=0
+drained=0
+i=0
+for spec in "${jobs[@]}"; do
+  read -r input alg hardening _ <<< "$spec"
+  out="$tmp/served_$i.pgm"
+  ref="$tmp/ref_${input}_${alg}.pgm"
+  if [[ -f "$out" ]]; then
+    if cmp -s "$out" "$ref"; then
+      echo "   job $i ($input $alg $hardening): byte-identical"
+      drained=$((drained + 1))
+    else
+      echo "   job $i ($input $alg $hardening): DIVERGED from one-shot" >&2
+      fail=1
+    fi
+  else
+    # Rejected at admission after the drain signal — legal, but it must
+    # have been an explicit rejection, not a dropped connection.
+    if ! grep -q "rejected" "$tmp/submit_$i.log"; then
+      echo "   job $i ($input $alg $hardening): no output and no explicit" \
+           "rejection" >&2
+      cat "$tmp/submit_$i.log" >&2
+      fail=1
+    else
+      echo "   job $i ($input $alg $hardening): rejected at admission" \
+           "(draining) — ok"
+    fi
+  fi
+  i=$((i + 1))
+done
+
+# The signal landed after jobs 0–1 completed with jobs 2–3 already
+# connected and accepted (job 4 races the signal); a graceful drain must
+# have finished the accepted ones rather than dropping them.
+if (( drained < 4 )); then
+  echo "serve gate: FAIL — only $drained jobs drained to completion" >&2
+  fail=1
+fi
+
+if (( fail != 0 )); then
+  echo "serve gate: FAIL" >&2
+  cat "$tmp/server.log" >&2
+  exit 1
+fi
+
+echo "serve gate: PASS — $drained drained jobs, all byte-identical"

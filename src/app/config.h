@@ -2,9 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "features/orb.h"
+#include "image/image.h"
 #include "match/matcher.h"
 #include "resil/hardening.h"
 #include "stitch/stitcher.h"
@@ -58,6 +60,16 @@ struct pipeline_config {
   /// unhardened pipeline is bit-identical — including its instrumented-lane
   /// hook stream — to builds without the subsystem.
   resil::hardening_config hardening;
+
+  /// Streaming observer: invoked with (index, rendered image) the moment a
+  /// mini-panorama closes, before the run finishes — the hook the serving
+  /// front end uses to stream partial summaries to clients.  Purely
+  /// observational: the callback sees the same images summarize() returns
+  /// in summary_result::mini_panoramas.  Under hardening, a frame retry can
+  /// replay a close after state restore, so streaming consumers should drop
+  /// indices they have already seen.
+  std::function<void(int index, const img::image_u8& panorama)>
+      on_mini_panorama;
 
   /// Derives the matcher configuration implied by the approximation.
   [[nodiscard]] match::match_params matcher() const {

@@ -152,6 +152,10 @@ summary_result summarize(const video::video_source& source,
         st.result.panorama_bounds.push_back(st.builder.content_bounds());
         st.result.mini_panoramas.push_back(std::move(pano));
         ++st.result.stats.mini_panoramas;
+        if (config.on_mini_panorama) {
+          config.on_mini_panorama(pano_index,
+                                  st.result.mini_panoramas.back());
+        }
       }
     }
     reset_builder();

@@ -19,8 +19,29 @@ void set_level(level lvl) noexcept;
 /// True when a message at `lvl` would be emitted.
 [[nodiscard]] bool enabled(level lvl) noexcept;
 
-/// Emit one line to stderr ("[WARN] message\n").  Thread-safe.
+/// Emit one line to stderr ("[WARN] [tag] message\n", tag omitted when the
+/// thread has none).  Line-atomic: the whole line is composed first and
+/// written with a single write(2), so concurrent workers — threads in one
+/// process or forked children sharing stderr — never shear each other's
+/// lines.
 void emit(level lvl, const std::string& message);
+
+/// The calling thread's log tag ("" when unset).  Server job runners and
+/// fleet workers set one ("job 7") so interleaved lines stay attributable.
+[[nodiscard]] const std::string& thread_tag() noexcept;
+void set_thread_tag(std::string tag);
+
+/// RAII tag for the calling thread; restores the previous tag on exit.
+class scoped_tag {
+ public:
+  explicit scoped_tag(std::string tag);
+  ~scoped_tag();
+  scoped_tag(const scoped_tag&) = delete;
+  scoped_tag& operator=(const scoped_tag&) = delete;
+
+ private:
+  std::string prev_;
+};
 
 namespace detail {
 inline void append(std::ostringstream&) {}

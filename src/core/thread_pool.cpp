@@ -204,6 +204,26 @@ thread_pool& thread_pool::global() {
   return *slot;
 }
 
+namespace {
+thread_local thread_pool* tls_pool_override = nullptr;
+}  // namespace
+
+thread_pool& thread_pool::current() noexcept {
+  if (tls_pool_override != nullptr) return *tls_pool_override;
+  return global();
+}
+
+thread_pool* thread_pool::current_override() noexcept {
+  return tls_pool_override;
+}
+
+pool_scope::pool_scope(thread_pool& pool) noexcept
+    : prev_(tls_pool_override) {
+  tls_pool_override = &pool;
+}
+
+pool_scope::~pool_scope() { tls_pool_override = prev_; }
+
 void thread_pool::set_global_threads(unsigned threads) {
   const std::lock_guard<std::mutex> lock(global_mutex());
   global_slot() = std::make_unique<thread_pool>(threads);

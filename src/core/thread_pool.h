@@ -76,6 +76,17 @@ class thread_pool {
   /// hardware concurrency.
   static thread_pool& global();
 
+  /// The pool the calling thread's clean-lane kernels dispatch to: the pool
+  /// installed by the innermost pool_scope on this thread, else global().
+  /// This is how a leased-width pool (core/pool_budget.h) reaches the
+  /// kernels without threading a pool parameter through every call chain.
+  static thread_pool& current() noexcept;
+
+  /// The thread's pool_scope override, or nullptr when the thread would
+  /// fall back to global().  Lets helper-thread spawners (the pipeline's
+  /// frame prefetch) re-install the submitting thread's pool on workers.
+  static thread_pool* current_override() noexcept;
+
   /// Replaces the global pool with one of the given width (0 = auto).  Test
   /// and benchmark hook; must not be called while parallel work is in
   /// flight.
@@ -96,6 +107,22 @@ class thread_pool {
   job* current_ = nullptr;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+};
+
+/// RAII override of thread_pool::current() for the calling thread.  A job
+/// that leased a bounded-width pool wraps its whole unit of work in a
+/// pool_scope so every clean-lane kernel underneath tiles over the leased
+/// pool instead of the process-wide one.  Scopes nest; each restores the
+/// previous override on destruction.
+class pool_scope {
+ public:
+  explicit pool_scope(thread_pool& pool) noexcept;
+  ~pool_scope();
+  pool_scope(const pool_scope&) = delete;
+  pool_scope& operator=(const pool_scope&) = delete;
+
+ private:
+  thread_pool* prev_;
 };
 
 }  // namespace vs::core

@@ -66,4 +66,17 @@ void write_text_file(const std::string& path, const std::string& text) {
   if (!out) throw io_error("write_text_file: write failed for " + path);
 }
 
+void report_stream::open(const std::string& path, const std::string& header) {
+  out_.open(path, std::ios::trunc);
+  if (!out_) throw io_error("report_stream: cannot open " + path);
+  if (!header.empty()) out_ << header << '\n';
+  out_.flush();
+}
+
+void report_stream::append(const std::string& row) {
+  if (!out_.is_open()) return;
+  out_ << row << '\n';
+  out_.flush();
+}
+
 }  // namespace vs::fault

@@ -3,6 +3,7 @@
 // benchmark harnesses' console tables.
 #pragma once
 
+#include <fstream>
 #include <string>
 
 #include "fault/campaign.h"
@@ -19,5 +20,28 @@ namespace vs::fault {
 
 /// Writes `text` to `path` (throws io_error on failure).
 void write_text_file(const std::string& path, const std::string& text);
+
+/// Streaming row-oriented report writer: header once, then one flushed line
+/// per outcome *as it arrives*.  This is how `vs fleet` and the
+/// summarization server feed per-clip/per-job results into reports without
+/// buffering the whole run — after a SIGKILL the file holds every outcome
+/// that had settled, mirroring the journal's crash-consistency story.
+/// Works for CSV (open with a comma-separated header) and JSON lines (open
+/// with an empty header and append one object per row).
+class report_stream {
+ public:
+  report_stream() = default;  ///< inactive: append() is a no-op
+
+  /// Opens `path` truncating; writes `header` + '\n' when non-empty.
+  /// Throws io_error on failure.
+  void open(const std::string& path, const std::string& header);
+  [[nodiscard]] bool active() const noexcept { return out_.is_open(); }
+
+  /// Appends one row and flushes it to disk.
+  void append(const std::string& row);
+
+ private:
+  std::ofstream out_;
+};
 
 }  // namespace vs::fault

@@ -57,7 +57,7 @@ std::vector<keypoint> fast_detect_clean(const img::image_u8& gray,
 
   img::basic_image<float> scores(w, h, 1);
   const std::uint8_t* data = gray.data();
-  auto& pool = core::thread_pool::global();
+  auto& pool = core::thread_pool::current();
 
   // Score pass: rows are independent; each band writes disjoint rows.
   pool.parallel_for(

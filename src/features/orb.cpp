@@ -185,7 +185,7 @@ frame_features orb_extract_clean(const img::image_u8& gray,
 
   constexpr double two_pi = 2.0 * 3.14159265358979323846;
   constexpr int angle_bins = 30;
-  core::thread_pool::global().parallel_for(
+  core::thread_pool::current().parallel_for(
       0, static_cast<std::int64_t>(out.keypoints.size()), 32,
       [&](std::int64_t i0, std::int64_t i1, std::size_t) {
         for (std::int64_t i = i0; i < i1; ++i) {

@@ -41,7 +41,7 @@ img::image_u8 resize_bilinear(const img::image_u8& src, int width,
   };
   core::dispatch(
       [&] {
-        core::thread_pool::global().parallel_for(
+        core::thread_pool::current().parallel_for(
             0, height, 16, [&](std::int64_t y0, std::int64_t y1, std::size_t) {
               resize_rows(static_cast<int>(y0), static_cast<int>(y1));
             });

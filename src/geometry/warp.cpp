@@ -134,7 +134,7 @@ void warp_rows_clean(const img::image_u8& src, const mat3& m,
   std::uint8_t* valid_data = out.valid.data();
   std::uint8_t* pixel_data = out.pixels.data();
 
-  core::thread_pool::global().parallel_for(
+  core::thread_pool::current().parallel_for(
       0, out_h, 8, [&](std::int64_t y0, std::int64_t y1, std::size_t) {
         for (int y = static_cast<int>(y0); y < y1; ++y) {
           const double dy = out_rect.y0 + y;

@@ -68,7 +68,7 @@ std::vector<match> match_descriptors_clean(const feat::frame_features& query,
       core::thread_pool::chunk_count(0, nq, query_chunk);
   std::vector<std::vector<match>> partial(chunks);
 
-  core::thread_pool::global().parallel_for(
+  core::thread_pool::current().parallel_for(
       0, nq, query_chunk,
       [&](std::int64_t q0, std::int64_t q1, std::size_t chunk) {
         auto& local = partial[chunk];

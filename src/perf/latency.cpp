@@ -1,0 +1,56 @@
+#include "perf/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vs::perf {
+
+void latency_recorder::record(double ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(ms);
+  sum_ms_ += ms;
+}
+
+std::size_t latency_recorder::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+latency_snapshot latency_recorder::snapshot() const {
+  std::vector<double> sorted;
+  double sum = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sorted = samples_;
+    sum = sum_ms_;
+  }
+  latency_snapshot out;
+  if (sorted.empty()) return out;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = [&](double q) {
+    const std::size_t n = sorted.size();
+    const std::size_t r = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    return sorted[std::min(n - 1, r == 0 ? 0 : r - 1)];
+  };
+  out.count = sorted.size();
+  out.mean_ms = sum / static_cast<double>(sorted.size());
+  out.p50_ms = rank(0.50);
+  out.p90_ms = rank(0.90);
+  out.p95_ms = rank(0.95);
+  out.p99_ms = rank(0.99);
+  out.max_ms = sorted.back();
+  return out;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t n = samples.size();
+  const std::size_t r =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  return samples[std::min(n - 1, r == 0 ? 0 : r - 1)];
+}
+
+}  // namespace vs::perf

@@ -1,0 +1,47 @@
+// Thread-safe latency aggregation for the serving front end.
+//
+// The server's `stats` reply and the closed-loop load generator both need
+// tail percentiles over completed-job latencies.  Jobs are few (relative to
+// the fault campaign's experiment counts), so the recorder keeps every
+// sample and computes exact order statistics on demand — no sketch error to
+// reason about in the acceptance numbers.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace vs::perf {
+
+struct latency_snapshot {
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class latency_recorder {
+ public:
+  void record(double ms);
+
+  /// Exact percentiles over everything recorded so far (nearest-rank on a
+  /// sorted copy).  All-zero when nothing was recorded.
+  [[nodiscard]] latency_snapshot snapshot() const;
+
+  [[nodiscard]] std::size_t count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  double sum_ms_ = 0.0;
+};
+
+/// Nearest-rank percentile over an unsorted sample set (q in [0, 1]);
+/// 0 when `samples` is empty.  The helper the recorder and the load
+/// generator share.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+}  // namespace vs::perf

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/thread_pool.h"
+
 namespace vs::pipeline {
 
 frame_executor::frame_executor(const resil::hardening_config& hardening,
@@ -51,10 +53,18 @@ void frame_executor::drain_stale(int index) {
 void frame_executor::top_up(int index) {
   const int horizon = std::min(frame_count_, index + 1 + depth_);
   if (next_prefetch_ <= index) next_prefetch_ = index + 1;
+  // Helper threads inherit the submitting thread's pool override, so a job
+  // running under a leased-width pool (core/pool_budget.h) keeps its
+  // prefetched kernels on the leased pool instead of escaping to the
+  // process-wide one.
+  core::thread_pool* pool = core::thread_pool::current_override();
   while (next_prefetch_ < horizon) {
     const int i = next_prefetch_++;
-    ring_.push_back(
-        {i, std::async(std::launch::async, [this, i] { return produce(i); })});
+    ring_.push_back({i, std::async(std::launch::async, [this, i, pool] {
+                       if (pool == nullptr) return produce(i);
+                       const core::pool_scope scope(*pool);
+                       return produce(i);
+                     })});
   }
 }
 

@@ -1,0 +1,173 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/error.h"
+#include "serve/framing.h"
+
+namespace vs::serve {
+
+namespace {
+
+/// Closes the fd on every exit path — the response loop has several.
+class fd_guard {
+ public:
+  explicit fd_guard(int fd) noexcept : fd_(fd) {}
+  ~fd_guard() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  fd_guard(const fd_guard&) = delete;
+  fd_guard& operator=(const fd_guard&) = delete;
+  [[nodiscard]] int get() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+};
+
+void send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw io_error("serve client: send failed: " +
+                   std::string(std::strerror(errno)));
+  }
+}
+
+/// Blocks until the decoder yields the next validated frame.  Throws
+/// io_error on EOF/timeout — the server never half-answers a request, so
+/// a short stream means it died or we timed out.
+frame next_frame(int fd, frame_decoder& decoder) {
+  char buf[16384];
+  for (;;) {
+    if (auto f = decoder.next()) return std::move(*f);
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw io_error(n == 0 ? "serve client: server closed mid-stream"
+                          : "serve client: recv failed: " +
+                                std::string(std::strerror(errno)));
+  }
+}
+
+}  // namespace
+
+client::client(std::string socket_path, double receive_timeout_s)
+    : socket_path_(std::move(socket_path)),
+      receive_timeout_s_(receive_timeout_s) {}
+
+int client::connect_and_hello() {
+  sockaddr_un addr{};
+  if (socket_path_.empty() ||
+      socket_path_.size() >= sizeof(addr.sun_path)) {
+    throw io_error("serve client: bad socket path: " + socket_path_);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw io_error("serve client: socket() failed: " +
+                   std::string(std::strerror(errno)));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw io_error("serve client: cannot connect to " + socket_path_ +
+                   ": " + why);
+  }
+  if (receive_timeout_s_ > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(receive_timeout_s_);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (receive_timeout_s_ - static_cast<double>(tv.tv_sec)) * 1e6);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return fd;
+}
+
+submit_outcome client::submit(
+    const job_request& request,
+    const std::function<void(const panorama_msg&)>& on_panorama) {
+  const fd_guard fd(connect_and_hello());
+  frame_decoder decoder;
+
+  send_all(fd.get(), encode_hello(hello_msg{}));
+  send_all(fd.get(), encode_submit(request));
+
+  submit_outcome outcome;
+  for (;;) {
+    const frame f = next_frame(fd.get(), decoder);
+    switch (static_cast<msg_type>(f.type)) {
+      case msg_type::hello:
+        continue;  // handshake echo
+      case msg_type::rejected: {
+        auto m = parse_rejected(f.payload);
+        if (!m) throw io_error("serve client: garbled rejected frame");
+        outcome.rejected = *m;
+        return outcome;
+      }
+      case msg_type::accepted: {
+        auto m = parse_accepted(f.payload);
+        if (!m) throw io_error("serve client: garbled accepted frame");
+        outcome.accepted = *m;
+        continue;
+      }
+      case msg_type::panorama: {
+        auto m = parse_panorama(f.payload);
+        if (!m) throw io_error("serve client: garbled panorama frame");
+        if (on_panorama) on_panorama(*m);
+        outcome.panoramas.push_back(std::move(*m));
+        continue;
+      }
+      case msg_type::complete: {
+        auto m = parse_complete(f.payload);
+        if (!m) throw io_error("serve client: garbled complete frame");
+        outcome.complete = std::move(*m);
+        return outcome;
+      }
+      case msg_type::failed: {
+        auto m = parse_failed(f.payload);
+        if (!m) throw io_error("serve client: garbled failed frame");
+        outcome.failed = std::move(*m);
+        return outcome;
+      }
+      default:
+        throw io_error("serve client: unexpected frame type " +
+                       std::to_string(f.type));
+    }
+  }
+}
+
+stats_reply client::stats() {
+  const fd_guard fd(connect_and_hello());
+  frame_decoder decoder;
+  send_all(fd.get(), encode_stats_request());
+  for (;;) {
+    const frame f = next_frame(fd.get(), decoder);
+    if (static_cast<msg_type>(f.type) == msg_type::hello) continue;
+    if (static_cast<msg_type>(f.type) != msg_type::stats_reply) {
+      throw io_error("serve client: unexpected frame type " +
+                     std::to_string(f.type));
+    }
+    const auto m = parse_stats_reply(f.payload);
+    if (!m) throw io_error("serve client: garbled stats frame");
+    return *m;
+  }
+}
+
+}  // namespace vs::serve

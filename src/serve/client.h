@@ -1,0 +1,62 @@
+// Client side of the summarization service (`vs submit`).
+//
+// One connection per request, mirroring the server: connect, handshake,
+// submit one clip job, then consume the streamed response — each
+// mini-panorama as the server closes it, then the final montage — through
+// an optional callback.  The returned submit_outcome holds everything a
+// caller needs to reproduce the one-shot `vs summarize` behaviour
+// byte-for-byte: the montage in `complete->montage` is the same image
+// summarize() returns in summary_result::panorama.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace vs::serve {
+
+/// Everything one submission produced.  Exactly one of `accepted` /
+/// `rejected` is set; when accepted, exactly one of `complete` / `failed`
+/// is set (unless the connection died mid-stream, which surfaces as an
+/// io_error from submit()).
+struct submit_outcome {
+  std::optional<job_accepted> accepted;
+  std::optional<job_rejected> rejected;
+  std::optional<job_complete> complete;
+  std::optional<job_failed> failed;
+  std::vector<panorama_msg> panoramas;  ///< streamed minis, index order
+};
+
+class client {
+ public:
+  /// `receive_timeout_s` bounds each wait for server bytes (0 = forever).
+  explicit client(std::string socket_path, double receive_timeout_s = 0.0);
+
+  /// Submits one job and consumes the whole response stream.  `on_panorama`
+  /// (optional) fires per streamed mini-panorama, before submit() returns —
+  /// the streaming hook `vs submit` uses to write partial summaries as
+  /// they land.  Throws io_error when the socket cannot be reached or the
+  /// server vanishes mid-stream.
+  [[nodiscard]] submit_outcome submit(
+      const job_request& request,
+      const std::function<void(const panorama_msg&)>& on_panorama = {});
+
+  /// Fetches the server's live stats snapshot.  Throws io_error on
+  /// connection failure or a garbled reply.
+  [[nodiscard]] stats_reply stats();
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return socket_path_;
+  }
+
+ private:
+  [[nodiscard]] int connect_and_hello();
+
+  std::string socket_path_;
+  double receive_timeout_s_;
+};
+
+}  // namespace vs::serve

@@ -1,0 +1,80 @@
+// Versioned, length-prefixed binary framing for the summarization service.
+//
+// The campaign supervisor's wire format (fault/wire.h) is line-oriented
+// text — right for journal greppability, wrong for shipping panorama pixels
+// (which contain newlines).  The service instead frames every message as
+//
+//   u32  magic     "VSF1" — protocol identity *and* version in one probe
+//   u16  type      message discriminator (serve/protocol.h)
+//   u16  flags     reserved, must be 0
+//   u32  length    payload byte count
+//   u32  checksum  FNV-1a (fault/wire.h) over [type|flags|length|payload]
+//   ...  payload   `length` opaque bytes
+//
+// all little-endian, assembled byte-by-byte so the codec is
+// endianness-portable.  The decoder is incremental and self-resynchronizing:
+// bytes are fed as they arrive off the socket, and any prefix that fails
+// validation — wrong magic, absurd length, checksum mismatch, a frame
+// truncated by a dying peer — is skipped one byte at a time until the next
+// plausible frame boundary, with the damage tallied in skipped_bytes().
+// Garbage never throws and never yields a half-parsed frame; that contract
+// is pinned by the shared adversarial round-trip tests
+// (tests/wire_fuzz_test.cpp) alongside the supervisor's line decoder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace vs::serve {
+
+/// Protocol identity: bump the trailing digit for incompatible layouts.
+inline constexpr std::uint32_t kFrameMagic = 0x31465356u;  // "VSF1" in LE
+inline constexpr std::size_t kFrameHeaderSize = 16;
+/// Upper bound on a payload: comfortably above any montage the pipeline
+/// renders (max_panorama_pixels is 4 MiB per mini-panorama), far below
+/// anything that would let a corrupted length field allocate the host out
+/// of memory.
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+struct frame {
+  std::uint16_t type = 0;
+  std::string payload;
+};
+
+/// Serializes one frame (header + sealed payload bytes).
+[[nodiscard]] std::string encode_frame(std::uint16_t type,
+                                       std::string_view payload);
+
+/// Incremental decoder over a byte stream.
+class frame_decoder {
+ public:
+  /// Appends raw bytes from the transport.
+  void feed(const char* data, std::size_t size);
+  void feed(std::string_view bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Extracts the next validated frame, or nullopt when the buffer holds
+  /// no complete valid frame yet.  Invalid prefixes are skipped.
+  [[nodiscard]] std::optional<frame> next();
+
+  /// Bytes discarded while resynchronizing (torn frames, garbage).
+  [[nodiscard]] std::uint64_t skipped_bytes() const noexcept {
+    return skipped_;
+  }
+
+  /// Bytes buffered but not yet consumed (a partial frame in flight).
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  void compact();
+
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already processed
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace vs::serve

@@ -1,0 +1,421 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+namespace vs::serve {
+
+namespace {
+
+// Latencies cross the wire as integer microseconds so parsing never touches
+// floating point; 1 us of quantization is noise against millisecond jobs.
+std::uint64_t ms_to_us(double ms) {
+  if (ms <= 0.0) return 0;
+  return static_cast<std::uint64_t>(ms * 1000.0 + 0.5);
+}
+
+double us_to_ms(std::uint64_t us) { return static_cast<double>(us) / 1000.0; }
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), " %llu",
+                              static_cast<unsigned long long>(v));
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+void append_image(std::string& out, const img::image_u8& image) {
+  append_u64(out, static_cast<std::uint64_t>(image.width()));
+  append_u64(out, static_cast<std::uint64_t>(image.height()));
+  append_u64(out, static_cast<std::uint64_t>(image.channels()));
+  out.push_back('\n');
+  out.append(reinterpret_cast<const char*>(image.data()), image.size());
+}
+
+std::vector<std::string_view> split(std::string_view header) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < header.size()) {
+    while (pos < header.size() && header[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < header.size() && header[end] != ' ') ++end;
+    if (end > pos) tokens.push_back(header.substr(pos, end - pos));
+    pos = end;
+  }
+  return tokens;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view token) {
+  std::uint64_t value = 0;
+  const auto* first = token.data();
+  const auto* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64_max(std::string_view token,
+                                           std::uint64_t max) {
+  const auto v = parse_u64(token);
+  if (!v || *v > max) return std::nullopt;
+  return v;
+}
+
+std::optional<int> parse_int(std::string_view token) {
+  const auto v = parse_u64_max(
+      token, static_cast<std::uint64_t>(std::numeric_limits<int>::max()));
+  if (!v) return std::nullopt;
+  return static_cast<int>(*v);
+}
+
+// Splits an image-bearing payload at the first '\n': header tokens before,
+// raw pixels after.  The pixel byte count must equal w*h*c exactly.
+struct image_payload {
+  std::vector<std::string_view> tokens;
+  std::string_view pixels;
+};
+
+std::optional<image_payload> split_image_payload(std::string_view payload) {
+  const std::size_t nl = payload.find('\n');
+  if (nl == std::string_view::npos) return std::nullopt;
+  image_payload out;
+  out.tokens = split(payload.substr(0, nl));
+  out.pixels = payload.substr(nl + 1);
+  return out;
+}
+
+// Reconstructs an image from (w, h, c) tokens + pixel bytes.  Dimensions
+// are bounded by the frame payload cap, so a garbled header can't trigger
+// a giant allocation before the byte-count cross-check rejects it.
+std::optional<img::image_u8> parse_image(std::string_view w_tok,
+                                         std::string_view h_tok,
+                                         std::string_view c_tok,
+                                         std::string_view pixels) {
+  const auto w = parse_u64_max(w_tok, kMaxFramePayload);
+  const auto h = parse_u64_max(h_tok, kMaxFramePayload);
+  const auto c = parse_u64_max(c_tok, 3);
+  // basic_image only models 1- and 3-channel layouts (its ctor throws on
+  // anything else; parsers never throw).
+  if (!w || !h || !c || (*c != 1 && *c != 3)) return std::nullopt;
+  const std::uint64_t expected = *w * *h * *c;
+  if (expected != pixels.size()) return std::nullopt;
+  if (*w == 0 || *h == 0) {
+    if (expected != 0) return std::nullopt;
+    return img::image_u8();
+  }
+  img::image_u8 image(static_cast<int>(*w), static_cast<int>(*h),
+                      static_cast<int>(*c));
+  std::copy(pixels.begin(), pixels.end(),
+            reinterpret_cast<char*>(image.data()));
+  return image;
+}
+
+std::string sanitize_token(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    out.push_back((c == ' ' || c == '\n' || c == '\r') ? '_' : c);
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+}  // namespace
+
+const char* priority_name(priority_class p) noexcept {
+  return p == priority_class::interactive ? "interactive" : "batch";
+}
+
+const char* reject_reason_name(reject_reason r) noexcept {
+  switch (r) {
+    case reject_reason::queue_full: return "queue_full";
+    case reject_reason::draining: return "draining";
+    case reject_reason::bad_request: return "bad_request";
+    case reject_reason::version: return "version";
+  }
+  return "unknown";
+}
+
+std::string encode_hello(const hello_msg& m) {
+  std::string p = "H";
+  append_u64(p, m.version);
+  return encode_frame(static_cast<std::uint16_t>(msg_type::hello), p);
+}
+
+std::string encode_submit(const job_request& m) {
+  std::string p = "J";
+  append_u64(p, static_cast<std::uint64_t>(m.input));
+  append_u64(p, static_cast<std::uint64_t>(m.alg));
+  append_u64(p, static_cast<std::uint64_t>(m.frames));
+  append_u64(p, static_cast<std::uint64_t>(m.hardening));
+  append_u64(p, static_cast<std::uint64_t>(m.priority));
+  append_u64(p, m.deadline_ms);
+  append_u64(p, m.max_threads);
+  return encode_frame(static_cast<std::uint16_t>(msg_type::submit), p);
+}
+
+std::string encode_accepted(const job_accepted& m) {
+  std::string p = "A";
+  append_u64(p, m.job_id);
+  append_u64(p, m.queue_depth);
+  return encode_frame(static_cast<std::uint16_t>(msg_type::accepted), p);
+}
+
+std::string encode_rejected(const job_rejected& m) {
+  std::string p = "R";
+  append_u64(p, static_cast<std::uint64_t>(m.reason));
+  append_u64(p, m.retry_after_ms);
+  append_u64(p, m.queue_depth);
+  return encode_frame(static_cast<std::uint16_t>(msg_type::rejected), p);
+}
+
+std::string encode_panorama(const panorama_msg& m) {
+  return encode_panorama(m.job_id, m.index, m.image);
+}
+
+std::string encode_panorama(std::uint64_t job_id, int index,
+                            const img::image_u8& image) {
+  std::string p = "P";
+  append_u64(p, job_id);
+  append_u64(p, static_cast<std::uint64_t>(index));
+  append_image(p, image);
+  return encode_frame(static_cast<std::uint16_t>(msg_type::panorama), p);
+}
+
+std::string encode_complete(const job_complete& m) {
+  std::string p = "C";
+  append_u64(p, m.job_id);
+  append_u64(p, static_cast<std::uint64_t>(m.stats.frames_total));
+  append_u64(p, static_cast<std::uint64_t>(m.stats.frames_dropped_rfd));
+  append_u64(p, static_cast<std::uint64_t>(m.stats.frames_stitched));
+  append_u64(p, static_cast<std::uint64_t>(m.stats.frames_discarded));
+  append_u64(p, static_cast<std::uint64_t>(m.stats.homography_alignments));
+  append_u64(p, static_cast<std::uint64_t>(m.stats.affine_alignments));
+  append_u64(p, static_cast<std::uint64_t>(m.stats.mini_panoramas));
+  append_u64(p, m.stats.keypoints_detected);
+  append_u64(p, m.stats.keypoints_matched_on);
+  append_u64(p, m.stats.total_matches);
+  append_u64(p, m.detections);
+  append_u64(p, m.retries);
+  append_u64(p, m.frames_degraded);
+  append_u64(p, m.wall_us);
+  append_u64(p, m.panorama_hash);
+  append_image(p, m.montage);
+  return encode_frame(static_cast<std::uint16_t>(msg_type::complete), p);
+}
+
+std::string encode_failed(const job_failed& m) {
+  std::string p = "F";
+  append_u64(p, m.job_id);
+  append_u64(p, static_cast<std::uint64_t>(m.failure));
+  p.push_back(' ');
+  p += sanitize_token(m.message);
+  return encode_frame(static_cast<std::uint16_t>(msg_type::failed), p);
+}
+
+std::string encode_stats_request() {
+  return encode_frame(static_cast<std::uint16_t>(msg_type::stats_request),
+                      "Q");
+}
+
+std::string encode_stats_reply(const stats_reply& m) {
+  std::string p = "S";
+  append_u64(p, m.queue_depth);
+  append_u64(p, m.in_flight);
+  append_u64(p, m.completed);
+  append_u64(p, m.rejected);
+  append_u64(p, m.failed);
+  append_u64(p, m.draining ? 1 : 0);
+  append_u64(p, m.pool_budget);
+  append_u64(p, m.pool_in_use);
+  append_u64(p, m.pool_peak_in_use);
+  append_u64(p, static_cast<std::uint64_t>(m.latency.count));
+  append_u64(p, ms_to_us(m.latency.mean_ms));
+  append_u64(p, ms_to_us(m.latency.p50_ms));
+  append_u64(p, ms_to_us(m.latency.p90_ms));
+  append_u64(p, ms_to_us(m.latency.p95_ms));
+  append_u64(p, ms_to_us(m.latency.p99_ms));
+  append_u64(p, ms_to_us(m.latency.max_ms));
+  return encode_frame(static_cast<std::uint16_t>(msg_type::stats_reply), p);
+}
+
+std::optional<hello_msg> parse_hello(std::string_view payload) {
+  const auto tokens = split(payload);
+  if (tokens.size() != 2 || tokens[0] != "H") return std::nullopt;
+  const auto version = parse_u64_max(
+      tokens[1], std::numeric_limits<std::uint32_t>::max());
+  if (!version) return std::nullopt;
+  hello_msg m;
+  m.version = static_cast<std::uint32_t>(*version);
+  return m;
+}
+
+std::optional<job_request> parse_submit(std::string_view payload) {
+  const auto tokens = split(payload);
+  if (tokens.size() != 8 || tokens[0] != "J") return std::nullopt;
+  const auto input = parse_u64_max(tokens[1], 1);
+  const auto alg = parse_u64_max(
+      tokens[2], static_cast<std::uint64_t>(app::algorithm::vs_sm));
+  const auto frames = parse_int(tokens[3]);
+  const auto hardening = parse_u64_max(
+      tokens[4], static_cast<std::uint64_t>(resil::hardening_level::full));
+  const auto priority = parse_u64_max(tokens[5], 1);
+  const auto deadline = parse_u64(tokens[6]);
+  const auto threads = parse_u64_max(tokens[7], 256);
+  if (!input || !alg || !frames || !hardening || !priority || !deadline ||
+      !threads) {
+    return std::nullopt;
+  }
+  job_request m;
+  m.input = static_cast<video::input_id>(*input);
+  m.alg = static_cast<app::algorithm>(*alg);
+  m.frames = *frames;
+  m.hardening = static_cast<resil::hardening_level>(*hardening);
+  m.priority = static_cast<priority_class>(*priority);
+  m.deadline_ms = *deadline;
+  m.max_threads = static_cast<unsigned>(*threads);
+  return m;
+}
+
+std::optional<job_accepted> parse_accepted(std::string_view payload) {
+  const auto tokens = split(payload);
+  if (tokens.size() != 3 || tokens[0] != "A") return std::nullopt;
+  const auto id = parse_u64(tokens[1]);
+  const auto depth = parse_u64(tokens[2]);
+  if (!id || !depth) return std::nullopt;
+  return job_accepted{*id, *depth};
+}
+
+std::optional<job_rejected> parse_rejected(std::string_view payload) {
+  const auto tokens = split(payload);
+  if (tokens.size() != 4 || tokens[0] != "R") return std::nullopt;
+  const auto reason = parse_u64_max(
+      tokens[1], static_cast<std::uint64_t>(reject_reason::version));
+  const auto retry = parse_u64(tokens[2]);
+  const auto depth = parse_u64(tokens[3]);
+  if (!reason || !retry || !depth) return std::nullopt;
+  job_rejected m;
+  m.reason = static_cast<reject_reason>(*reason);
+  m.retry_after_ms = *retry;
+  m.queue_depth = *depth;
+  return m;
+}
+
+std::optional<panorama_msg> parse_panorama(std::string_view payload) {
+  const auto parts = split_image_payload(payload);
+  if (!parts || parts->tokens.size() != 6 || parts->tokens[0] != "P") {
+    return std::nullopt;
+  }
+  const auto id = parse_u64(parts->tokens[1]);
+  const auto index = parse_int(parts->tokens[2]);
+  if (!id || !index) return std::nullopt;
+  auto image = parse_image(parts->tokens[3], parts->tokens[4],
+                           parts->tokens[5], parts->pixels);
+  if (!image) return std::nullopt;
+  panorama_msg m;
+  m.job_id = *id;
+  m.index = *index;
+  m.image = std::move(*image);
+  return m;
+}
+
+std::optional<job_complete> parse_complete(std::string_view payload) {
+  const auto parts = split_image_payload(payload);
+  if (!parts || parts->tokens.size() != 20 || parts->tokens[0] != "C") {
+    return std::nullopt;
+  }
+  const auto& t = parts->tokens;
+  const auto id = parse_u64(t[1]);
+  const auto frames_total = parse_int(t[2]);
+  const auto dropped = parse_int(t[3]);
+  const auto stitched = parse_int(t[4]);
+  const auto discarded = parse_int(t[5]);
+  const auto homography = parse_int(t[6]);
+  const auto affine = parse_int(t[7]);
+  const auto minis = parse_int(t[8]);
+  const auto kp_detected = parse_u64(t[9]);
+  const auto kp_matched = parse_u64(t[10]);
+  const auto matches = parse_u64(t[11]);
+  const auto detections = parse_u64_max(
+      t[12], std::numeric_limits<std::uint32_t>::max());
+  const auto retries = parse_u64_max(
+      t[13], std::numeric_limits<std::uint32_t>::max());
+  const auto degraded = parse_u64_max(
+      t[14], std::numeric_limits<std::uint32_t>::max());
+  const auto wall = parse_u64(t[15]);
+  const auto hash = parse_u64(t[16]);
+  if (!id || !frames_total || !dropped || !stitched || !discarded ||
+      !homography || !affine || !minis || !kp_detected || !kp_matched ||
+      !matches || !detections || !retries || !degraded || !wall || !hash) {
+    return std::nullopt;
+  }
+  auto montage = parse_image(t[17], t[18], t[19], parts->pixels);
+  if (!montage) return std::nullopt;
+  job_complete m;
+  m.job_id = *id;
+  m.stats.frames_total = *frames_total;
+  m.stats.frames_dropped_rfd = *dropped;
+  m.stats.frames_stitched = *stitched;
+  m.stats.frames_discarded = *discarded;
+  m.stats.homography_alignments = *homography;
+  m.stats.affine_alignments = *affine;
+  m.stats.mini_panoramas = *minis;
+  m.stats.keypoints_detected = *kp_detected;
+  m.stats.keypoints_matched_on = *kp_matched;
+  m.stats.total_matches = *matches;
+  m.detections = static_cast<std::uint32_t>(*detections);
+  m.retries = static_cast<std::uint32_t>(*retries);
+  m.frames_degraded = static_cast<std::uint32_t>(*degraded);
+  m.wall_us = *wall;
+  m.panorama_hash = *hash;
+  m.montage = std::move(*montage);
+  return m;
+}
+
+std::optional<job_failed> parse_failed(std::string_view payload) {
+  const auto tokens = split(payload);
+  if (tokens.size() != 4 || tokens[0] != "F") return std::nullopt;
+  const auto id = parse_u64(tokens[1]);
+  const auto failure = parse_u64_max(
+      tokens[2], static_cast<std::uint64_t>(fault::outcome::detected_degraded));
+  if (!id || !failure) return std::nullopt;
+  job_failed m;
+  m.job_id = *id;
+  m.failure = static_cast<fault::outcome>(*failure);
+  m.message = std::string(tokens[3]);
+  return m;
+}
+
+std::optional<stats_reply> parse_stats_reply(std::string_view payload) {
+  const auto tokens = split(payload);
+  if (tokens.size() != 17 || tokens[0] != "S") return std::nullopt;
+  std::uint64_t v[16];
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto parsed = parse_u64(tokens[i]);
+    if (!parsed) return std::nullopt;
+    v[i - 1] = *parsed;
+  }
+  if (v[5] > 1) return std::nullopt;
+  stats_reply m;
+  m.queue_depth = v[0];
+  m.in_flight = v[1];
+  m.completed = v[2];
+  m.rejected = v[3];
+  m.failed = v[4];
+  m.draining = v[5] == 1;
+  m.pool_budget = v[6];
+  m.pool_in_use = v[7];
+  m.pool_peak_in_use = v[8];
+  m.latency.count = static_cast<std::size_t>(v[9]);
+  m.latency.mean_ms = us_to_ms(v[10]);
+  m.latency.p50_ms = us_to_ms(v[11]);
+  m.latency.p90_ms = us_to_ms(v[12]);
+  m.latency.p95_ms = us_to_ms(v[13]);
+  m.latency.p99_ms = us_to_ms(v[14]);
+  m.latency.max_ms = us_to_ms(v[15]);
+  return m;
+}
+
+}  // namespace vs::serve

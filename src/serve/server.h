@@ -1,0 +1,129 @@
+// The long-running summarization service behind `vs serve`.
+//
+// One Unix-domain socket, one connection per request.  A connection either
+// asks for a stats snapshot or submits one clip job; an admitted job's
+// connection stays open while the server streams each mini-panorama the
+// moment the pipeline closes it, then the final montage + run statistics.
+// The response to a given job is byte-identical to what a one-shot
+// `vs summarize` of the same (input, variant, frames, hardening) produces,
+// at any concurrency — jobs run under worker-slot leases from one shared
+// core::pool_arbiter, so M concurrent clips on an N-slot budget never run
+// more than N live worker threads, and the kernels' fixed chunk tiling
+// makes the pixels independent of the width actually granted.
+//
+// Admission is a bounded two-class priority queue (interactive overtakes
+// batch, FIFO within a class).  A full queue rejects with a retry-after
+// hint derived from observed job latency — backpressure, not buffering.
+// Per-job deadlines ride the existing watchdog machinery: in isolate mode
+// the remaining deadline becomes the forked worker's wall-clock SIGKILL
+// watchdog (supervise/fork_runner.h); in-process, a job whose deadline
+// lapses while queued fails with the Hang taxonomy before it starts (true
+// mid-run preemption requires the process boundary).
+//
+// SIGTERM maps to request_drain() (async-signal-safe): the server stops
+// admitting (rejects carry reason `draining`), finishes everything already
+// accepted, then run() returns.  Drained results are byte-identical to
+// undisturbed runs — the CI smoke job (ci/check_serve_gate.sh) SIGTERMs a
+// live server mid-stream and cmp's every drained montage against one-shot
+// references.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pool_budget.h"
+#include "fault/report.h"
+#include "perf/latency.h"
+#include "serve/protocol.h"
+
+namespace vs::serve {
+
+struct server_config {
+  std::string socket_path;      ///< AF_UNIX path (must fit sun_path)
+  std::size_t queue_capacity = 8;  ///< admitted-but-not-started bound
+  int runners = 2;              ///< concurrent job executors
+  unsigned pool_budget = 0;     ///< shared worker-slot budget; 0 = auto
+  bool isolate = false;         ///< fork one worker process per job
+  /// Isolate-mode watchdog for jobs that carry no deadline; <= 0 = off.
+  double job_timeout_s = 0.0;
+  /// How long a freshly accepted connection may dawdle before its first
+  /// request frame arrives.
+  double handshake_timeout_s = 5.0;
+  /// Streaming per-job CSV log (fault::report_stream); empty = off.
+  std::string report_path;
+};
+
+class server {
+ public:
+  explicit server(server_config config);
+  ~server();
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  /// Binds the socket, starts the runner threads.  Throws io_error when
+  /// the path is unusable.
+  void start();
+
+  /// Accept loop.  Blocks until a drain completes; start() first.
+  void run();
+
+  /// Initiates graceful drain.  Async-signal-safe (one write(2) on a
+  /// self-pipe) — safe to call from a SIGTERM handler or another thread.
+  void request_drain() noexcept;
+
+  /// Live snapshot of queue/pool/latency state (also served on the wire).
+  [[nodiscard]] stats_reply stats() const;
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return config_.socket_path;
+  }
+
+ private:
+  struct pending_job {
+    std::uint64_t id = 0;
+    job_request request;
+    int fd = -1;  ///< client connection, owned by the job once admitted
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void handle_connection(int fd);
+  void admit_or_reject(int fd, const job_request& request, bool& fd_owned);
+  void runner_loop();
+  void execute_job(pending_job job);
+  void run_in_process(const pending_job& job, core::pool_lease& lease);
+  void run_isolated(const pending_job& job, core::pool_lease& lease);
+  void settle(const pending_job& job, const char* outcome, double wall_ms);
+  [[nodiscard]] std::uint64_t retry_after_ms_locked() const;
+
+  server_config config_;
+  core::pool_arbiter arbiter_;
+  perf::latency_recorder latency_;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<pending_job> interactive_;
+  std::deque<pending_job> batch_;
+  bool draining_ = false;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t failed_ = 0;
+
+  std::mutex report_mutex_;
+  fault::report_stream report_;
+
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace vs::serve

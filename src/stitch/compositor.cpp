@@ -33,7 +33,7 @@ bool compositor::ensure(const geo::rect& world_rect) {
     core::dispatch(
         [&] {
           // Clean lane: rows land in disjoint destination rows.
-          core::thread_pool::global().parallel_for(
+          core::thread_pool::current().parallel_for(
               0, pixels_.height(), 64,
               [&](std::int64_t y0, std::int64_t y1, std::size_t) {
                 for (int y = static_cast<int>(y0); y < y1; ++y) {
@@ -171,7 +171,7 @@ void compositor::blend_clean(const geo::warped_patch& patch,
   const std::size_t bands =
       core::thread_pool::chunk_count(0, patch_h, blend_band);
   std::vector<std::vector<std::size_t>> band_seams(bands);
-  core::thread_pool::global().parallel_for(
+  core::thread_pool::current().parallel_for(
       0, patch_h, blend_band,
       [&](std::int64_t y0, std::int64_t y1, std::size_t band) {
         auto& seams = band_seams[band];
@@ -295,7 +295,7 @@ void compositor::feather_seams_clean() {
 
   for (const std::size_t at : seam_candidates_) mask_[at] = 1;
   std::uint8_t* mask_data = mask_.data();
-  core::thread_pool::global().parallel_for(
+  core::thread_pool::current().parallel_for(
       0, static_cast<std::int64_t>(n), 1 << 16,
       [&](std::int64_t i0, std::int64_t i1, std::size_t) {
         for (std::int64_t i = i0; i < i1; ++i) {

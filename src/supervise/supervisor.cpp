@@ -1,13 +1,7 @@
 #include "supervise/supervisor.h"
 
-#include <poll.h>
-#include <signal.h>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
+#include <algorithm>
 #include <atomic>
-#include <cerrno>
 #include <charconv>
 #include <chrono>
 #include <cstring>
@@ -20,6 +14,8 @@
 #include "app/pipeline.h"
 #include "core/error.h"
 #include "core/log.h"
+#include "core/pool_budget.h"
+#include "supervise/fork_runner.h"
 #include "supervise/journal.h"
 
 namespace vs::supervise {
@@ -27,38 +23,6 @@ namespace vs::supervise {
 namespace {
 
 using clock = std::chrono::steady_clock;
-
-// Serializes [pipe(), fork(), close parent's write end] so a worker forked
-// from one supervisor thread can never inherit another shard's pipe write
-// end (which would hold that pipe open past its own worker's death and
-// stall the EOF the parent is waiting on).
-std::mutex fork_mutex;
-
-// Children communicate exclusively through raw write(2) on their pipe —
-// never stdio (fork duplicates stdio buffers) — and leave exclusively
-// through _exit (running static destructors in a forked child would, for
-// one, join thread-pool workers that only exist in the parent).
-void child_write_line(int fd, const std::string& payload) {
-  const std::string line = fault::wire::seal(payload) + "\n";
-  std::size_t off = 0;
-  while (off < line.size()) {
-    const ssize_t k = ::write(fd, line.data() + off, line.size() - off);
-    if (k < 0) {
-      if (errno == EINTR) continue;
-      _exit(4);  // parent vanished; nothing sensible left to do
-    }
-    off += static_cast<std::size_t>(k);
-  }
-}
-
-[[noreturn]] void child_fail(int fd, const std::exception* e) {
-  std::string msg = e != nullptr ? e->what() : "unknown_error";
-  for (char& c : msg) {
-    if (c == ' ' || c == '\n' || c == '\r' || c == '~') c = '_';
-  }
-  child_write_line(fd, "E " + msg);
-  _exit(3);
-}
 
 // How one worker attempt ended, with everything it streamed back first.
 struct attempt_result {
@@ -106,115 +70,35 @@ void consume_lines(std::string& buf, attempt_result& out) {
   buf.erase(0, start);
 }
 
-// Forks `body(write_fd)` as a worker and supervises it: streams its pipe
-// into `out`, enforces the wall-clock deadline with a SIGKILL, drains the
-// pipe after death, and classifies the exit status via waitpid.
+// Forks `body(write_fd)` under the shared fork runner and folds the byte
+// stream it produces back into line-protocol semantics: buffered wire
+// lines, in-flight tracking, exit classification.
 attempt_result run_forked_attempt(const std::function<void(int)>& body,
                                   double timeout_s) {
-  int fds[2];
-  pid_t pid = -1;
-  {
-    const std::lock_guard<std::mutex> lock(fork_mutex);
-    if (::pipe(fds) != 0) throw io_error("supervisor: pipe() failed");
-    pid = ::fork();
-    if (pid < 0) {
-      ::close(fds[0]);
-      ::close(fds[1]);
-      throw io_error("supervisor: fork() failed");
-    }
-    if (pid == 0) {
-      ::close(fds[0]);
-      body(fds[1]);  // must _exit, never return
-      _exit(0);
-    }
-    ::close(fds[1]);
-  }
-
   attempt_result out;
   std::string buf;
-  char chunk[4096];
-  bool timed_out = false;
-  const bool bounded = timeout_s > 0.0;
-  const auto deadline =
-      clock::now() + std::chrono::duration_cast<clock::duration>(
-                         std::chrono::duration<double>(bounded ? timeout_s
-                                                               : 0.0));
-  for (;;) {
-    int timeout_ms = -1;
-    if (bounded) {
-      const auto remaining = deadline - clock::now();
-      if (remaining <= clock::duration::zero()) {
-        timed_out = true;
-        break;
-      }
-      timeout_ms = static_cast<int>(
-          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
-              .count()) +
-          1;
-    }
-    struct pollfd p = {fds[0], POLLIN, 0};
-    const int pr = ::poll(&p, 1, timeout_ms);
-    if (pr == 0) {
-      timed_out = true;
-      break;
-    }
-    if (pr < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    const ssize_t k = ::read(fds[0], chunk, sizeof(chunk));
-    if (k == 0) break;  // worker closed its end (exit or death)
-    if (k < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    buf.append(chunk, static_cast<std::size_t>(k));
-    consume_lines(buf, out);
-  }
-
-  if (timed_out) ::kill(pid, SIGKILL);
-  // Drain whatever the worker managed to write before dying: completed
-  // records are completed work whether or not the worker survived.
-  for (;;) {
-    const ssize_t k = ::read(fds[0], chunk, sizeof(chunk));
-    if (k > 0) {
-      buf.append(chunk, static_cast<std::size_t>(k));
-      continue;
-    }
-    if (k < 0 && errno == EINTR) continue;
-    break;
-  }
+  const fork_ending ending = run_forked(
+      body, timeout_s, [&](const char* data, std::size_t size) {
+        buf.append(data, size);
+        consume_lines(buf, out);
+      });
   consume_lines(buf, out);
-  ::close(fds[0]);
-
-  int status = 0;
-  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
-  }
-  if (timed_out) {
-    out.how = attempt_result::ending::timeout;
-  } else if (WIFSIGNALED(status)) {
-    out.how = attempt_result::ending::signal;
-    out.signal = WTERMSIG(status);
-  } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
-    out.how = attempt_result::ending::clean;
-  } else {
-    out.how = attempt_result::ending::failure;
+  switch (ending.how) {
+    case fork_ending::kind::clean:
+      out.how = attempt_result::ending::clean;
+      break;
+    case fork_ending::kind::signal:
+      out.how = attempt_result::ending::signal;
+      out.signal = ending.sig;
+      break;
+    case fork_ending::kind::timeout:
+      out.how = attempt_result::ending::timeout;
+      break;
+    case fork_ending::kind::failure:
+      out.how = attempt_result::ending::failure;
+      break;
   }
   return out;
-}
-
-// Exit-status-based crash taxonomy: constraint-violation signals map to the
-// paper's library-abort crash class, everything else (SIGSEGV, SIGBUS, an
-// OOM-killer SIGKILL, ...) to the memory-violation class.
-fault::outcome classify_signal(int sig) noexcept {
-  switch (sig) {
-    case SIGABRT:
-    case SIGILL:
-    case SIGFPE:
-      return fault::outcome::crash_abort;
-    default:
-      return fault::outcome::crash_segfault;
-  }
 }
 
 void sleep_ms(double ms) {
@@ -542,11 +426,18 @@ struct clip_summary {
   double wall_ms = 0.0;
 };
 
-clip_summary summarize_clip(const clip_job& job) {
+// Runs one clip on a pool of the leased width.  frames_in_flight is 0 so
+// every live thread the clip uses is a leased slot (the lookahead's
+// std::async helpers would be unbudgeted extra threads); the summary is
+// byte-identical at any depth, so the clip hash is unaffected.
+clip_summary summarize_clip(const clip_job& job, unsigned width) {
   const auto t0 = clock::now();
   const auto source = video::make_input(job.input, job.frames);
   app::pipeline_config config;
   config.approx.alg = job.alg;
+  config.frames_in_flight = 0;
+  core::thread_pool pool(std::max(1u, width));
+  const core::pool_scope scope(pool);
   const app::summary_result summary = app::summarize(*source, config);
   clip_summary out;
   out.hash = fault::wire::hash_image(summary.panorama);
@@ -589,15 +480,26 @@ std::optional<clip_summary> parse_clip_payload(std::string_view payload) {
 }  // namespace
 
 std::vector<clip_result> run_clip_fleet(const std::vector<clip_job>& jobs,
-                                        const supervisor_config& config) {
+                                        const supervisor_config& config,
+                                        const clip_observer& observer) {
   std::vector<clip_result> results(jobs.size());
   std::atomic<std::size_t> cursor{0};
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  std::mutex observer_mutex;
+
+  // One arbiter for the whole fleet: concurrent clips share the budget
+  // instead of each sizing a pool from hardware concurrency.
+  core::pool_arbiter arbiter(config.pool_budget);
+  const unsigned active = static_cast<unsigned>(std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(1, config.jobs)), jobs.size()));
+  const unsigned fair_share =
+      std::max(1u, arbiter.budget() / std::max(1u, active));
 
   auto run_one = [&](std::size_t index) {
     const clip_job& job = jobs[index];
     clip_result& result = results[index];
+    const log::scoped_tag tag("clip " + std::to_string(index));
     core::backoff_policy backoff = config.backoff;
     backoff.seed = config.backoff.seed + 0x9e3779b97f4a7c15ULL * index;
 
@@ -605,11 +507,13 @@ std::vector<clip_result> run_clip_fleet(const std::vector<clip_job>& jobs,
         backoff,
         [&](int attempt) {
           result.attempts = attempt;
+          core::pool_lease lease = arbiter.acquire(1, fair_share);
+          const unsigned width = lease.width();
           if (!config.isolate) {
             // Inline lane: exceptions classify as aborts; real signals and
             // hangs are uncontained (that is what isolation is for).
             try {
-              const clip_summary s = summarize_clip(job);
+              const clip_summary s = summarize_clip(job, width);
               result.panorama_hash = s.hash;
               result.frames_stitched = s.frames_stitched;
               result.mini_panoramas = s.mini_panoramas;
@@ -623,11 +527,13 @@ std::vector<clip_result> run_clip_fleet(const std::vector<clip_job>& jobs,
           const attempt_result attempt_out = run_forked_attempt(
               [&](int fd) {
                 try {
-                  // First clean-lane touch in this process: the worker
-                  // builds its own thread pool lazily; a pool object
-                  // inherited from the parent has no live workers here and
-                  // degrades to inline execution.
-                  child_write_line(fd, clip_payload(summarize_clip(job)));
+                  // The leased slots back the *child's* pool: the worker
+                  // builds a pool of exactly the leased width (a pool
+                  // object inherited from the parent has no live workers
+                  // here), and the parent holds the lease until the child
+                  // dies, so the budget covers the forked threads too.
+                  child_write_line(fd,
+                                   clip_payload(summarize_clip(job, width)));
                 } catch (const std::exception& e) {
                   child_fail(fd, &e);
                 } catch (...) {
@@ -661,6 +567,10 @@ std::vector<clip_result> run_clip_fleet(const std::vector<clip_job>& jobs,
         sleep_ms);
     result.completed = out.succeeded;
     if (result.completed) result.failure = fault::outcome::masked;
+    if (observer) {
+      const std::lock_guard<std::mutex> lock(observer_mutex);
+      observer(index, job, result);
+    }
   };
 
   auto worker = [&] {

@@ -53,6 +53,12 @@ struct supervisor_config {
   std::string journal_path;      ///< empty = keep state in memory only
   bool resume = false;   ///< reuse a matching journal instead of truncating
   std::string workload_label = "campaign";  ///< journal identity label
+  /// Worker-slot budget shared by concurrent clip jobs (core/pool_budget.h):
+  /// each clip leases a fair share instead of sizing its own pool from
+  /// hardware concurrency, so M concurrent clips on an N-core host never
+  /// run more than N live worker threads.  0 = auto (VS_THREADS, else
+  /// hardware concurrency).
+  unsigned pool_budget = 0;
 };
 
 struct shard_stats {
@@ -103,10 +109,21 @@ struct clip_result {
   int attempts = 0;
 };
 
+/// Streaming per-clip aggregation: invoked (serialized — never
+/// concurrently) as each clip job settles, before the full fleet returns.
+/// `vs fleet` feeds these straight into the CSV/JSON report streams instead
+/// of buffering the whole fleet.
+using clip_observer =
+    std::function<void(std::size_t index, const clip_job& job,
+                       const clip_result& result)>;
+
 /// Runs each clip job to completion (with per-clip retry/backoff), one
 /// result per job in job order.  With config.isolate each attempt runs in a
 /// forked worker; otherwise inline on the supervisor's worker threads.
+/// Every clip runs under a worker-slot lease from the shared
+/// config.pool_budget arbiter.
 [[nodiscard]] std::vector<clip_result> run_clip_fleet(
-    const std::vector<clip_job>& jobs, const supervisor_config& config);
+    const std::vector<clip_job>& jobs, const supervisor_config& config,
+    const clip_observer& observer = {});
 
 }  // namespace vs::supervise

@@ -109,7 +109,7 @@ img::image_u8 synthetic_video::frame_clean(int index) const {
   }
 
   const int w = out.width();
-  core::thread_pool::global().parallel_for(
+  core::thread_pool::current().parallel_for(
       0, out.height(), 8, [&](std::int64_t y0, std::int64_t y1, std::size_t) {
         for (int y = static_cast<int>(y0); y < y1; ++y) {
           for (int x = 0; x < w; ++x) {

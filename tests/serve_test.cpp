@@ -1,0 +1,436 @@
+// End-to-end tests of the summarization service: byte-identity against
+// one-shot app::summarize at concurrency, admission control (backpressure,
+// draining, deadlines, priority), pool-budget ceilings, stats, and a
+// garbage-spraying client that must not hurt anyone.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "app/pipeline.h"
+#include "fault/wire.h"
+#include "serve/client.h"
+#include "video/generator.h"
+
+namespace vs::serve {
+namespace {
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/vs_serve_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+/// A server on its own thread; drains and joins on destruction.
+class server_fixture {
+ public:
+  explicit server_fixture(server_config config) : server_(std::move(config)) {
+    server_.start();
+    thread_ = std::thread([this] { server_.run(); });
+  }
+  ~server_fixture() { shutdown(); }
+
+  void shutdown() {
+    if (thread_.joinable()) {
+      server_.request_drain();
+      thread_.join();
+    }
+  }
+
+  server& get() { return server_; }
+
+ private:
+  server server_;
+  std::thread thread_;
+};
+
+server_config quick_config(const std::string& socket_path) {
+  server_config config;
+  config.socket_path = socket_path;
+  config.queue_capacity = 16;
+  config.runners = 2;
+  config.pool_budget = 2;
+  return config;
+}
+
+app::summary_result reference_run(const job_request& request) {
+  const auto source = video::make_input(request.input, request.frames);
+  app::pipeline_config config;
+  config.approx.alg = request.alg;
+  config.hardening.level = request.hardening;
+  return app::summarize(*source, config);
+}
+
+TEST(Serve, ServedMontageIsByteIdenticalToOneShotSummarize) {
+  const std::string path = unique_socket_path();
+  server_fixture fixture(quick_config(path));
+  client c(path, 120.0);
+
+  for (const auto input : {video::input_id::input1, video::input_id::input2}) {
+    for (const auto alg : {app::algorithm::vs, app::algorithm::vs_rfd,
+                           app::algorithm::vs_kds, app::algorithm::vs_sm}) {
+      job_request request;
+      request.input = input;
+      request.alg = alg;
+      request.frames = 8;
+      const auto outcome = c.submit(request);
+      ASSERT_TRUE(outcome.accepted.has_value());
+      ASSERT_TRUE(outcome.complete.has_value());
+
+      const auto reference = reference_run(request);
+      EXPECT_TRUE(outcome.complete->montage == reference.panorama)
+          << "montage diverged for alg " << static_cast<int>(alg);
+      EXPECT_EQ(outcome.complete->panorama_hash,
+                fault::wire::hash_image(reference.panorama));
+      EXPECT_EQ(outcome.complete->stats.frames_stitched,
+                reference.stats.frames_stitched);
+      EXPECT_EQ(outcome.complete->stats.mini_panoramas,
+                reference.stats.mini_panoramas);
+    }
+  }
+}
+
+TEST(Serve, StreamedMiniPanoramasMatchTheResultInOrder) {
+  const std::string path = unique_socket_path();
+  server_fixture fixture(quick_config(path));
+  client c(path, 120.0);
+
+  job_request request;
+  request.input = video::input_id::input1;
+  request.alg = app::algorithm::vs;
+  request.frames = 10;
+  std::vector<int> streamed_indices;
+  const auto outcome = c.submit(request, [&](const panorama_msg& m) {
+    streamed_indices.push_back(m.index);
+  });
+  ASSERT_TRUE(outcome.complete.has_value());
+
+  const auto reference = reference_run(request);
+  ASSERT_EQ(outcome.panoramas.size(), reference.mini_panoramas.size());
+  for (std::size_t i = 0; i < outcome.panoramas.size(); ++i) {
+    EXPECT_EQ(outcome.panoramas[i].index, static_cast<int>(i));
+    EXPECT_TRUE(outcome.panoramas[i].image == reference.mini_panoramas[i]);
+  }
+  EXPECT_EQ(streamed_indices.size(), outcome.panoramas.size());
+}
+
+TEST(Serve, HardenedJobsMatchTheirHardenedReference) {
+  const std::string path = unique_socket_path();
+  server_fixture fixture(quick_config(path));
+  client c(path, 120.0);
+
+  job_request request;
+  request.input = video::input_id::input2;
+  request.alg = app::algorithm::vs;
+  request.frames = 8;
+  request.hardening = resil::hardening_level::cfcss;
+  const auto outcome = c.submit(request);
+  ASSERT_TRUE(outcome.complete.has_value());
+  const auto reference = reference_run(request);
+  EXPECT_TRUE(outcome.complete->montage == reference.panorama);
+}
+
+TEST(Serve, ByteIdenticalUnderConcurrentMixedClients) {
+  const std::string path = unique_socket_path();
+  server_fixture fixture(quick_config(path));
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<char> match(kClients, 0);  // char: vector<bool> bits race
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      job_request request;
+      request.input = i % 2 == 0 ? video::input_id::input1
+                                 : video::input_id::input2;
+      request.alg = i % 2 == 0 ? app::algorithm::vs_rfd
+                               : app::algorithm::vs_sm;
+      request.frames = 8;
+      client c(path, 120.0);
+      const auto outcome = c.submit(request);
+      if (!outcome.complete) return;
+      match[i] =
+          outcome.complete->montage == reference_run(request).panorama ? 1
+                                                                       : 0;
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(match[i]) << "client " << i;
+  }
+
+  // The shared-budget acceptance bound: 4 concurrent jobs never leased
+  // more slots than the configured budget of 2.
+  const auto stats = fixture.get().stats();
+  EXPECT_LE(stats.pool_peak_in_use, stats.pool_budget);
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kClients));
+}
+
+TEST(Serve, IsolatedJobsAreByteIdenticalToo) {
+  const std::string path = unique_socket_path();
+  auto config = quick_config(path);
+  config.isolate = true;
+  config.job_timeout_s = 120.0;
+  server_fixture fixture(std::move(config));
+  client c(path, 120.0);
+
+  job_request request;
+  request.input = video::input_id::input1;
+  request.alg = app::algorithm::vs_kds;
+  request.frames = 8;
+  const auto outcome = c.submit(request);
+  ASSERT_TRUE(outcome.complete.has_value());
+  EXPECT_TRUE(outcome.complete->montage == reference_run(request).panorama);
+}
+
+TEST(Serve, FullQueueRejectsWithRetryAfterHint) {
+  const std::string path = unique_socket_path();
+  server_config config;
+  config.socket_path = path;
+  config.queue_capacity = 1;
+  config.runners = 1;
+  config.pool_budget = 1;
+  server_fixture fixture(std::move(config));
+
+  // Occupy the single runner with a long job, then flood it with four
+  // concurrent quick submits: with capacity 1 only one can be queued while
+  // the runner is busy, so at least one rejection must appear, and every
+  // queue_full rejection must carry a retry hint.
+  std::thread busy([&] {
+    job_request request;
+    request.frames = 60;
+    client c(path, 120.0);
+    (void)c.submit(request);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::atomic<int> rejections{0};
+  std::atomic<int> missing_hints{0};
+  std::vector<std::thread> flood;
+  for (int i = 0; i < 4; ++i) {
+    flood.emplace_back([&] {
+      job_request request;
+      request.frames = 8;
+      client c(path, 120.0);
+      const auto outcome = c.submit(request);
+      if (outcome.rejected &&
+          outcome.rejected->reason == reject_reason::queue_full) {
+        ++rejections;
+        if (outcome.rejected->retry_after_ms == 0) ++missing_hints;
+      }
+    });
+  }
+  for (auto& t : flood) t.join();
+  busy.join();
+  EXPECT_GT(rejections.load(), 0);
+  EXPECT_EQ(missing_hints.load(), 0);
+  EXPECT_GT(fixture.get().stats().rejected, 0u);
+}
+
+TEST(Serve, DrainingServerRejectsNewWorkButFinishesAcceptedWork) {
+  const std::string path = unique_socket_path();
+  server_fixture fixture(quick_config(path));
+
+  // A job accepted before the drain signal must complete normally.
+  std::thread accepted_job([&] {
+    job_request request;
+    request.frames = 20;
+    client c(path, 120.0);
+    const auto outcome = c.submit(request);
+    EXPECT_TRUE(outcome.complete.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  fixture.get().request_drain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // New submissions during the drain are refused with the right reason
+  // (the server may already have fully drained and closed the socket, in
+  // which case connect itself fails — also a correct refusal).
+  job_request late;
+  late.frames = 8;
+  client c(path, 120.0);
+  try {
+    const auto outcome = c.submit(late);
+    ASSERT_TRUE(outcome.rejected.has_value());
+    EXPECT_EQ(outcome.rejected->reason, reject_reason::draining);
+  } catch (const io_error&) {
+  }
+  accepted_job.join();
+}
+
+TEST(Serve, QueuedDeadlineExpiryFailsWithHangTaxonomy) {
+  const std::string path = unique_socket_path();
+  server_config config;
+  config.socket_path = path;
+  config.queue_capacity = 8;
+  config.runners = 1;
+  config.pool_budget = 1;
+  server_fixture fixture(std::move(config));
+
+  // Wedge the single runner, then queue a job whose deadline lapses while
+  // it waits.
+  std::thread busy([&] {
+    job_request request;
+    request.frames = 60;
+    client c(path, 120.0);
+    (void)c.submit(request);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  job_request doomed;
+  doomed.frames = 8;
+  doomed.deadline_ms = 1;
+  client c(path, 120.0);
+  const auto outcome = c.submit(doomed);
+  busy.join();
+  if (outcome.failed) {
+    EXPECT_EQ(outcome.failed->failure, fault::outcome::hang);
+  } else {
+    // The busy job can finish first on a fast machine; then the deadline
+    // was met and completing was correct.
+    EXPECT_TRUE(outcome.complete.has_value());
+  }
+}
+
+TEST(Serve, InteractiveJobsOvertakeBatchJobsInTheQueue) {
+  const std::string path = unique_socket_path();
+  server_config config;
+  config.socket_path = path;
+  config.queue_capacity = 8;
+  config.runners = 1;
+  config.pool_budget = 1;
+  server_fixture fixture(std::move(config));
+
+  // Wedge the runner so both probes are queued, then: batch first,
+  // interactive second.  The interactive one must finish first.
+  std::thread busy([&] {
+    job_request request;
+    request.frames = 60;
+    client c(path, 120.0);
+    (void)c.submit(request);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::atomic<int> finish_order{0};
+  std::atomic<int> batch_finished_at{-1};
+  std::atomic<int> interactive_finished_at{-1};
+  std::thread batch([&] {
+    job_request request;
+    request.frames = 8;
+    request.priority = priority_class::batch;
+    client c(path, 120.0);
+    if (c.submit(request).complete) batch_finished_at = finish_order++;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::thread interactive([&] {
+    job_request request;
+    request.frames = 8;
+    request.priority = priority_class::interactive;
+    client c(path, 120.0);
+    if (c.submit(request).complete) interactive_finished_at = finish_order++;
+  });
+
+  busy.join();
+  batch.join();
+  interactive.join();
+  ASSERT_GE(batch_finished_at.load(), 0);
+  ASSERT_GE(interactive_finished_at.load(), 0);
+  EXPECT_LT(interactive_finished_at.load(), batch_finished_at.load());
+}
+
+TEST(Serve, StatsReflectServedWork) {
+  const std::string path = unique_socket_path();
+  server_fixture fixture(quick_config(path));
+  client c(path, 120.0);
+
+  job_request request;
+  request.frames = 8;
+  ASSERT_TRUE(c.submit(request).complete.has_value());
+  ASSERT_TRUE(c.submit(request).complete.has_value());
+
+  const auto wire_stats = c.stats();
+  EXPECT_EQ(wire_stats.completed, 2u);
+  EXPECT_EQ(wire_stats.failed, 0u);
+  EXPECT_EQ(wire_stats.latency.count, 2u);
+  EXPECT_GT(wire_stats.latency.p50_ms, 0.0);
+  EXPECT_GE(wire_stats.latency.max_ms, wire_stats.latency.p50_ms);
+  EXPECT_FALSE(wire_stats.draining);
+
+  const auto local = fixture.get().stats();
+  EXPECT_EQ(local.completed, wire_stats.completed);
+}
+
+TEST(Serve, GarbageSprayingClientDoesNotDisturbTheService) {
+  const std::string path = unique_socket_path();
+  server_fixture fixture(quick_config(path));
+
+  // Connect raw and spray junk (including a torn frame prefix), then
+  // vanish.  The server must drop us without crashing.
+  {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string junk = "\x56\x53\x46\x31 not actually a frame \xFF\xFF";
+    (void)::send(fd, junk.data(), junk.size(), MSG_NOSIGNAL);
+    const std::string torn = encode_frame(2, "torn").substr(0, 10);
+    (void)::send(fd, torn.data(), torn.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  }
+
+  // A well-formed job right after must be served normally.
+  client c(path, 120.0);
+  job_request request;
+  request.frames = 8;
+  const auto outcome = c.submit(request);
+  ASSERT_TRUE(outcome.complete.has_value());
+  EXPECT_TRUE(outcome.complete->montage == reference_run(request).panorama);
+}
+
+TEST(Serve, MalformedSubmitPayloadIsRejectedAsBadRequest) {
+  const std::string path = unique_socket_path();
+  server_fixture fixture(quick_config(path));
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  // A validly framed submit whose payload fails field validation
+  // (algorithm code 99).
+  const std::string bad = encode_frame(
+      static_cast<std::uint16_t>(msg_type::submit), "J 0 99 8 0 1 0 0");
+  ASSERT_EQ(::send(fd, bad.data(), bad.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bad.size()));
+
+  frame_decoder decoder;
+  char buf[4096];
+  std::optional<frame> reply;
+  while (!reply) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    reply = decoder.next();
+  }
+  ::close(fd);
+  ASSERT_EQ(reply->type, static_cast<std::uint16_t>(msg_type::rejected));
+  const auto rejected = parse_rejected(reply->payload);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->reason, reject_reason::bad_request);
+}
+
+}  // namespace
+}  // namespace vs::serve

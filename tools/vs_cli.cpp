@@ -13,7 +13,17 @@
 //                [--level=off|detectors|cfcss|full]        recovery report
 //                [--retries=N] [--no-motion-reuse] [--budget-factor=F]
 //   vs fleet     <input1|input2> [algorithms...] [--frames=N] [--jobs=N]
-//                [--isolate] [--timeout=S]                 multi-clip workers
+//                [--isolate] [--timeout=S] [--budget=N]    multi-clip workers
+//                [--csv=path] [--json=path]                streamed reports
+//   vs serve     <socket> [--queue=N] [--runners=N] [--budget=N]
+//                [--isolate] [--timeout=S] [--report=path] summarization
+//                                                          service
+//   vs submit    <socket> <input1|input2> [algorithm] [frames] [out.pgm]
+//                [--hardening=L] [--priority=interactive|batch]
+//                [--deadline=MS] [--threads=N] [--stream-dir=DIR]
+//   vs submit    <socket> --stats                          server snapshot
+
+#include <csignal>
 
 #include <cctype>
 #include <cstdio>
@@ -31,6 +41,8 @@
 #include "resil/cfcss.h"
 #include "quality/metric.h"
 #include "resil/runtime.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "supervise/supervisor.h"
 #include "video/generator.h"
 
@@ -55,7 +67,15 @@ using namespace vs;
       "               [--level=off|detectors|cfcss|full] [--retries=N]\n"
       "               [--no-motion-reuse] [--budget-factor=F]\n"
       "  vs fleet     <input1|input2> [algorithms...] [--frames=N]\n"
-      "               [--jobs=N] [--isolate] [--timeout=S]\n");
+      "               [--jobs=N] [--isolate] [--timeout=S] [--budget=N]\n"
+      "               [--csv=path] [--json=path]\n"
+      "  vs serve     <socket> [--queue=N] [--runners=N] [--budget=N]\n"
+      "               [--isolate] [--timeout=S] [--report=path]\n"
+      "  vs submit    <socket> <input1|input2> [algorithm] [frames]\n"
+      "               [out.pgm] [--hardening=off|detectors|cfcss|full]\n"
+      "               [--priority=interactive|batch] [--deadline=MS]\n"
+      "               [--threads=N] [--stream-dir=DIR]\n"
+      "  vs submit    <socket> --stats\n");
   std::exit(2);
 }
 
@@ -372,6 +392,8 @@ int cmd_fleet(int argc, char** argv) {
   supervise::supervisor_config super;
   super.jobs = 2;
   int frames = 20;
+  std::string csv_path;
+  std::string json_path;
   std::vector<app::algorithm> algorithms;
   for (int i = 3; i < argc; ++i) {
     if (std::strncmp(argv[i], "--frames=", 9) == 0) {
@@ -382,6 +404,12 @@ int cmd_fleet(int argc, char** argv) {
       super.isolate = true;
     } else if (std::strncmp(argv[i], "--timeout=", 10) == 0) {
       super.shard_timeout_s = std::atof(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
+      super.pool_budget = static_cast<unsigned>(std::atoi(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+      csv_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else {
       algorithms.push_back(app::parse_algorithm(argv[i]));
     }
@@ -395,7 +423,61 @@ int cmd_fleet(int argc, char** argv) {
   for (const app::algorithm alg : algorithms) {
     jobs.push_back({input, alg, frames});
   }
-  const auto results = supervise::run_clip_fleet(jobs, super);
+
+  // Streamed reports: one flushed row the moment each clip settles, not a
+  // buffered dump after the fleet — kill the fleet mid-run and the files
+  // hold every outcome that had completed.
+  fault::report_stream csv;
+  fault::report_stream jsonl;
+  if (!csv_path.empty()) {
+    csv.open(csv_path,
+             "clip,input,algorithm,frames,completed,outcome,panorama_hash,"
+             "frames_stitched,mini_panoramas,wall_ms,attempts");
+  }
+  if (!json_path.empty()) jsonl.open(json_path, "");
+  const supervise::clip_observer observer =
+      [&](std::size_t index, const supervise::clip_job& job,
+          const supervise::clip_result& r) {
+        char hash[24];
+        std::snprintf(hash, sizeof(hash), "%016llx",
+                      static_cast<unsigned long long>(r.panorama_hash));
+        char wall[32];
+        std::snprintf(wall, sizeof(wall), "%.3f", r.wall_ms);
+        const char* outcome =
+            r.completed ? "completed" : fault::outcome_name(r.failure);
+        if (csv.active()) {
+          csv.append(std::to_string(index) + ',' +
+                     video::input_name(job.input) + ',' +
+                     app::algorithm_name(job.alg) + ',' +
+                     std::to_string(job.frames) + ',' +
+                     (r.completed ? "1," : "0,") + outcome + ',' + hash +
+                     ',' + std::to_string(r.frames_stitched) + ',' +
+                     std::to_string(r.mini_panoramas) + ',' + wall + ',' +
+                     std::to_string(r.attempts));
+        }
+        if (jsonl.active()) {
+          jsonl.append(std::string("{\"clip\": ") + std::to_string(index) +
+                       ", \"input\": \"" + video::input_name(job.input) +
+                       "\", \"algorithm\": \"" +
+                       app::algorithm_name(job.alg) +
+                       "\", \"frames\": " + std::to_string(job.frames) +
+                       ", \"completed\": " +
+                       (r.completed ? "true" : "false") +
+                       ", \"outcome\": \"" + outcome +
+                       "\", \"panorama_hash\": \"" + hash +
+                       "\", \"frames_stitched\": " +
+                       std::to_string(r.frames_stitched) +
+                       ", \"mini_panoramas\": " +
+                       std::to_string(r.mini_panoramas) +
+                       ", \"wall_ms\": " + wall +
+                       ", \"attempts\": " + std::to_string(r.attempts) +
+                       "}");
+        }
+      };
+
+  const auto results = supervise::run_clip_fleet(jobs, super, observer);
+  if (!csv_path.empty()) std::printf("wrote %s\n", csv_path.c_str());
+  if (!json_path.empty()) std::printf("wrote %s\n", json_path.c_str());
 
   int failed = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -417,6 +499,164 @@ int cmd_fleet(int argc, char** argv) {
   return failed == 0 ? 0 : 1;
 }
 
+// SIGTERM/SIGINT must start a graceful drain, not kill the process: the
+// handler only touches request_drain(), which is a single write(2) on the
+// server's self-pipe (async-signal-safe by construction).
+serve::server* g_serve_instance = nullptr;
+
+extern "C" void handle_drain_signal(int) {
+  if (g_serve_instance != nullptr) g_serve_instance->request_drain();
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 3) usage();
+  serve::server_config config;
+  config.socket_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--queue=", 8) == 0) {
+      config.queue_capacity =
+          static_cast<std::size_t>(std::atoi(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--runners=", 10) == 0) {
+      config.runners = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
+      config.pool_budget = static_cast<unsigned>(std::atoi(argv[i] + 9));
+    } else if (std::strcmp(argv[i], "--isolate") == 0) {
+      config.isolate = true;
+    } else if (std::strncmp(argv[i], "--timeout=", 10) == 0) {
+      config.job_timeout_s = std::atof(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      config.report_path = argv[i] + 9;
+    } else {
+      usage();
+    }
+  }
+
+  serve::server server(config);
+  server.start();
+  g_serve_instance = &server;
+  std::signal(SIGTERM, handle_drain_signal);
+  std::signal(SIGINT, handle_drain_signal);
+  server.run();
+  g_serve_instance = nullptr;
+
+  const auto s = server.stats();
+  std::printf("served %llu job(s) (%llu failed, %llu rejected); "
+              "latency p50 %.0f ms, p95 %.0f ms, p99 %.0f ms\n",
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.failed),
+              static_cast<unsigned long long>(s.rejected),
+              s.latency.p50_ms, s.latency.p95_ms, s.latency.p99_ms);
+  return 0;
+}
+
+int cmd_submit(int argc, char** argv) {
+  if (argc < 4) usage();
+  const std::string socket_path = argv[2];
+
+  if (std::strcmp(argv[3], "--stats") == 0) {
+    serve::client c(socket_path, 30.0);
+    const auto s = c.stats();
+    std::printf(
+        "queue %llu, in-flight %llu, completed %llu, rejected %llu, "
+        "failed %llu%s\n",
+        static_cast<unsigned long long>(s.queue_depth),
+        static_cast<unsigned long long>(s.in_flight),
+        static_cast<unsigned long long>(s.completed),
+        static_cast<unsigned long long>(s.rejected),
+        static_cast<unsigned long long>(s.failed),
+        s.draining ? " (draining)" : "");
+    std::printf("pool: %llu/%llu slot(s) leased (peak %llu)\n",
+                static_cast<unsigned long long>(s.pool_in_use),
+                static_cast<unsigned long long>(s.pool_budget),
+                static_cast<unsigned long long>(s.pool_peak_in_use));
+    std::printf("latency over %zu job(s): mean %.0f ms, p50 %.0f ms, "
+                "p95 %.0f ms, p99 %.0f ms, max %.0f ms\n",
+                s.latency.count, s.latency.mean_ms, s.latency.p50_ms,
+                s.latency.p95_ms, s.latency.p99_ms, s.latency.max_ms);
+    return 0;
+  }
+
+  serve::job_request request;
+  request.input = parse_input(argv[3]);
+  std::string out = "panorama.pgm";
+  std::string stream_dir;
+  int positional = 0;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--hardening=", 12) == 0) {
+      request.hardening = resil::parse_hardening_level(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--priority=", 11) == 0) {
+      const std::string p = argv[i] + 11;
+      if (p == "interactive") {
+        request.priority = serve::priority_class::interactive;
+      } else if (p == "batch") {
+        request.priority = serve::priority_class::batch;
+      } else {
+        usage();
+      }
+    } else if (std::strncmp(argv[i], "--deadline=", 11) == 0) {
+      request.deadline_ms =
+          static_cast<std::uint64_t>(std::atoll(argv[i] + 11));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      request.max_threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--stream-dir=", 13) == 0) {
+      stream_dir = argv[i] + 13;
+    } else if (positional == 0 &&
+               !std::isdigit(static_cast<unsigned char>(argv[i][0]))) {
+      request.alg = app::parse_algorithm(argv[i]);
+      ++positional;
+    } else if (positional <= 1 &&
+               std::isdigit(static_cast<unsigned char>(argv[i][0]))) {
+      request.frames = std::atoi(argv[i]);
+      positional = 2;
+    } else {
+      out = argv[i];
+      positional = 3;
+    }
+  }
+
+  serve::client c(socket_path, 300.0);
+  const auto outcome = c.submit(
+      request, [&](const serve::panorama_msg& m) {
+        std::printf("streamed mini-panorama %d (%dx%d)\n", m.index,
+                    m.image.width(), m.image.height());
+        if (!stream_dir.empty()) {
+          char name[64];
+          std::snprintf(name, sizeof(name), "/mini_%04d.pgm", m.index);
+          img::save_pnm(m.image, stream_dir + name);
+        }
+      });
+
+  if (outcome.rejected) {
+    std::printf("rejected: %s (queue depth %llu, retry after %llu ms)\n",
+                serve::reject_reason_name(outcome.rejected->reason),
+                static_cast<unsigned long long>(
+                    outcome.rejected->queue_depth),
+                static_cast<unsigned long long>(
+                    outcome.rejected->retry_after_ms));
+    return 3;
+  }
+  if (outcome.failed) {
+    std::printf("job %llu FAILED (%s): %s\n",
+                static_cast<unsigned long long>(outcome.failed->job_id),
+                fault::outcome_name(outcome.failed->failure),
+                outcome.failed->message.c_str());
+    return 1;
+  }
+  const auto& done = *outcome.complete;
+  std::printf(
+      "%s on %s: stitched %d/%d (dropped %d, discarded %d) into %d "
+      "mini-panorama(s); %zu keypoints; %d homography / %d affine\n",
+      app::algorithm_name(request.alg), video::input_name(request.input),
+      done.stats.frames_stitched, done.stats.frames_total,
+      done.stats.frames_dropped_rfd, done.stats.frames_discarded,
+      done.stats.mini_panoramas, done.stats.keypoints_detected,
+      done.stats.homography_alignments, done.stats.affine_alignments);
+  img::save_pnm(done.montage, out);
+  std::printf("saved %s (%dx%d)\n", out.c_str(), done.montage.width(),
+              done.montage.height());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -432,6 +672,8 @@ int main(int argc, char** argv) {
     if (command == "stages") return cmd_stages();
     if (command == "resil") return cmd_resil(argc, argv);
     if (command == "fleet") return cmd_fleet(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "submit") return cmd_submit(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
