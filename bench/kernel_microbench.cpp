@@ -10,12 +10,18 @@
 // path fault campaigns replay.  The gap between the two is the price of
 // instrumentation plus the clean lane's parallel speedup.
 //
+// Vectorized kernels are measured a third time: the plain name pins the
+// clean lane to the scalar twins, and the `_simd` twin runs at the best
+// level the host offers.  ci/check_bench_gate.sh holds the _simd/scalar
+// ratio against the committed floor in ci/bench_floor.json.
+//
 // Unless --benchmark_out is given, results are also written to
 // BENCH_kernels.json (ns/op per kernel, both lanes) in the working
 // directory so CI can track the perf trajectory across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +29,7 @@
 #include "rt/instrument.h"
 
 #include "app/pipeline.h"
+#include "core/simd.h"
 #include "features/harris.h"
 #include "features/pyramid.h"
 #include "quality/metrics_extra.h"
@@ -33,11 +40,19 @@
 #include "geometry/ransac.h"
 #include "geometry/warp.h"
 #include "match/matcher.h"
+#include "stitch/compositor.h"
 #include "video/generator.h"
 
 namespace {
 
 using namespace vs;
+
+/// Pins the clean lane's SIMD tier for one benchmark, restoring on exit.
+struct scoped_simd {
+  core::simd::level saved = core::simd::requested();
+  explicit scoped_simd(core::simd::level l) { core::simd::set_level(l); }
+  ~scoped_simd() { core::simd::set_level(saved); }
+};
 
 const img::image_u8& test_frame() {
   static const img::image_u8 frame = [] {
@@ -54,6 +69,7 @@ const feat::frame_features& test_features() {
 }
 
 void bm_fast_detect(benchmark::State& state) {
+  const scoped_simd scalar(core::simd::level::scalar);
   const auto& frame = test_frame();
   feat::fast_params params;
   for (auto _ : state) {
@@ -61,6 +77,16 @@ void bm_fast_detect(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_fast_detect);
+
+void bm_fast_detect_simd(benchmark::State& state) {
+  const scoped_simd best(core::simd::detected());
+  const auto& frame = test_frame();
+  feat::fast_params params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::fast_detect(frame, params));
+  }
+}
+BENCHMARK(bm_fast_detect_simd);
 
 void bm_fast_detect_seq(benchmark::State& state) {
   const auto& frame = test_frame();
@@ -92,6 +118,7 @@ void bm_orb_extract_seq(benchmark::State& state) {
 BENCHMARK(bm_orb_extract_seq);
 
 void bm_match_descriptors(benchmark::State& state) {
+  const scoped_simd scalar(core::simd::level::scalar);
   const auto& features = test_features();
   match::match_params params;
   for (auto _ : state) {
@@ -100,6 +127,17 @@ void bm_match_descriptors(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_match_descriptors);
+
+void bm_match_descriptors_simd(benchmark::State& state) {
+  const scoped_simd best(core::simd::detected());
+  const auto& features = test_features();
+  match::match_params params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        match::match_descriptors(features, features, params));
+  }
+}
+BENCHMARK(bm_match_descriptors_simd);
 
 void bm_match_descriptors_seq(benchmark::State& state) {
   const auto& features = test_features();
@@ -113,6 +151,7 @@ void bm_match_descriptors_seq(benchmark::State& state) {
 BENCHMARK(bm_match_descriptors_seq);
 
 void bm_warp_perspective(benchmark::State& state) {
+  const scoped_simd scalar(core::simd::level::scalar);
   const auto& frame = test_frame();
   const auto transform = app::wp_default_transform();
   for (auto _ : state) {
@@ -120,6 +159,16 @@ void bm_warp_perspective(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_warp_perspective);
+
+void bm_warp_perspective_simd(benchmark::State& state) {
+  const scoped_simd best(core::simd::detected());
+  const auto& frame = test_frame();
+  const auto transform = app::wp_default_transform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app::run_wp(frame, transform));
+  }
+}
+BENCHMARK(bm_warp_perspective_simd);
 
 void bm_warp_perspective_seq(benchmark::State& state) {
   const auto& frame = test_frame();
@@ -188,12 +237,22 @@ void bm_box_blur(benchmark::State& state) {
 BENCHMARK(bm_box_blur);
 
 void bm_resize_bilinear(benchmark::State& state) {
+  const scoped_simd scalar(core::simd::level::scalar);
   const auto& frame = test_frame();
   for (auto _ : state) {
     benchmark::DoNotOptimize(feat::resize_bilinear(frame, 96, 72));
   }
 }
 BENCHMARK(bm_resize_bilinear);
+
+void bm_resize_bilinear_simd(benchmark::State& state) {
+  const scoped_simd best(core::simd::detected());
+  const auto& frame = test_frame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::resize_bilinear(frame, 96, 72));
+  }
+}
+BENCHMARK(bm_resize_bilinear_simd);
 
 void bm_resize_bilinear_seq(benchmark::State& state) {
   const auto& frame = test_frame();
@@ -203,6 +262,46 @@ void bm_resize_bilinear_seq(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_resize_bilinear_seq);
+
+// Compositor paint + feather of one canvas-sized patch at unit gain: the
+// masked byte copy, the seam bookkeeping, and the generation demotion —
+// the per-frame stitch cost outside of warping.
+geo::warped_patch full_frame_patch() {
+  const auto& frame = test_frame();
+  geo::warped_patch patch;
+  patch.pixels = frame;
+  patch.valid = img::image_u8(frame.width(), frame.height(), 1);
+  std::memset(patch.valid.data(), 255, patch.valid.size());
+  return patch;
+}
+
+void bm_blend_feather(benchmark::State& state) {
+  const scoped_simd scalar(core::simd::level::scalar);
+  const auto patch = full_frame_patch();
+  const geo::rect rect{0, 0, patch.pixels.width(), patch.pixels.height()};
+  for (auto _ : state) {
+    stitch::compositor comp;
+    comp.ensure(rect);
+    comp.blend(patch);
+    comp.feather_seams();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(bm_blend_feather);
+
+void bm_blend_feather_simd(benchmark::State& state) {
+  const scoped_simd best(core::simd::detected());
+  const auto patch = full_frame_patch();
+  const geo::rect rect{0, 0, patch.pixels.width(), patch.pixels.height()};
+  for (auto _ : state) {
+    stitch::compositor comp;
+    comp.ensure(rect);
+    comp.blend(patch);
+    comp.feather_seams();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(bm_blend_feather_simd);
 
 void bm_harris_response(benchmark::State& state) {
   const auto& frame = test_frame();
@@ -274,6 +373,11 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
     return 1;
   }
+  benchmark::AddCustomContext(
+      "simd_detected",
+      vs::core::simd::level_name(vs::core::simd::detected()));
+  benchmark::AddCustomContext(
+      "simd_active", vs::core::simd::level_name(vs::core::simd::active()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -1,0 +1,76 @@
+#include "core/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace vs::core::simd {
+
+namespace {
+
+level probe_host() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return level::avx2;
+  if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("popcnt")) {
+    return level::sse4;
+  }
+#endif
+  // Non-x86 (NEON would slot in here as its own tier) and pre-SSE4 hosts
+  // run the portable twins.
+  return level::scalar;
+}
+
+level initial_request() noexcept {
+  if (const char* env = std::getenv("VS_SIMD")) {
+    if (const auto parsed = parse_level(env)) return *parsed;
+    // An unrecognized VS_SIMD is a configuration error; failing closed to
+    // scalar keeps the run valid (output is level-independent anyway).
+    return level::scalar;
+  }
+  return level::avx2;  // "best available" — active() clamps to the host
+}
+
+std::atomic<int>& request_slot() noexcept {
+  static std::atomic<int> slot{static_cast<int>(initial_request())};
+  return slot;
+}
+
+}  // namespace
+
+level detected() noexcept {
+  static const level host = probe_host();
+  return host;
+}
+
+level requested() noexcept {
+  return static_cast<level>(request_slot().load(std::memory_order_relaxed));
+}
+
+level active() noexcept {
+  const level host = detected();
+  const level want = requested();
+  return static_cast<int>(want) < static_cast<int>(host) ? want : host;
+}
+
+void set_level(level request) noexcept {
+  request_slot().store(static_cast<int>(request), std::memory_order_relaxed);
+}
+
+std::optional<level> parse_level(std::string_view name) noexcept {
+  if (name == "scalar") return level::scalar;
+  if (name == "sse4") return level::sse4;
+  if (name == "avx2") return level::avx2;
+  if (name == "auto" || name == "best") return level::avx2;
+  return std::nullopt;
+}
+
+const char* level_name(level l) noexcept {
+  switch (l) {
+    case level::scalar: return "scalar";
+    case level::sse4: return "sse4";
+    case level::avx2: return "avx2";
+  }
+  return "scalar";
+}
+
+}  // namespace vs::core::simd

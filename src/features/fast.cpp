@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include <vector>
+
 #include "core/dispatch.h"
 #include "core/error.h"
+#include "core/simd.h"
 #include "core/thread_pool.h"
+#include "features/fast_simd.h"
 #include "features/harris.h"
 #include "rt/instrument.h"
 
@@ -59,25 +63,40 @@ std::vector<keypoint> fast_detect_clean(const img::image_u8& gray,
   const std::uint8_t* data = gray.data();
   auto& pool = core::thread_pool::current();
 
-  // Score pass: rows are independent; each band writes disjoint rows.
+  // Score pass: rows are independent; each band writes disjoint rows.  The
+  // compass pre-test vectorizes (exact saturating byte math, so the
+  // candidate set is identical at every SIMD level); survivors run the
+  // unchanged scalar arc/score computation in ascending column order.
+  const auto compass =
+      feat::simd::select_compass_row(core::simd::active());
   pool.parallel_for(
       border, h - border, row_band,
       [&](std::int64_t y0, std::int64_t y1, std::size_t) {
+        std::vector<std::uint8_t> candidate;
+        if (compass != nullptr) candidate.resize(static_cast<std::size_t>(w));
         for (std::int64_t y = y0; y < y1; ++y) {
           const std::int64_t row = y * w;
+          if (compass != nullptr) {
+            compass(data, row, w, border, w - border, threshold,
+                    candidate.data());
+          }
           for (int x = border; x < w - border; ++x) {
-            const std::int64_t center_off = row + x;
-            const int center = data[center_off];
-            const int top = data[center_off - 3 * w];
-            const int bottom = data[center_off + 3 * w];
-            const int left = data[center_off - 3];
-            const int right = data[center_off + 3];
-            int extreme = 0;
-            extreme += classify(top, center, threshold) != 0;
-            extreme += classify(bottom, center, threshold) != 0;
-            extreme += classify(left, center, threshold) != 0;
-            extreme += classify(right, center, threshold) != 0;
-            if (extreme < 2) continue;
+            if (compass != nullptr) {
+              if (candidate[static_cast<std::size_t>(x)] == 0) continue;
+            } else {
+              const std::int64_t center_off = row + x;
+              const int center = data[center_off];
+              const int top = data[center_off - 3 * w];
+              const int bottom = data[center_off + 3 * w];
+              const int left = data[center_off - 3];
+              const int right = data[center_off + 3];
+              int extreme = 0;
+              extreme += classify(top, center, threshold) != 0;
+              extreme += classify(bottom, center, threshold) != 0;
+              extreme += classify(left, center, threshold) != 0;
+              extreme += classify(right, center, threshold) != 0;
+              if (extreme < 2) continue;
+            }
             const int score =
                 fast_score(gray, x, static_cast<int>(y), threshold);
             if (score <= 0) continue;

@@ -1,0 +1,134 @@
+#include "features/fast_simd.h"
+
+#include <algorithm>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace vs::feat::simd {
+
+namespace {
+
+// Scalar tail shared by both tiers: the same arithmetic as the kernels, one
+// column at a time (and the same answers as the scalar classify() chain).
+inline void compass_tail(const std::uint8_t* data, std::int64_t row_off,
+                         int width, int x0, int x1, int threshold,
+                         std::uint8_t* mask) {
+  for (int x = x0; x < x1; ++x) {
+    const std::int64_t center_off = row_off + x;
+    const int center = data[center_off];
+    const int probes[4] = {data[center_off - 3 * width],
+                           data[center_off + 3 * width],
+                           data[center_off - 3], data[center_off + 3]};
+    int extreme = 0;
+    for (const int v : probes) {
+      extreme += (v >= center + threshold || v <= center - threshold) ? 1 : 0;
+    }
+    mask[x] = extreme >= 2 ? 255 : 0;
+  }
+}
+
+#if defined(__x86_64__)
+
+// |v - center| >= t on unsigned bytes: max of the two saturating
+// differences, then a >= compare via max-equality (t is clamped to [1,255]
+// by the caller; a byte difference can never reach a threshold above 255).
+__attribute__((target("avx2"))) inline __m256i differs_avx2(
+    __m256i v, __m256i center, __m256i t) noexcept {
+  const __m256i diff = _mm256_max_epu8(_mm256_subs_epu8(v, center),
+                                       _mm256_subs_epu8(center, v));
+  return _mm256_cmpeq_epi8(_mm256_max_epu8(diff, t), diff);
+}
+
+__attribute__((target("avx2"))) void compass_row_avx2(
+    const std::uint8_t* data, std::int64_t row_off, int width, int x0, int x1,
+    int threshold, std::uint8_t* mask) {
+  if (threshold > 255) {
+    // A byte can never differ by more than 255: no column passes.
+    std::fill(mask + x0, mask + x1, std::uint8_t{0});
+    return;
+  }
+  const __m256i t = _mm256_set1_epi8(static_cast<char>(threshold));
+  const __m256i minus_one = _mm256_set1_epi8(-1);
+  int x = x0;
+  for (; x + 32 <= x1; x += 32) {
+    const std::uint8_t* center_ptr = data + row_off + x;
+    const __m256i center =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(center_ptr));
+    const __m256i top = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(center_ptr - 3 * width));
+    const __m256i bottom = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(center_ptr + 3 * width));
+    const __m256i left =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(center_ptr - 3));
+    const __m256i right =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(center_ptr + 3));
+    // Each compare is 0x00/0xff == 0/-1 per byte; summing four gives
+    // -extreme, and extreme >= 2 is (-1 > sum) in signed bytes.
+    const __m256i sum = _mm256_add_epi8(
+        _mm256_add_epi8(differs_avx2(top, center, t),
+                        differs_avx2(bottom, center, t)),
+        _mm256_add_epi8(differs_avx2(left, center, t),
+                        differs_avx2(right, center, t)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mask + x),
+                        _mm256_cmpgt_epi8(minus_one, sum));
+  }
+  compass_tail(data, row_off, width, x, x1, threshold, mask);
+}
+
+__attribute__((target("sse4.2"))) inline __m128i differs_sse4(
+    __m128i v, __m128i center, __m128i t) noexcept {
+  const __m128i diff =
+      _mm_max_epu8(_mm_subs_epu8(v, center), _mm_subs_epu8(center, v));
+  return _mm_cmpeq_epi8(_mm_max_epu8(diff, t), diff);
+}
+
+__attribute__((target("sse4.2"))) void compass_row_sse4(
+    const std::uint8_t* data, std::int64_t row_off, int width, int x0, int x1,
+    int threshold, std::uint8_t* mask) {
+  if (threshold > 255) {
+    std::fill(mask + x0, mask + x1, std::uint8_t{0});
+    return;
+  }
+  const __m128i t = _mm_set1_epi8(static_cast<char>(threshold));
+  const __m128i minus_one = _mm_set1_epi8(-1);
+  int x = x0;
+  for (; x + 16 <= x1; x += 16) {
+    const std::uint8_t* center_ptr = data + row_off + x;
+    const __m128i center =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(center_ptr));
+    const __m128i top = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(center_ptr - 3 * width));
+    const __m128i bottom = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(center_ptr + 3 * width));
+    const __m128i left =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(center_ptr - 3));
+    const __m128i right =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(center_ptr + 3));
+    const __m128i sum = _mm_add_epi8(
+        _mm_add_epi8(differs_sse4(top, center, t),
+                     differs_sse4(bottom, center, t)),
+        _mm_add_epi8(differs_sse4(left, center, t),
+                     differs_sse4(right, center, t)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(mask + x),
+                     _mm_cmpgt_epi8(minus_one, sum));
+  }
+  compass_tail(data, row_off, width, x, x1, threshold, mask);
+}
+
+#endif  // __x86_64__
+
+}  // namespace
+
+compass_row_fn select_compass_row(core::simd::level l) noexcept {
+#if defined(__x86_64__)
+  if (l >= core::simd::level::avx2) return &compass_row_avx2;
+  if (l >= core::simd::level::sse4) return &compass_row_sse4;
+#else
+  (void)l;
+#endif
+  return nullptr;
+}
+
+}  // namespace vs::feat::simd

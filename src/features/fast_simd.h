@@ -1,0 +1,30 @@
+// Vectorized FAST-9 compass pre-test for the clean lane.
+//
+// The clean-lane score pass spends most of its time rejecting non-corners:
+// of the four compass pixels on the radius-3 circle, at least two must
+// differ from the center by >= threshold before the full 16-pixel
+// contiguous-arc test is worth running.  These kernels evaluate that
+// pre-test for 32 (AVX2) or 16 (SSE4) columns at once with saturating
+// unsigned arithmetic — exact integer math, so the candidate set is
+// identical to the scalar classify() chain — and the caller runs the
+// unchanged scalar arc/score computation on the surviving columns only.
+#pragma once
+
+#include <cstdint>
+
+#include "core/simd.h"
+
+namespace vs::feat::simd {
+
+/// Fills mask[x] for x in [x0, x1) with 255 when column x of row `row_off`
+/// (= y * width elements into `data`) passes the compass pre-test, else 0.
+/// Requires x0 >= 3, x1 <= width - 3, and rows y +/- 3 inside the image —
+/// the same preconditions the scalar border loop already guarantees.
+using compass_row_fn = void (*)(const std::uint8_t* data, std::int64_t row_off,
+                                int width, int x0, int x1, int threshold,
+                                std::uint8_t* mask);
+
+/// Kernel for `l`, or nullptr when the tier has none (scalar pre-test).
+[[nodiscard]] compass_row_fn select_compass_row(core::simd::level l) noexcept;
+
+}  // namespace vs::feat::simd

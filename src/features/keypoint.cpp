@@ -14,11 +14,18 @@ int hamming_distance(const descriptor& a, const descriptor& b) noexcept {
 
 int hamming_distance_bounded(const descriptor& a, const descriptor& b,
                              int bound) noexcept {
-  int distance = 0;
-  for (std::size_t i = 0; i < a.bits.size(); ++i) {
-    distance += std::popcount(a.bits[i] ^ b.bits[i]);
-    if (distance > bound) return bound + 1;
-  }
+  // Explicitly unrolled so the bound is provably re-checked after every
+  // 64-bit word — the tightest early exit word-granular accumulation
+  // allows.  Each exit returns bound + 1, never the overshooting partial,
+  // which is what keeps the min(exact, bound + 1) contract exact.
+  int distance = std::popcount(a.bits[0] ^ b.bits[0]);
+  if (distance > bound) return bound + 1;
+  distance += std::popcount(a.bits[1] ^ b.bits[1]);
+  if (distance > bound) return bound + 1;
+  distance += std::popcount(a.bits[2] ^ b.bits[2]);
+  if (distance > bound) return bound + 1;
+  distance += std::popcount(a.bits[3] ^ b.bits[3]);
+  if (distance > bound) return bound + 1;
   return distance;
 }
 

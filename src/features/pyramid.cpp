@@ -5,7 +5,9 @@
 
 #include "core/dispatch.h"
 #include "core/error.h"
+#include "core/simd.h"
 #include "core/thread_pool.h"
+#include "features/pyramid_simd.h"
 #include "geometry/warp.h"
 #include "rt/instrument.h"
 
@@ -41,9 +43,21 @@ img::image_u8 resize_bilinear(const img::image_u8& src, int width,
   };
   core::dispatch(
       [&] {
+        // The SIMD row kernel evaluates the identical per-pixel expression
+        // tree four lanes wide; bytes match the scalar rows exactly.
+        const simd::resize_row_fn row_fn = simd::select_resize_row(
+            core::simd::active(), src.width(), src.height());
         core::thread_pool::current().parallel_for(
             0, height, 16, [&](std::int64_t y0, std::int64_t y1, std::size_t) {
-              resize_rows(static_cast<int>(y0), static_cast<int>(y1));
+              if (row_fn != nullptr) {
+                for (int y = static_cast<int>(y0); y < y1; ++y) {
+                  row_fn(src.data(), src.width(), src.height(), sx, sy, y,
+                         width, out.data() + static_cast<std::size_t>(y) *
+                                                 static_cast<std::size_t>(width));
+                }
+              } else {
+                resize_rows(static_cast<int>(y0), static_cast<int>(y1));
+              }
             });
       },
       [&] {

@@ -1,0 +1,127 @@
+#include "features/pyramid_simd.h"
+
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace vs::feat::simd {
+
+#if defined(__x86_64__)
+
+namespace {
+
+constexpr int inter_bits = 5;
+constexpr int inter_scale = 1 << inter_bits;
+constexpr int inter_round = 1 << (2 * inter_bits - 1);
+
+__attribute__((target("avx2"))) void resize_row_avx2(
+    const std::uint8_t* src, int sw, int sh, double sx_ratio, double sy_ratio,
+    int y, int width, std::uint8_t* out_row) {
+  // Row coordinate: one scalar evaluation, shared by every column — the
+  // identical expression the scalar lane computes per pixel.
+  const double v_cap = sh - 1.001;
+  const double v = (y + 0.5) * sy_ratio - 0.5;
+  const double vc = v < 0.0 ? 0.0 : (v_cap < v ? v_cap : v);
+  const auto fy = static_cast<int>(vc * inter_scale);
+  const int iy = fy >> inter_bits;
+  const int wy = fy & (inter_scale - 1);
+  const std::uint8_t* row0 = src + static_cast<std::ptrdiff_t>(iy) * sw;
+  const std::uint8_t* row1 = row0 + sw;
+
+  const double u_cap_s = sw - 1.001;
+  const __m256d u_cap = _mm256_set1_pd(u_cap_s);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d ratio = _mm256_set1_pd(sx_ratio);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d scale = _mm256_set1_pd(static_cast<double>(inter_scale));
+  const __m128i wy_v = _mm_set1_epi32(wy);
+  const __m128i iwy_v = _mm_set1_epi32(inter_scale - wy);
+  const __m128i ff = _mm_set1_epi32(0xff);
+
+  int x = 0;
+  for (; x + 4 <= width; x += 4) {
+    // u = max(0, min((x + 0.5) * ratio - 0.5, cap)) — min/max_pd return
+    // the same representable double as std::min/std::max here (no NaNs,
+    // and u is never -0.0, so the tie behaviour is value-identical).
+    const __m128i xi = _mm_add_epi32(_mm_set1_epi32(x),
+                                     _mm_setr_epi32(0, 1, 2, 3));
+    const __m256d xd = _mm256_cvtepi32_pd(xi);
+    __m256d u = _mm256_sub_pd(_mm256_mul_pd(_mm256_add_pd(xd, half), ratio),
+                              half);
+    u = _mm256_max_pd(_mm256_min_pd(u, u_cap), zero);
+    const __m128i fx = _mm256_cvttpd_epi32(_mm256_mul_pd(u, scale));
+    const __m128i ix = _mm_srai_epi32(fx, inter_bits);
+    const __m128i wx = _mm_and_si128(fx, _mm_set1_epi32(inter_scale - 1));
+
+    // Every lane is in-domain (ix <= sw-2, iy <= sh-2), so both 16-bit tap
+    // pairs load unconditionally.
+    alignas(16) std::int32_t ix_arr[4];
+    alignas(16) std::int32_t top_arr[4];
+    alignas(16) std::int32_t bot_arr[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(ix_arr), ix);
+    for (int lane = 0; lane < 4; ++lane) {
+      std::uint16_t top_pair;
+      std::uint16_t bot_pair;
+      std::memcpy(&top_pair, row0 + ix_arr[lane], sizeof(top_pair));
+      std::memcpy(&bot_pair, row1 + ix_arr[lane], sizeof(bot_pair));
+      top_arr[lane] = top_pair;
+      bot_arr[lane] = bot_pair;
+    }
+    const __m128i top = _mm_load_si128(reinterpret_cast<__m128i*>(top_arr));
+    const __m128i bot = _mm_load_si128(reinterpret_cast<__m128i*>(bot_arr));
+    const __m128i p00 = _mm_and_si128(top, ff);
+    const __m128i p10 = _mm_and_si128(_mm_srli_epi32(top, 8), ff);
+    const __m128i p01 = _mm_and_si128(bot, ff);
+    const __m128i p11 = _mm_and_si128(_mm_srli_epi32(bot, 8), ff);
+
+    const __m128i iwx = _mm_sub_epi32(_mm_set1_epi32(inter_scale), wx);
+    __m128i acc = _mm_add_epi32(
+        _mm_mullo_epi32(p00, _mm_mullo_epi32(iwx, iwy_v)),
+        _mm_mullo_epi32(p10, _mm_mullo_epi32(wx, iwy_v)));
+    acc = _mm_add_epi32(acc, _mm_mullo_epi32(p01, _mm_mullo_epi32(iwx, wy_v)));
+    acc = _mm_add_epi32(acc, _mm_mullo_epi32(p11, _mm_mullo_epi32(wx, wy_v)));
+    acc = _mm_srai_epi32(_mm_add_epi32(acc, _mm_set1_epi32(inter_round)),
+                         2 * inter_bits);
+
+    // Four results in [0, 255]: pack to bytes and store.
+    const __m128i packed = _mm_packus_epi16(_mm_packus_epi32(acc, acc), acc);
+    const int bytes = _mm_cvtsi128_si32(packed);
+    std::memcpy(out_row + x, &bytes, 4);
+  }
+
+  for (; x < width; ++x) {
+    const double u_raw = (x + 0.5) * sx_ratio - 0.5;
+    const double capped = u_cap_s < u_raw ? u_cap_s : u_raw;
+    const double uc = capped < 0.0 ? 0.0 : capped;
+    const auto fx = static_cast<int>(uc * inter_scale);
+    const int ix = fx >> inter_bits;
+    const int wx = fx & (inter_scale - 1);
+    const int acc = row0[ix] * ((inter_scale - wx) * (inter_scale - wy)) +
+                    row0[ix + 1] * (wx * (inter_scale - wy)) +
+                    row1[ix] * ((inter_scale - wx) * wy) +
+                    row1[ix + 1] * (wx * wy);
+    out_row[x] =
+        static_cast<std::uint8_t>((acc + inter_round) >> (2 * inter_bits));
+  }
+}
+
+}  // namespace
+
+#endif  // __x86_64__
+
+resize_row_fn select_resize_row(core::simd::level l, int sw, int sh) noexcept {
+#if defined(__x86_64__)
+  if (sw >= 2 && sh >= 2 && l >= core::simd::level::avx2) {
+    return &resize_row_avx2;
+  }
+#else
+  (void)l;
+  (void)sw;
+  (void)sh;
+#endif
+  return nullptr;
+}
+
+}  // namespace vs::feat::simd

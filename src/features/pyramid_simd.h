@@ -1,0 +1,29 @@
+// Vectorized bilinear-resize rows for the clean lane.
+//
+// resize_bilinear's per-pixel work is a pure function of (x, y): clamp the
+// source coordinate, fixed-point bilinear from a 2x2 neighbourhood.  The
+// row coordinate collapses to one scalar prefix per row, and the column
+// expression — (x + 0.5) * ratio - 0.5, the min/max clamps, the truncating
+// fixed-point convert, the integer tap blend — evaluates four lanes at a
+// time with the exact IEEE operation the scalar path performs, so output
+// bytes are identical at every SIMD level.
+#pragma once
+
+#include <cstdint>
+
+#include "core/simd.h"
+
+namespace vs::feat::simd {
+
+/// One destination row: src is a single-channel sw x sh image with
+/// sw, sh >= 2 (the clamps then always land strictly inside the
+/// interpolation domain, matching the scalar always-valid sample path).
+using resize_row_fn = void (*)(const std::uint8_t* src, int sw, int sh,
+                               double sx_ratio, double sy_ratio, int y,
+                               int width, std::uint8_t* out_row);
+
+/// Kernel for `l` on an sw x sh source, or nullptr (scalar rows).
+[[nodiscard]] resize_row_fn select_resize_row(core::simd::level l, int sw,
+                                              int sh) noexcept;
+
+}  // namespace vs::feat::simd

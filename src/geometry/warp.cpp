@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/dispatch.h"
 #include "core/error.h"
+#include "core/simd.h"
 #include "core/thread_pool.h"
+#include "geometry/warp_simd.h"
 #include "image/pixel.h"
 #include "rt/instrument.h"
 
@@ -123,7 +126,11 @@ inline std::uint8_t remap_one_clean(const img::image_u8& src, int sx, int sy,
 // invoker does), so the warp tiles over row bands.  Per-row floating-point
 // evaluation order matches the instrumented lane operation for operation —
 // including the quirk that the preimage guard tests the already-incremented
-// denominator — so the patch is bit-identical.
+// denominator — so the patch is bit-identical.  With a SIMD row kernel
+// available, each row's incremental chains are materialized into buffers by
+// the same scalar additions and the per-pixel expression tree runs four
+// lanes at a time (IEEE div/mul/compare are lane-exact, the interpolation
+// is integer), which keeps the bytes identical at every SIMD level.
 void warp_rows_clean(const img::image_u8& src, const mat3& m,
                      const rect& out_rect, warped_patch& out) {
   const int channels = src.channels();
@@ -133,14 +140,43 @@ void warp_rows_clean(const img::image_u8& src, const mat3& m,
   const int out_w = out.pixels.width();
   std::uint8_t* valid_data = out.valid.data();
   std::uint8_t* pixel_data = out.pixels.data();
+  const simd::warp_row_fn row_fn =
+      simd::select_warp_row(core::simd::active(), channels);
 
   core::thread_pool::current().parallel_for(
       0, out_h, 8, [&](std::int64_t y0, std::int64_t y1, std::size_t) {
+        std::vector<double> buf_num_x;
+        std::vector<double> buf_num_y;
+        std::vector<double> buf_den;
+        if (row_fn != nullptr) {
+          buf_num_x.resize(static_cast<std::size_t>(out_w));
+          buf_num_y.resize(static_cast<std::size_t>(out_w));
+          buf_den.resize(static_cast<std::size_t>(out_w) + 1);
+        }
         for (int y = static_cast<int>(y0); y < y1; ++y) {
           const double dy = out_rect.y0 + y;
           double num_x = m(0, 0) * out_rect.x0 + m(0, 1) * dy + m(0, 2);
           double num_y = m(1, 0) * out_rect.x0 + m(1, 1) * dy + m(1, 2);
           double den = m(2, 0) * out_rect.x0 + m(2, 1) * dy + m(2, 2);
+          if (row_fn != nullptr) {
+            // Materialize the incremental chains (identical additions in
+            // identical order), then hand the row to the SIMD kernel.
+            for (int x = 0; x < out_w; ++x) {
+              buf_num_x[static_cast<std::size_t>(x)] = num_x;
+              buf_num_y[static_cast<std::size_t>(x)] = num_y;
+              buf_den[static_cast<std::size_t>(x)] = den;
+              num_x += m(0, 0);
+              num_y += m(1, 0);
+              den += m(2, 0);
+            }
+            buf_den[static_cast<std::size_t>(out_w)] = den;
+            const std::size_t row =
+                static_cast<std::size_t>(y) * static_cast<std::size_t>(out_w);
+            row_fn(buf_num_x.data(), buf_num_y.data(), buf_den.data(), out_w,
+                   max_sx, max_sy, src.data(), src.width(), pixel_data + row,
+                   valid_data + row);
+            continue;
+          }
           for (int x = 0; x < out_w; ++x) {
             const double inv_den = den != 0.0 ? 1.0 / den : 0.0;
             const double sx = num_x * inv_den;

@@ -1,0 +1,152 @@
+#include "geometry/warp_simd.h"
+
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace vs::geo::simd {
+
+#if defined(__x86_64__)
+
+namespace {
+
+// OpenCV-compatible fixed-point parameters (mirrors warp.cpp).
+constexpr int inter_bits = 5;
+constexpr int inter_scale = 1 << inter_bits;
+constexpr int inter_round = 1 << (2 * inter_bits - 1);
+
+__attribute__((target("avx2"))) void warp_row_avx2(
+    const double* num_x, const double* num_y, const double* den, int out_w,
+    double max_sx, double max_sy, const std::uint8_t* src, int src_w,
+    std::uint8_t* dst_row, std::uint8_t* valid_row) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d scale = _mm256_set1_pd(static_cast<double>(inter_scale));
+  const __m256d vmax_sx = _mm256_set1_pd(max_sx);
+  const __m256d vmax_sy = _mm256_set1_pd(max_sy);
+  int x = 0;
+  for (; x + 4 <= out_w; x += 4) {
+    const __m256d dn = _mm256_loadu_pd(den + x);
+    const __m256d dn_next = _mm256_loadu_pd(den + x + 1);
+    // inv = den != 0 ? 1/den : 0 — the div runs on every lane (no trap;
+    // a zero lane yields inf) and the blend discards it, so each lane is
+    // exactly the scalar ternary.
+    const __m256d inv = _mm256_blendv_pd(_mm256_div_pd(one, dn), zero,
+                                         _mm256_cmp_pd(dn, zero, _CMP_EQ_OQ));
+    const __m256d sx = _mm256_mul_pd(_mm256_loadu_pd(num_x + x), inv);
+    const __m256d sy = _mm256_mul_pd(_mm256_loadu_pd(num_y + x), inv);
+    // valid = den' != 0 && sx >= 0 && sy >= 0 && sx < max_sx && sy < max_sy.
+    // The ordered GE compares reject NaN coordinates exactly like the
+    // scalar !(sx >= 0.0) guard; NEQ is unordered so a NaN denominator
+    // passes that clause as it does the scalar den' == 0.0 test.
+    __m256d valid = _mm256_cmp_pd(dn_next, zero, _CMP_NEQ_UQ);
+    valid = _mm256_and_pd(valid, _mm256_cmp_pd(sx, zero, _CMP_GE_OQ));
+    valid = _mm256_and_pd(valid, _mm256_cmp_pd(sy, zero, _CMP_GE_OQ));
+    valid = _mm256_and_pd(valid, _mm256_cmp_pd(sx, vmax_sx, _CMP_LT_OQ));
+    valid = _mm256_and_pd(valid, _mm256_cmp_pd(sy, vmax_sy, _CMP_LT_OQ));
+    const int vm = _mm256_movemask_pd(valid);
+    if (vm == 0) continue;
+
+    // Truncating convert == static_cast<int>; garbage in masked lanes is
+    // never read.  Valid lanes are non-negative, so the arithmetic shift
+    // and mask match the scalar >> and &.
+    const __m128i fx = _mm256_cvttpd_epi32(_mm256_mul_pd(sx, scale));
+    const __m128i fy = _mm256_cvttpd_epi32(_mm256_mul_pd(sy, scale));
+    const __m128i ix = _mm_srai_epi32(fx, inter_bits);
+    const __m128i iy = _mm_srai_epi32(fy, inter_bits);
+    const __m128i wx = _mm_and_si128(fx, _mm_set1_epi32(inter_scale - 1));
+    const __m128i wy = _mm_and_si128(fy, _mm_set1_epi32(inter_scale - 1));
+    const __m128i base =
+        _mm_add_epi32(_mm_mullo_epi32(iy, _mm_set1_epi32(src_w)), ix);
+
+    // The 2x2 taps load as two 16-bit pairs per lane (p00|p10, p01|p11) —
+    // in-bounds by the guard (ix <= src_w-2, iy <= src_h-2) and never past
+    // the allocation, unlike a 32-bit gather at the image's last rows.
+    alignas(16) std::int32_t base_arr[4];
+    alignas(16) std::int32_t top_arr[4] = {0, 0, 0, 0};
+    alignas(16) std::int32_t bot_arr[4] = {0, 0, 0, 0};
+    _mm_store_si128(reinterpret_cast<__m128i*>(base_arr), base);
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((vm & (1 << lane)) == 0) continue;
+      const std::uint8_t* p = src + base_arr[lane];
+      std::uint16_t top_pair;
+      std::uint16_t bot_pair;
+      std::memcpy(&top_pair, p, sizeof(top_pair));
+      std::memcpy(&bot_pair, p + src_w, sizeof(bot_pair));
+      top_arr[lane] = top_pair;  // little-endian: low byte is p00/p01
+      bot_arr[lane] = bot_pair;
+    }
+    const __m128i top = _mm_load_si128(reinterpret_cast<__m128i*>(top_arr));
+    const __m128i bot = _mm_load_si128(reinterpret_cast<__m128i*>(bot_arr));
+    const __m128i ff = _mm_set1_epi32(0xff);
+    const __m128i p00 = _mm_and_si128(top, ff);
+    const __m128i p10 = _mm_and_si128(_mm_srli_epi32(top, 8), ff);
+    const __m128i p01 = _mm_and_si128(bot, ff);
+    const __m128i p11 = _mm_and_si128(_mm_srli_epi32(bot, 8), ff);
+
+    const __m128i full = _mm_set1_epi32(inter_scale);
+    const __m128i iwx = _mm_sub_epi32(full, wx);
+    const __m128i iwy = _mm_sub_epi32(full, wy);
+    __m128i acc = _mm_add_epi32(
+        _mm_mullo_epi32(p00, _mm_mullo_epi32(iwx, iwy)),
+        _mm_mullo_epi32(p10, _mm_mullo_epi32(wx, iwy)));
+    acc = _mm_add_epi32(acc, _mm_mullo_epi32(p01, _mm_mullo_epi32(iwx, wy)));
+    acc = _mm_add_epi32(acc, _mm_mullo_epi32(p11, _mm_mullo_epi32(wx, wy)));
+    // Weights sum to inter_scale^2, so the rounded shift already lands in
+    // [0, 255] — the scalar saturate_u8 is the identity here.
+    acc = _mm_srai_epi32(_mm_add_epi32(acc, _mm_set1_epi32(inter_round)),
+                         2 * inter_bits);
+
+    alignas(16) std::int32_t res_arr[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(res_arr), acc);
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((vm & (1 << lane)) == 0) continue;
+      dst_row[x + lane] = static_cast<std::uint8_t>(res_arr[lane]);
+      valid_row[x + lane] = 255;
+    }
+  }
+
+  // Scalar tail: the same buffered expression tree, one lane at a time.
+  for (; x < out_w; ++x) {
+    const double dn = den[x];
+    const double inv = dn != 0.0 ? 1.0 / dn : 0.0;
+    const double sx = num_x[x] * inv;
+    const double sy = num_y[x] * inv;
+    if (den[x + 1] == 0.0 || !(sx >= 0.0) || !(sy >= 0.0) || sx >= max_sx ||
+        sy >= max_sy) {
+      continue;
+    }
+    const auto fx = static_cast<int>(sx * inter_scale);
+    const auto fy = static_cast<int>(sy * inter_scale);
+    const int ix = fx >> inter_bits;
+    const int iy = fy >> inter_bits;
+    const int wx = fx & (inter_scale - 1);
+    const int wy = fy & (inter_scale - 1);
+    const std::uint8_t* p = src + static_cast<std::ptrdiff_t>(iy) * src_w + ix;
+    const int acc = p[0] * ((inter_scale - wx) * (inter_scale - wy)) +
+                    p[1] * (wx * (inter_scale - wy)) +
+                    p[src_w] * ((inter_scale - wx) * wy) +
+                    p[src_w + 1] * (wx * wy);
+    dst_row[x] =
+        static_cast<std::uint8_t>((acc + inter_round) >> (2 * inter_bits));
+    valid_row[x] = 255;
+  }
+}
+
+}  // namespace
+
+#endif  // __x86_64__
+
+warp_row_fn select_warp_row(core::simd::level l, int channels) noexcept {
+#if defined(__x86_64__)
+  if (channels == 1 && l >= core::simd::level::avx2) return &warp_row_avx2;
+#else
+  (void)l;
+  (void)channels;
+#endif
+  return nullptr;
+}
+
+}  // namespace vs::geo::simd

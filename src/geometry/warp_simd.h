@@ -1,0 +1,35 @@
+// Vectorized grayscale perspective-remap rows for the clean lane.
+//
+// The clean warp keeps the instrumented lane's incremental row evaluation
+// (numerators and denominator advance by repeated addition — a serial
+// floating-point chain that is part of the byte-identical contract).  To
+// vectorize without changing a single rounding, the row is split in two:
+// the caller materializes the incremental chains into per-row buffers with
+// the same scalar additions, and this kernel then evaluates the per-pixel
+// expression tree — 1/den, num*inv, the preimage guard, the fixed-point
+// bilinear taps — four pixels at a time.  Every vector op is the IEEE
+// operation the scalar twin performs lane by lane (div, mul, compare,
+// truncating convert), so scalar and SIMD rows produce identical bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/simd.h"
+
+namespace vs::geo::simd {
+
+/// One destination row.  num_x/num_y hold `out_w` incremental numerator
+/// values; den holds `out_w + 1` (den[x] is the value 1/den is taken at,
+/// den[x + 1] the already-incremented value the preimage guard tests —
+/// preserving the scalar lane's quirk).  src is a single-channel image of
+/// src_w x src_h; dst_row/valid_row are the out_w-wide destination rows.
+using warp_row_fn = void (*)(const double* num_x, const double* num_y,
+                             const double* den, int out_w, double max_sx,
+                             double max_sy, const std::uint8_t* src, int src_w,
+                             std::uint8_t* dst_row, std::uint8_t* valid_row);
+
+/// Kernel for `l` on `channels`-channel sources, or nullptr (scalar row).
+[[nodiscard]] warp_row_fn select_warp_row(core::simd::level l,
+                                          int channels) noexcept;
+
+}  // namespace vs::geo::simd

@@ -4,7 +4,9 @@
 
 #include "core/dispatch.h"
 #include "core/error.h"
+#include "core/simd.h"
 #include "core/thread_pool.h"
+#include "match/matcher_simd.h"
 #include "rt/instrument.h"
 
 namespace vs::match {
@@ -55,12 +57,18 @@ inline best_pair scan_simple(const feat::descriptor& qd,
 
 // Clean lane: query chunks fan out over the pool; per-chunk match vectors
 // concatenated in chunk order reproduce the sequential ascending-query
-// order exactly.
+// order exactly.  Candidate scans dispatch on core::simd::active(): the
+// vectorized scans compute exact block distances with identical in-order
+// bookkeeping, so the match list is the same at every SIMD level.
 std::vector<match> match_descriptors_clean(const feat::frame_features& query,
                                            const feat::frame_features& train,
                                            const match_params& params) {
   std::vector<match> out;
   if (query.empty() || train.empty()) return out;
+
+  const auto simd_level = core::simd::active();
+  const simd::scan2_fn scan2 = simd::select_scan2(simd_level);
+  const simd::scan1_fn scan1 = simd::select_scan1(simd_level);
 
   const auto nq = static_cast<std::int64_t>(query.size());
   constexpr std::int64_t query_chunk = 32;
@@ -75,10 +83,24 @@ std::vector<match> match_descriptors_clean(const feat::frame_features& query,
         for (std::int64_t qi = q0; qi < q1; ++qi) {
           const feat::descriptor& qd =
               query.descriptors[static_cast<std::size_t>(qi)];
-          const best_pair r =
-              params.mode == match_mode::ratio_test
-                  ? scan_ratio(qd, train.descriptors)
-                  : scan_simple(qd, train.descriptors, params.max_distance);
+          best_pair r;
+          if (params.mode == match_mode::ratio_test) {
+            if (scan2 != nullptr) {
+              const simd::best2 s =
+                  scan2(qd, train.descriptors.data(), train.descriptors.size());
+              r = best_pair{s.best, s.second, s.best_index};
+            } else {
+              r = scan_ratio(qd, train.descriptors);
+            }
+          } else {
+            if (scan1 != nullptr) {
+              const simd::best2 s =
+                  scan1(qd, train.descriptors.data(), train.descriptors.size());
+              r = best_pair{s.best, s.second, s.best_index};
+            } else {
+              r = scan_simple(qd, train.descriptors, params.max_distance);
+            }
+          }
           bool accept = false;
           if (params.mode == match_mode::ratio_test) {
             accept = r.second < 257 &&

@@ -1,0 +1,43 @@
+// Vectorized Hamming scans for the clean-lane matcher.
+//
+// The scalar clean lane scans each query's candidates with the bounded
+// early-exit distance; these kernels instead compute exact 256-bit distances
+// for blocks of candidates (AVX2: XOR + nibble-LUT popcount + SAD; SSE4:
+// XOR + hardware POPCNT, branch-free) and run the identical 2-NN / 1-NN
+// bookkeeping in ascending candidate order.  A bounded scan is
+// output-identical to the full scan by construction (every clipped distance
+// is rejected by the same comparisons that reject the exact one — see
+// feat::hamming_distance_bounded), so the SIMD scans reproduce the scalar
+// match lists byte for byte.
+#pragma once
+
+#include <cstddef>
+
+#include "core/simd.h"
+#include "features/keypoint.h"
+
+namespace vs::match::simd {
+
+/// Running nearest-neighbour state, identical to the scalar bookkeeping.
+/// 257 = "no neighbour yet" (one past the 256-bit maximum distance).
+struct best2 {
+  int best = 257;
+  int second = 257;
+  std::size_t best_index = 0;
+};
+
+/// 2-NN scan of `q` against `train[0..n)` (ratio-test mode).
+using scan2_fn = best2 (*)(const feat::descriptor& q,
+                           const feat::descriptor* train, std::size_t n);
+
+/// Bounded 1-NN scan (VS_SM simple mode); only `best`/`best_index` are
+/// meaningful in the result.
+using scan1_fn = best2 (*)(const feat::descriptor& q,
+                           const feat::descriptor* train, std::size_t n);
+
+/// Kernel for `l`, or nullptr when the tier has no vectorized scan (the
+/// caller falls back to the scalar bounded scan).
+[[nodiscard]] scan2_fn select_scan2(core::simd::level l) noexcept;
+[[nodiscard]] scan1_fn select_scan1(core::simd::level l) noexcept;
+
+}  // namespace vs::match::simd

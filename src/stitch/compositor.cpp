@@ -4,9 +4,11 @@
 
 #include "core/dispatch.h"
 #include "core/error.h"
+#include "core/simd.h"
 #include "core/thread_pool.h"
 #include "image/pixel.h"
 #include "rt/instrument.h"
+#include "stitch/compositor_simd.h"
 
 namespace vs::stitch {
 
@@ -167,10 +169,19 @@ void compositor::blend_clean(const geo::warped_patch& patch,
   // out; per-band seam-candidate lists concatenated in band order reproduce
   // the sequential discovery order that feather_seams depends on.
   const int patch_h = patch.pixels.height();
+  const int patch_w = patch.pixels.width();
   constexpr std::int64_t blend_band = 32;
   const std::size_t bands =
       core::thread_pool::chunk_count(0, patch_h, blend_band);
   std::vector<std::vector<std::size_t>> band_seams(bands);
+  // Unit gain (the default) is a masked byte copy, so it has a SIMD row
+  // kernel; rows only use it once proven in-bounds, which keeps the scalar
+  // path's library-bug trap for the unreachable overflow case.
+  const simd::blend_row_fn blend_row =
+      gain == 1.0 && patch.pixels.channels() == 1 &&
+              patch.valid.channels() == 1
+          ? simd::select_blend_row(core::simd::active())
+          : nullptr;
   core::thread_pool::current().parallel_for(
       0, patch_h, blend_band,
       [&](std::int64_t y0, std::int64_t y1, std::size_t band) {
@@ -180,7 +191,16 @@ void compositor::blend_clean(const geo::warped_patch& patch,
               (static_cast<std::int64_t>(patch.y0 - bounds_.y0 + y)) *
                   pixels_.width() +
               (patch.x0 - bounds_.x0);
-          for (int x = 0; x < patch.pixels.width(); ++x) {
+          if (blend_row != nullptr && row_base >= 0 &&
+              static_cast<std::size_t>(row_base) + patch_w <= n) {
+            const auto row = static_cast<std::size_t>(y) *
+                             static_cast<std::size_t>(patch_w);
+            blend_row(patch.pixels.data() + row, patch.valid.data() + row,
+                      dst, cov, static_cast<std::size_t>(row_base), patch_w,
+                      seams);
+            continue;
+          }
+          for (int x = 0; x < patch_w; ++x) {
             if (patch.valid.at(x, y) == 0) continue;
             const auto at = static_cast<std::size_t>(row_base + x);
             // Unreachable after ensure(); same library-bug trap as rt::idx.
@@ -295,9 +315,14 @@ void compositor::feather_seams_clean() {
 
   for (const std::size_t at : seam_candidates_) mask_[at] = 1;
   std::uint8_t* mask_data = mask_.data();
+  const simd::demote_fn demote = simd::select_demote(core::simd::active());
   core::thread_pool::current().parallel_for(
       0, static_cast<std::int64_t>(n), 1 << 16,
       [&](std::int64_t i0, std::int64_t i1, std::size_t) {
+        if (demote != nullptr) {
+          demote(mask_data + i0, static_cast<std::size_t>(i1 - i0));
+          return;
+        }
         for (std::int64_t i = i0; i < i1; ++i) {
           if (mask_data[i] == 2) mask_data[i] = 1;
         }

@@ -1,0 +1,102 @@
+#include "stitch/compositor_simd.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace vs::stitch::simd {
+
+#if defined(__x86_64__)
+
+namespace {
+
+__attribute__((target("avx2"))) void blend_row_avx2(
+    const std::uint8_t* patch_px, const std::uint8_t* patch_valid,
+    std::uint8_t* dst, std::uint8_t* cov, std::size_t at0, int width,
+    std::vector<std::size_t>& seams) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi8(1);
+  const __m256i two = _mm256_set1_epi8(2);
+  int x = 0;
+  for (; x + 32 <= width; x += 32) {
+    const __m256i valid = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(patch_valid + x));
+    // active lanes: patch_valid != 0 (compare-to-zero, then invert by
+    // using it as the "keep destination" side of the blends).
+    const __m256i skip = _mm256_cmpeq_epi8(valid, zero);
+    if (_mm256_movemask_epi8(skip) == -1) continue;
+
+    const __m256i old_cov = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cov + at0 + x));
+    // Seam candidates: active lanes whose coverage was exactly 1, pushed
+    // in ascending column order — the scalar discovery order.
+    const __m256i was_one = _mm256_andnot_si256(
+        skip, _mm256_cmpeq_epi8(old_cov, one));
+    auto seam_bits =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(was_one));
+    while (seam_bits != 0) {
+      const int lane = __builtin_ctz(seam_bits);
+      seams.push_back(at0 + static_cast<std::size_t>(x + lane));
+      seam_bits &= seam_bits - 1;
+    }
+
+    const __m256i px = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(patch_px + x));
+    const __m256i old_dst = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(dst + at0 + x));
+    // blendv picks the second operand where the mask byte's high bit is
+    // set; `skip` is 0xff on inactive lanes, so those keep their old byte.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + at0 + x),
+                        _mm256_blendv_epi8(px, old_dst, skip));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(cov + at0 + x),
+                        _mm256_blendv_epi8(two, old_cov, skip));
+  }
+  for (; x < width; ++x) {
+    if (patch_valid[x] == 0) continue;
+    const std::size_t at = at0 + static_cast<std::size_t>(x);
+    if (cov[at] == 1) seams.push_back(at);
+    dst[at] = patch_px[x];
+    cov[at] = 2;
+  }
+}
+
+__attribute__((target("avx2"))) void demote_avx2(std::uint8_t* mask,
+                                                 std::size_t count) {
+  const __m256i one = _mm256_set1_epi8(1);
+  const __m256i two = _mm256_set1_epi8(2);
+  std::size_t i = 0;
+  for (; i + 32 <= count; i += 32) {
+    const __m256i m =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    const __m256i is_two = _mm256_cmpeq_epi8(m, two);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mask + i),
+                        _mm256_blendv_epi8(m, one, is_two));
+  }
+  for (; i < count; ++i) {
+    if (mask[i] == 2) mask[i] = 1;
+  }
+}
+
+}  // namespace
+
+#endif  // __x86_64__
+
+blend_row_fn select_blend_row(core::simd::level l) noexcept {
+#if defined(__x86_64__)
+  if (l >= core::simd::level::avx2) return &blend_row_avx2;
+#else
+  (void)l;
+#endif
+  return nullptr;
+}
+
+demote_fn select_demote(core::simd::level l) noexcept {
+#if defined(__x86_64__)
+  if (l >= core::simd::level::avx2) return &demote_avx2;
+#else
+  (void)l;
+#endif
+  return nullptr;
+}
+
+}  // namespace vs::stitch::simd

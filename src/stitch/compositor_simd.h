@@ -1,0 +1,39 @@
+// Vectorized compositor rows for the clean lane.
+//
+// The blend paint pass is a masked byte copy: where the warped patch is
+// valid, the canvas pixel takes the patch byte and the coverage byte becomes
+// 2, and lanes whose coverage was 1 are recorded as seam candidates in
+// ascending column order.  All of it is byte-wise integer work, so a SIMD
+// row produces exactly the scalar bytes and the identical seam-candidate
+// sequence.  The feather demotion (coverage 2 -> 1) is the same shape.
+//
+// Kernels assume the caller has already proven the whole row in-bounds on
+// the canvas; rows that fail that check take the scalar path, which keeps
+// the out-of-bounds logic trap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/simd.h"
+
+namespace vs::stitch::simd {
+
+/// One paint row at unit gain: for each x in [0, width) with
+/// patch_valid[x] != 0, append at0 + x to seams if cov[at0 + x] == 1
+/// (ascending x), then dst[at0 + x] = patch_px[x] and cov[at0 + x] = 2.
+using blend_row_fn = void (*)(const std::uint8_t* patch_px,
+                              const std::uint8_t* patch_valid,
+                              std::uint8_t* dst, std::uint8_t* cov,
+                              std::size_t at0, int width,
+                              std::vector<std::size_t>& seams);
+
+/// Demote the newest generation: mask[i] == 2 becomes 1 over [0, count).
+using demote_fn = void (*)(std::uint8_t* mask, std::size_t count);
+
+/// Kernels for `l`, or nullptr (scalar loops).
+[[nodiscard]] blend_row_fn select_blend_row(core::simd::level l) noexcept;
+[[nodiscard]] demote_fn select_demote(core::simd::level l) noexcept;
+
+}  // namespace vs::stitch::simd

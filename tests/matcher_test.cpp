@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/error.h"
 #include "core/rng.h"
+#include "core/simd.h"
 #include "match/matcher.h"
+#include "match/matcher_simd.h"
 
 namespace vs::match {
 namespace {
@@ -155,6 +159,67 @@ TEST(Matcher, AtMostOneMatchPerQuery) {
   for (const auto& m : matches) {
     EXPECT_FALSE(seen[static_cast<std::size_t>(m.query)]);
     seen[static_cast<std::size_t>(m.query)] = true;
+  }
+}
+
+// The early-exit distance must honour its contract for every bound, not
+// just bounds that happen to fall on a word boundary:
+// bounded(a, b, k) == min(exact, k + 1).
+TEST(Matcher, BoundedDistanceClampsAtEveryBound) {
+  rng gen(47);
+  for (int pair = 0; pair < 64; ++pair) {
+    const auto a = random_descriptor(gen);
+    auto b = random_descriptor(gen);
+    if (pair % 4 == 0) b = a;  // exercise the distance-zero corner
+    const int exact = feat::hamming_distance(a, b);
+    for (const int bound : {0, 1, 17, 63, 64, 65, 127, 128, 200, 255, 256}) {
+      EXPECT_EQ(feat::hamming_distance_bounded(a, b, bound),
+                std::min(exact, bound + 1))
+          << "pair " << pair << " bound " << bound << " exact " << exact;
+    }
+  }
+}
+
+// The vectorized candidate scans must reproduce the scalar 2-NN / 1-NN
+// bookkeeping exactly, including first-of-tie index selection.
+TEST(Matcher, SimdScansMatchScalarBookkeeping) {
+  const auto level = core::simd::detected();
+  const auto scan2 = simd::select_scan2(level);
+  const auto scan1 = simd::select_scan1(level);
+  if (scan2 == nullptr && scan1 == nullptr) {
+    GTEST_SKIP() << "host has no vectorized scans";
+  }
+  rng gen(53);
+  // Sizes straddle the block widths (4-wide AVX2, 2-wide SSE4) plus tails.
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 33u, 100u}) {
+    std::vector<feat::descriptor> train;
+    for (std::size_t i = 0; i < n; ++i) train.push_back(random_descriptor(gen));
+    if (n >= 8) train[6] = train[2];  // force an exact tie
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto q = trial == 0 && n > 2 ? train[2] : random_descriptor(gen);
+      simd::best2 want;
+      for (std::size_t i = 0; i < n; ++i) {
+        const int d = feat::hamming_distance(q, train[i]);
+        if (d < want.best) {
+          want.second = want.best;
+          want.best = d;
+          want.best_index = i;
+        } else if (d < want.second) {
+          want.second = d;
+        }
+      }
+      if (scan2 != nullptr) {
+        const auto got = scan2(q, train.data(), n);
+        EXPECT_EQ(got.best, want.best);
+        EXPECT_EQ(got.second, want.second);
+        EXPECT_EQ(got.best_index, want.best_index);
+      }
+      if (scan1 != nullptr) {
+        const auto got = scan1(q, train.data(), n);
+        EXPECT_EQ(got.best, want.best);
+        EXPECT_EQ(got.best_index, want.best_index);
+      }
+    }
   }
 }
 

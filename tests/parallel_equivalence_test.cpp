@@ -1,18 +1,22 @@
 // Two-lane equivalence: the parallel clean lane must produce byte-identical
-// results to the sequential instrumented lane, at every pool width.
+// results to the sequential instrumented lane, at every pool width and at
+// every SIMD level the host supports.
 //
 // The reference is each kernel run inside an rt::session with no fault armed
 // (hooks enabled but value-preserving — the exact stream a fault campaign
 // replays).  The candidate is the same kernel with instrumentation off,
-// which dispatches to the thread-pool clean lane.  Any divergence here would
-// mean the production path and the studied path are different programs, so
-// everything is compared exactly: pixels, keypoints, descriptors, matches.
+// which dispatches to the thread-pool clean lane; each candidate repeats
+// across the width x SIMD-level matrix.  Any divergence here would mean the
+// production path and the studied path are different programs, so everything
+// is compared exactly: pixels, keypoints, descriptors, matches.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "app/pipeline.h"
+#include "core/simd.h"
 #include "core/thread_pool.h"
 #include "fault/detectors.h"
 #include "resil/hardening.h"
@@ -37,6 +41,28 @@ struct pool_width_guard {
   ~pool_width_guard() { core::thread_pool::set_global_threads(0); }
 };
 
+/// Restores the process-wide SIMD request when a test exits.
+struct simd_level_guard {
+  core::simd::level saved = core::simd::requested();
+  ~simd_level_guard() { core::simd::set_level(saved); }
+};
+
+/// SIMD tiers to sweep: forced-scalar plus the best the host offers.  On a
+/// scalar-only host that collapses to one entry.
+std::vector<core::simd::level> test_levels() {
+  std::vector<core::simd::level> levels = {core::simd::level::scalar};
+  if (core::simd::detected() != core::simd::level::scalar) {
+    levels.push_back(core::simd::detected());
+  }
+  return levels;
+}
+
+/// "width 2, simd avx2" — failure-message context for matrix sweeps.
+std::string matrix_point(unsigned width, core::simd::level l) {
+  return "width " + std::to_string(width) + ", simd " +
+         core::simd::level_name(l);
+}
+
 const video::synthetic_video& clip(video::input_id id) {
   static const auto one = video::make_input(video::input_id::input1, 8);
   static const auto two = video::make_input(video::input_id::input2, 8);
@@ -50,16 +76,30 @@ img::image_u8 test_frame(video::input_id id, int index) {
 
 void expect_same_keypoints(const std::vector<feat::keypoint>& a,
                            const std::vector<feat::keypoint>& b,
-                           unsigned width) {
-  ASSERT_EQ(a.size(), b.size()) << "pool width " << width;
+                           const std::string& at) {
+  ASSERT_EQ(a.size(), b.size()) << at;
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(feat::keypoint)), 0)
-        << "keypoint " << i << " at pool width " << width;
+        << "keypoint " << i << " at " << at;
+  }
+}
+
+/// Runs `candidate` at every pool width x SIMD level, handing each run its
+/// matrix coordinates for failure messages.
+template <typename Fn>
+void for_each_matrix_point(Fn&& candidate) {
+  for (const auto level : test_levels()) {
+    core::simd::set_level(level);
+    for (const unsigned width : kWidths) {
+      core::thread_pool::set_global_threads(width);
+      candidate(matrix_point(width, level));
+    }
   }
 }
 
 TEST(ParallelEquivalence, FastDetect) {
   const pool_width_guard guard;
+  const simd_level_guard simd_guard;
   const auto gray = test_frame(video::input_id::input1, 3);
   feat::fast_params params;
   std::vector<feat::keypoint> reference;
@@ -67,14 +107,14 @@ TEST(ParallelEquivalence, FastDetect) {
     rt::session session;
     reference = feat::fast_detect(gray, params);
   }
-  for (const unsigned width : kWidths) {
-    core::thread_pool::set_global_threads(width);
-    expect_same_keypoints(reference, feat::fast_detect(gray, params), width);
-  }
+  for_each_matrix_point([&](const std::string& at) {
+    expect_same_keypoints(reference, feat::fast_detect(gray, params), at);
+  });
 }
 
 TEST(ParallelEquivalence, OrbExtract) {
   const pool_width_guard guard;
+  const simd_level_guard simd_guard;
   const auto gray = test_frame(video::input_id::input2, 2);
   feat::orb_params params;
   feat::frame_features reference;
@@ -82,20 +122,20 @@ TEST(ParallelEquivalence, OrbExtract) {
     rt::session session;
     reference = feat::orb_extract(gray, params);
   }
-  for (const unsigned width : kWidths) {
-    core::thread_pool::set_global_threads(width);
+  for_each_matrix_point([&](const std::string& at) {
     const auto clean = feat::orb_extract(gray, params);
-    expect_same_keypoints(reference.keypoints, clean.keypoints, width);
+    expect_same_keypoints(reference.keypoints, clean.keypoints, at);
     ASSERT_EQ(reference.descriptors.size(), clean.descriptors.size());
     for (std::size_t i = 0; i < reference.descriptors.size(); ++i) {
       EXPECT_EQ(reference.descriptors[i], clean.descriptors[i])
-          << "descriptor " << i << " at pool width " << width;
+          << "descriptor " << i << " at " << at;
     }
-  }
+  });
 }
 
 TEST(ParallelEquivalence, MatchDescriptorsBothModes) {
   const pool_width_guard guard;
+  const simd_level_guard simd_guard;
   feat::frame_features query;
   feat::frame_features train;
   {
@@ -116,21 +156,21 @@ TEST(ParallelEquivalence, MatchDescriptorsBothModes) {
       rt::session session;
       reference = match::match_descriptors(query, train, params);
     }
-    for (const unsigned width : kWidths) {
-      core::thread_pool::set_global_threads(width);
+    for_each_matrix_point([&](const std::string& at) {
       const auto clean = match::match_descriptors(query, train, params);
-      ASSERT_EQ(reference.size(), clean.size()) << "pool width " << width;
+      ASSERT_EQ(reference.size(), clean.size()) << at;
       for (std::size_t i = 0; i < reference.size(); ++i) {
-        EXPECT_EQ(reference[i].query, clean[i].query);
-        EXPECT_EQ(reference[i].train, clean[i].train);
-        EXPECT_EQ(reference[i].distance, clean[i].distance);
+        EXPECT_EQ(reference[i].query, clean[i].query) << at;
+        EXPECT_EQ(reference[i].train, clean[i].train) << at;
+        EXPECT_EQ(reference[i].distance, clean[i].distance) << at;
       }
-    }
+    });
   }
 }
 
 TEST(ParallelEquivalence, WarpPerspective) {
   const pool_width_guard guard;
+  const simd_level_guard simd_guard;
   const auto src = test_frame(video::input_id::input2, 1);
   geo::mat3 h = geo::mat3::identity();
   h(0, 0) = 0.98;
@@ -147,29 +187,27 @@ TEST(ParallelEquivalence, WarpPerspective) {
     rt::session session;
     reference = geo::warp_perspective(src, h, out_rect);
   }
-  for (const unsigned width : kWidths) {
-    core::thread_pool::set_global_threads(width);
+  for_each_matrix_point([&](const std::string& at) {
     const auto clean = geo::warp_perspective(src, h, out_rect);
-    EXPECT_EQ(reference.pixels, clean.pixels) << "pool width " << width;
-    EXPECT_EQ(reference.valid, clean.valid) << "pool width " << width;
-    EXPECT_EQ(reference.x0, clean.x0);
-    EXPECT_EQ(reference.y0, clean.y0);
-  }
+    EXPECT_EQ(reference.pixels, clean.pixels) << at;
+    EXPECT_EQ(reference.valid, clean.valid) << at;
+    EXPECT_EQ(reference.x0, clean.x0) << at;
+    EXPECT_EQ(reference.y0, clean.y0) << at;
+  });
 }
 
 TEST(ParallelEquivalence, ResizeBilinear) {
   const pool_width_guard guard;
+  const simd_level_guard simd_guard;
   const auto src = test_frame(video::input_id::input1, 0);
   img::image_u8 reference;
   {
     rt::session session;
     reference = feat::resize_bilinear(src, 77, 53);
   }
-  for (const unsigned width : kWidths) {
-    core::thread_pool::set_global_threads(width);
-    EXPECT_EQ(reference, feat::resize_bilinear(src, 77, 53))
-        << "pool width " << width;
-  }
+  for_each_matrix_point([&](const std::string& at) {
+    EXPECT_EQ(reference, feat::resize_bilinear(src, 77, 53)) << at;
+  });
 }
 
 TEST(ParallelEquivalence, SyntheticFrameRendering) {
@@ -188,12 +226,12 @@ TEST(ParallelEquivalence, SyntheticFrameRendering) {
 }
 
 void expect_same_summary(const app::summary_result& a,
-                         const app::summary_result& b, unsigned width) {
-  EXPECT_EQ(a.panorama, b.panorama) << "pool width " << width;
+                         const app::summary_result& b, const std::string& at) {
+  EXPECT_EQ(a.panorama, b.panorama) << at;
   ASSERT_EQ(a.mini_panoramas.size(), b.mini_panoramas.size());
   for (std::size_t i = 0; i < a.mini_panoramas.size(); ++i) {
     EXPECT_EQ(a.mini_panoramas[i], b.mini_panoramas[i])
-        << "mini-panorama " << i << " at pool width " << width;
+        << "mini-panorama " << i << " at " << at;
   }
   EXPECT_EQ(a.stats.frames_total, b.stats.frames_total);
   EXPECT_EQ(a.stats.frames_dropped_rfd, b.stats.frames_dropped_rfd);
@@ -214,6 +252,7 @@ void expect_same_summary(const app::summary_result& a,
 
 TEST(ParallelEquivalence, EndToEndBothInputs) {
   const pool_width_guard guard;
+  const simd_level_guard simd_guard;
   for (const auto id : {video::input_id::input1, video::input_id::input2}) {
     const auto& source = clip(id);
     app::summary_result reference;
@@ -221,11 +260,11 @@ TEST(ParallelEquivalence, EndToEndBothInputs) {
       rt::session session;
       reference = app::summarize(source, app::pipeline_config{});
     }
-    for (const unsigned width : kWidths) {
-      core::thread_pool::set_global_threads(width);
+    for_each_matrix_point([&](const std::string& at) {
       const auto clean = app::summarize(source, app::pipeline_config{});
-      expect_same_summary(reference, clean, width);
-    }
+      expect_same_summary(reference, clean,
+                          std::string(video::input_name(id)) + " at " + at);
+    });
   }
 }
 
@@ -255,7 +294,8 @@ TEST(ParallelEquivalence, EndToEndFullyHardened) {
     for (const unsigned width : kWidths) {
       core::thread_pool::set_global_threads(width);
       const auto clean = app::summarize(source, config);
-      expect_same_summary(reference, clean, width);
+      expect_same_summary(reference, clean,
+                          "width " + std::to_string(width));
     }
 
     // Hardening must not perturb the fault-free output either: the clean
@@ -266,21 +306,31 @@ TEST(ParallelEquivalence, EndToEndFullyHardened) {
   }
 }
 
+// The full matrix: both inputs x every approximation variant x pool widths
+// {1, 2, 4} x SIMD levels {scalar, best available}.  Each cell must
+// reproduce the instrumented-lane reference byte for byte.
 TEST(ParallelEquivalence, EndToEndApproximateVariants) {
   const pool_width_guard guard;
-  const auto& source = clip(video::input_id::input1);
-  for (const auto alg : {app::algorithm::vs_rfd, app::algorithm::vs_kds,
-                         app::algorithm::vs_sm}) {
-    app::pipeline_config config;
-    config.approx.alg = alg;
-    app::summary_result reference;
-    {
-      rt::session session;
-      reference = app::summarize(source, config);
+  const simd_level_guard simd_guard;
+  for (const auto id : {video::input_id::input1, video::input_id::input2}) {
+    const auto& source = clip(id);
+    for (const auto alg : {app::algorithm::vs_rfd, app::algorithm::vs_kds,
+                           app::algorithm::vs_sm}) {
+      app::pipeline_config config;
+      config.approx.alg = alg;
+      app::summary_result reference;
+      {
+        rt::session session;
+        reference = app::summarize(source, config);
+      }
+      for_each_matrix_point([&](const std::string& at) {
+        const auto clean = app::summarize(source, config);
+        expect_same_summary(
+            reference, clean,
+            std::string(video::input_name(id)) + " " +
+                app::algorithm_name(config.approx.alg) + " at " + at);
+      });
     }
-    core::thread_pool::set_global_threads(4);
-    const auto clean = app::summarize(source, config);
-    expect_same_summary(reference, clean, 4);
   }
 }
 

@@ -1,0 +1,56 @@
+// core::simd dispatch layer: parsing, naming, and clamping semantics.
+#include <gtest/gtest.h>
+
+#include "core/simd.h"
+
+namespace vs::core::simd {
+namespace {
+
+/// Restores the process-wide request when a test exits.
+struct request_guard {
+  level saved = requested();
+  ~request_guard() { set_level(saved); }
+};
+
+TEST(Simd, ParseRecognizesEveryTier) {
+  EXPECT_EQ(parse_level("scalar"), level::scalar);
+  EXPECT_EQ(parse_level("sse4"), level::sse4);
+  EXPECT_EQ(parse_level("avx2"), level::avx2);
+}
+
+TEST(Simd, ParseAutoMeansBest) {
+  EXPECT_EQ(parse_level("auto"), level::avx2);
+}
+
+TEST(Simd, ParseRejectsUnknownNames) {
+  EXPECT_FALSE(parse_level("").has_value());
+  EXPECT_FALSE(parse_level("avx512").has_value());
+  EXPECT_FALSE(parse_level("SCALAR").has_value());
+  EXPECT_FALSE(parse_level("sse4 ").has_value());
+}
+
+TEST(Simd, NamesRoundTripThroughParse) {
+  for (const auto l : {level::scalar, level::sse4, level::avx2}) {
+    const auto parsed = parse_level(level_name(l));
+    ASSERT_TRUE(parsed.has_value()) << level_name(l);
+    EXPECT_EQ(*parsed, l);
+  }
+}
+
+TEST(Simd, ActiveClampsRequestToDetected) {
+  const request_guard guard;
+  // Requesting below the host's capability always wins...
+  set_level(level::scalar);
+  EXPECT_EQ(active(), level::scalar);
+  // ...and requesting at or above it clamps to what the host can run.
+  set_level(level::avx2);
+  EXPECT_EQ(active(), detected());
+  EXPECT_LE(active(), detected());
+}
+
+TEST(Simd, DetectedIsStable) {
+  EXPECT_EQ(detected(), detected());
+}
+
+}  // namespace
+}  // namespace vs::core::simd

@@ -1,5 +1,8 @@
 // vs — the command-line front end of the library.
 //
+// A global --simd=scalar|sse4|avx2|auto flag (any position) selects the
+// clean lane's vector tier; output is byte-identical at every level.
+//
 //   vs generate  <input1|input2> <frames> <out_dir>        write clip frames
 //   vs summarize <input1|input2> [VS|VS_RFD|VS_KDS|VS_SM] [frames] [out.pgm]
 //   vs events    <input1|input2> [frames] [out.ppm]        tracked summary
@@ -32,6 +35,7 @@
 
 #include "app/events.h"
 #include "app/pipeline.h"
+#include "core/simd.h"
 #include "fault/analysis.h"
 #include "fault/detectors.h"
 #include "fault/report.h"
@@ -53,7 +57,7 @@ using namespace vs;
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage:\n"
+      "usage: vs [--simd=scalar|sse4|avx2|auto] <command> ...\n"
       "  vs generate  <input1|input2> <frames> <out_dir>\n"
       "  vs summarize <input1|input2> [algorithm] [frames] [out.pgm]\n"
       "  vs events    <input1|input2> [frames] [out.ppm]\n"
@@ -294,6 +298,10 @@ int cmd_profile(int argc, char** argv) {
 }
 
 int cmd_stages() {
+  std::printf("simd: detected=%s active=%s (override with --simd=LEVEL or "
+              "VS_SIMD)\n\n",
+              core::simd::level_name(core::simd::detected()),
+              core::simd::level_name(core::simd::active()));
   std::printf("%-10s %-12s %-18s %-8s %-6s %-6s %s\n", "stage", "budget",
               "cfcss signature", "scope?", "ahead", "clean", "rt scopes");
   for (const auto& stage : pipeline::stage_registry()) {
@@ -660,6 +668,27 @@ int cmd_submit(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global --simd=LEVEL flag: consumed here, before command dispatch, so
+  // every command sees the requested clean-lane SIMD tier.  The flag wins
+  // over the VS_SIMD environment variable.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--simd=", 7) == 0) {
+      const auto parsed = vs::core::simd::parse_level(arg + 7);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "error: --simd expects scalar|sse4|avx2|auto, got %s\n",
+                     arg + 7);
+        return 2;
+      }
+      vs::core::simd::set_level(*parsed);
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  argv[argc] = nullptr;
   if (argc < 2) usage();
   const std::string command = argv[1];
   try {
