@@ -91,6 +91,13 @@ const std::vector<video::input_id>& all_inputs() {
   return inputs;
 }
 
+const std::vector<video::input_id>& all_scenarios() {
+  static const std::vector<video::input_id> inputs = {
+      video::input_id::input1, video::input_id::input2,
+      video::input_id::input3};
+  return inputs;
+}
+
 std::string pct(double fraction, int decimals) {
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, fraction * 100.0);

@@ -44,6 +44,11 @@ struct options {
 /// Both paper inputs.
 [[nodiscard]] const std::vector<video::input_id>& all_inputs();
 
+/// The full scenario matrix: the paper pair plus the synthetic
+/// low-texture night pass (Input 3).  Whole-pipeline campaigns summarize
+/// their distributions across these three.
+[[nodiscard]] const std::vector<video::input_id>& all_scenarios();
+
 /// Formats a fraction as a fixed-width percentage ("42.3%").
 [[nodiscard]] std::string pct(double fraction, int decimals = 1);
 

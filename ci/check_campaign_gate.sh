@@ -11,11 +11,19 @@
 # additionally pin the sharding determinism contract: the merged
 # distribution must be bit-identical at any job count, isolated or not.
 #
+# The hardened matrix extends the gate along the selective-replication
+# axis: `--harden --replicate={off,geometry,all}` at level full must match
+# ci/golden_campaign_hardened.txt — including that all-stage replication
+# holds the SDC rate at zero.  The unhardened distribution stays pinned to
+# ci/golden_campaign.txt unchanged: the hardening stack must be inert when
+# off.
+#
 # Usage: ci/check_campaign_gate.sh [path/to/fault_campaign]
 set -euo pipefail
 
 campaign_bin="${1:-build/examples/fault_campaign}"
 golden="$(dirname "$0")/golden_campaign.txt"
+golden_hardened="$(dirname "$0")/golden_campaign_hardened.txt"
 
 if [[ ! -x "$campaign_bin" ]]; then
   echo "error: campaign binary not found at $campaign_bin" >&2
@@ -52,9 +60,41 @@ check_variant() {
   fi
 }
 
+check_hardened() {
+  local rep="$1"
+  local out
+  out="$("$campaign_bin" VS gpr 120 10 --harden --replicate="$rep")"
+  echo "$out"
+  echo
+
+  local actual expected_rep
+  actual="$(echo "$out" | awk -v rep="$rep" '
+    /^  masked/          { printf "%s masked %s\n", rep, substr($2, 1, length($2)-1) }
+    /^  crash/           { printf "%s crash %s\n",  rep, substr($2, 1, length($2)-1) }
+    /^  sdc/             { printf "%s sdc %s\n",    rep, substr($2, 1, length($2)-1) }
+    /^  hang/            { printf "%s hang %s\n",   rep, substr($2, 1, length($2)-1) }
+    /^  detected\(rec\)/ { printf "%s detected_rec %s\n", rep, substr($2, 1, length($2)-1) }
+    /^  detected\(deg\)/ { printf "%s detected_deg %s\n", rep, substr($2, 1, length($2)-1) }')"
+  expected_rep="$(grep -v '^#' "$golden_hardened" | grep "^$rep ")"
+
+  if [[ "$actual" == "$expected_rep" ]]; then
+    echo "campaign gate [hardened replicate=$rep]: PASS"
+  else
+    echo "campaign gate [hardened replicate=$rep]: FAIL — diverged from golden" >&2
+    echo "--- expected ($golden_hardened)" >&2
+    echo "$expected_rep" >&2
+    echo "--- actual" >&2
+    echo "$actual" >&2
+    fail=1
+  fi
+}
+
 check_variant "in-process"
 check_variant "supervised jobs=1" --jobs=1
 check_variant "supervised jobs=4 isolate" --jobs=4 --isolate
+check_hardened off
+check_hardened geometry
+check_hardened all
 
 if [[ "$fail" -ne 0 ]]; then
   echo >&2
@@ -65,4 +105,5 @@ if [[ "$fail" -ne 0 ]]; then
   echo "addressing or in sharded-campaign determinism." >&2
   exit 1
 fi
-echo "campaign gate: PASS (all three variants match $golden)"
+echo "campaign gate: PASS (unhardened variants match $golden;" \
+     "hardened matrix matches $golden_hardened)"

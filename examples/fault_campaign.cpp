@@ -2,18 +2,21 @@
 // of Section V in miniature.
 //
 //   $ ./fault_campaign [algorithm] [gpr|fpr] [injections] [frames]
-//         [--harden[=LEVEL]] [--jobs=N] [--isolate] [--journal=PATH]
-//         [--resume] [--timeout=SECONDS]
+//         [--harden[=LEVEL]] [--replicate=STAGES] [--jobs=N] [--isolate]
+//         [--journal=PATH] [--resume] [--timeout=SECONDS]
 //
 // Example: ./fault_campaign VS_RFD gpr 500 20
 //          ./fault_campaign VS gpr 50 10 --harden        (full hardening)
 //          ./fault_campaign VS gpr 50 10 --harden=cfcss
+//          ./fault_campaign VS gpr 50 10 --harden --replicate=all
 //          ./fault_campaign VS gpr 300 20 --jobs=4 --isolate \
 //              --journal=campaign.journal --resume
 //
 // With --harden the workload runs under the src/resil/ containment
 // subsystem: stage budgets and output-detector envelopes are calibrated
-// from one fault-free profiled run first.
+// from one fault-free profiled run first.  --replicate overrides the
+// level's default per-stage dual-execution mask (off, geometry, all, or a
+// comma-separated stage list — see `vs stages`).
 //
 // Any of --jobs/--isolate/--journal/--resume engages the process-isolated
 // supervisor (src/supervise/): experiments shard across workers,
@@ -31,6 +34,7 @@
 #include "fault/campaign.h"
 #include "fault/coverage.h"
 #include "fault/detectors.h"
+#include "pipeline/stage.h"
 #include "quality/sdc.h"
 #include "resil/hardening.h"
 #include "rt/instrument.h"
@@ -41,11 +45,17 @@ int main(int argc, char** argv) {
   using namespace vs;
   std::vector<std::string> positional;
   std::string harden_level;
+  std::string replicate_spec;
+  bool replicate_set = false;
   supervise::supervisor_config super;
   bool supervised = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--harden", 8) == 0) {
+    if (std::strncmp(argv[i], "--harden", 8) == 0 &&
+        (argv[i][8] == '\0' || argv[i][8] == '=')) {
       harden_level = argv[i][8] == '=' ? argv[i] + 9 : "full";
+    } else if (std::strncmp(argv[i], "--replicate=", 12) == 0) {
+      replicate_spec = argv[i] + 12;
+      replicate_set = true;
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       super.jobs = std::atoi(argv[i] + 7);
       supervised = true;
@@ -78,6 +88,10 @@ int main(int argc, char** argv) {
 
   if (!harden_level.empty()) {
     config.hardening.level = resil::parse_hardening_level(harden_level);
+    if (replicate_set) {
+      config.hardening.replicate_stages =
+          pipeline::parse_replicate_stages(replicate_spec);
+    }
     // Calibrate stage budgets and the output-detector envelope from one
     // fault-free profiled (unhardened) run.
     app::pipeline_config profile_config = config;
@@ -95,6 +109,12 @@ int main(int argc, char** argv) {
               injections, frames,
               harden_level.empty() ? "" : ", hardening=",
               harden_level.c_str());
+  if (!harden_level.empty()) {
+    std::printf("replication: %s\n",
+                pipeline::replicate_stages_name(
+                    resil::replication_mask(config.hardening))
+                    .c_str());
+  }
 
   fault::campaign_config campaign;
   campaign.cls = fpr ? rt::reg_class::fpr : rt::reg_class::gpr;
@@ -108,9 +128,10 @@ int main(int argc, char** argv) {
   fault::campaign_result result;
   supervise::shard_stats stats;
   if (supervised) {
-    super.workload_label = alg_name + (fpr ? "/fpr" : "/gpr") + "/f" +
-                           std::to_string(frames) +
-                           (harden_level.empty() ? "" : "/" + harden_level);
+    super.workload_label =
+        alg_name + (fpr ? "/fpr" : "/gpr") + "/f" + std::to_string(frames) +
+        (harden_level.empty() ? "" : "/" + harden_level) +
+        (replicate_set ? "/r=" + replicate_spec : "");
     auto sharded = supervise::run_sharded_campaign(work, campaign, super);
     result = std::move(sharded.campaign);
     stats = std::move(sharded.stats);

@@ -189,6 +189,10 @@ summary_result summarize(const video::video_source& source,
       [&source](int index) { return source.frame(index); },
       [&config](const img::image_u8& frame) {
         return feat::orb_extract(frame, config.orb);
+      },
+      [&config](const img::image_u8& frame,
+                const feat::frame_features& features) {
+        return feat::orb_verify_features(frame, features, config.orb);
       });
 
   // --- the per-frame unit of work: acquire -> detect -> describe ->

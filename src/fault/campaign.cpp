@@ -55,6 +55,7 @@ injection_record run_one_injection(const workload& work,
       const resil::run_report& recovery = resil::last_run_report();
       record.detections = recovery.faults_detected() +
                           (recovery.output_flagged() ? 1u : 0u);
+      record.replica_divergences = recovery.replica_divergences;
       record.retries = recovery.retries;
       record.frames_degraded = recovery.frames_degraded;
       if (record.fired && recovery.any_detection()) {
@@ -70,6 +71,8 @@ injection_record run_one_injection(const workload& work,
       record.result = outcome::detected_degraded;
       record.detections =
           std::max<std::uint32_t>(1, resil::last_run_report().faults_detected());
+      record.replica_divergences =
+          resil::last_run_report().replica_divergences;
     } catch (const crash_error& e) {
       record.fired = true;
       record.result = e.kind() == crash_kind::segfault

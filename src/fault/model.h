@@ -69,6 +69,7 @@ struct injection_record {
   /// Hardened campaigns only: what the containment machinery did during
   /// this run (all zero when the workload runs unhardened).
   std::uint32_t detections = 0;     ///< detector firings (any mechanism)
+  std::uint32_t replica_divergences = 0;  ///< dual-execution disagreements
   std::uint32_t retries = 0;        ///< frame retries spent
   std::uint32_t frames_degraded = 0;
 };

@@ -21,7 +21,7 @@ const char* fired_stage_name(rt::fn scope) noexcept {
 std::string records_to_csv(const campaign_result& result) {
   std::ostringstream out;
   out << "index,cls,target,bit,reg_id,live,fired,outcome,scope,kind,stage,"
-         "detections,retries,frames_degraded\n";
+         "detections,replica_divergences,retries,frames_degraded\n";
   for (std::size_t i = 0; i < result.records.size(); ++i) {
     const auto& r = result.records[i];
     out << i << ','
@@ -30,8 +30,8 @@ std::string records_to_csv(const campaign_result& result) {
         << (r.register_live ? 1 : 0) << ',' << (r.fired ? 1 : 0) << ','
         << outcome_name(r.result) << ',' << rt::fn_name(r.fired_scope) << ','
         << rt::op_name(r.fired_kind) << ',' << fired_stage_name(r.fired_scope)
-        << ',' << r.detections << ',' << r.retries << ','
-        << r.frames_degraded << '\n';
+        << ',' << r.detections << ',' << r.replica_divergences << ','
+        << r.retries << ',' << r.frames_degraded << '\n';
   }
   return out.str();
 }
@@ -39,6 +39,10 @@ std::string records_to_csv(const campaign_result& result) {
 std::string rates_to_json(const campaign_result& result,
                           const std::string& label) {
   const auto& r = result.rates;
+  std::uint64_t replica_divergences = 0;
+  for (const auto& record : result.records) {
+    replica_divergences += record.replica_divergences;
+  }
   std::ostringstream out;
   out << "{\n"
       << "  \"label\": \"" << label << "\",\n"
@@ -50,6 +54,7 @@ std::string rates_to_json(const campaign_result& result,
       << "  \"hang\": " << r.hang << ",\n"
       << "  \"detected_recovered\": " << r.detected_recovered << ",\n"
       << "  \"detected_degraded\": " << r.detected_degraded << ",\n"
+      << "  \"replica_divergences\": " << replica_divergences << ",\n"
       << "  \"mask_rate\": " << r.rate(outcome::masked) << ",\n"
       << "  \"sdc_rate\": " << r.rate(outcome::sdc) << ",\n"
       << "  \"crash_rate\": " << r.crash_rate() << ",\n"

@@ -96,6 +96,7 @@ std::string record_payload(std::size_t index, const injection_record& r) {
   append(static_cast<std::uint64_t>(r.fired_scope));
   append(static_cast<std::uint64_t>(r.fired_kind));
   append(r.detections);
+  append(r.replica_divergences);
   append(r.retries);
   out += std::to_string(r.frames_degraded);
   return out;
@@ -103,7 +104,12 @@ std::string record_payload(std::size_t index, const injection_record& r) {
 
 std::optional<parsed_record> parse_record(std::string_view payload) {
   const auto tokens = split(payload);
-  if (tokens.size() != 17 || tokens[0] != "R") return std::nullopt;
+  // 17 tokens: legacy journal rows without the replica_divergences field
+  // (pre-replication-registry checkpoints resume with the count at 0).
+  if ((tokens.size() != 17 && tokens.size() != 18) || tokens[0] != "R") {
+    return std::nullopt;
+  }
+  const bool has_replica = tokens.size() == 18;
 
   const auto index = parse_u64(tokens[1]);
   const auto cls = parse_u64(tokens[2]);
@@ -119,12 +125,14 @@ std::optional<parsed_record> parse_record(std::string_view payload) {
   const auto fired_scope = parse_u64(tokens[12]);
   const auto fired_kind = parse_u64(tokens[13]);
   const auto detections = parse_u64(tokens[14]);
-  const auto retries = parse_u64(tokens[15]);
-  const auto degraded = parse_u64(tokens[16]);
+  const auto replica =
+      has_replica ? parse_u64(tokens[15]) : std::optional<std::uint64_t>(0);
+  const auto retries = parse_u64(tokens[has_replica ? 16 : 15]);
+  const auto degraded = parse_u64(tokens[has_replica ? 17 : 16]);
 
   if (!index || !cls || !target || !bit || !reg_id || !scoped || !scope ||
       !scope_b || !live || !fired || !result || !fired_scope || !fired_kind ||
-      !detections || !retries || !degraded) {
+      !detections || !replica || !retries || !degraded) {
     return std::nullopt;
   }
   if (*cls >= rt::reg_class_count || *bit >= 64 ||
@@ -134,7 +142,8 @@ std::optional<parsed_record> parse_record(std::string_view payload) {
       *fired_scope >= static_cast<std::uint64_t>(rt::fn_count) ||
       *fired_kind >= static_cast<std::uint64_t>(rt::op_count) ||
       *reg_id > 0xFFFFFFFFULL || *detections > 0xFFFFFFFFULL ||
-      *retries > 0xFFFFFFFFULL || *degraded > 0xFFFFFFFFULL) {
+      *replica > 0xFFFFFFFFULL || *retries > 0xFFFFFFFFULL ||
+      *degraded > 0xFFFFFFFFULL) {
     return std::nullopt;
   }
 
@@ -154,6 +163,7 @@ std::optional<parsed_record> parse_record(std::string_view payload) {
   r.fired_scope = static_cast<rt::fn>(*fired_scope);
   r.fired_kind = static_cast<rt::op>(*fired_kind);
   r.detections = static_cast<std::uint32_t>(*detections);
+  r.replica_divergences = static_cast<std::uint32_t>(*replica);
   r.retries = static_cast<std::uint32_t>(*retries);
   r.frames_degraded = static_cast<std::uint32_t>(*degraded);
   return out;

@@ -30,7 +30,8 @@ namespace vs::fault::wire {
 
 /// Serializes one experiment record (unsealed payload, "R" tag first):
 ///   R index cls target bit reg_id scoped scope scope_b live fired outcome
-///     fired_scope fired_kind detections retries frames_degraded
+///     fired_scope fired_kind detections replica_divergences retries
+///     frames_degraded
 [[nodiscard]] std::string record_payload(std::size_t index,
                                          const injection_record& record);
 

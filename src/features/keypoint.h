@@ -13,6 +13,10 @@ struct keypoint {
   float y = 0.0f;
   float score = 0.0f;  ///< FAST corner score (sum of absolute differences)
   float angle = 0.0f;  ///< orientation in radians (intensity centroid)
+
+  // Exact comparison: detection is deterministic and byte-identical across
+  // lanes, so dual-execution checks compare bit patterns, not tolerances.
+  bool operator==(const keypoint&) const = default;
 };
 
 /// 256-bit binary descriptor (rotated BRIEF), stored as 4 words.
@@ -61,6 +65,8 @@ struct frame_features {
 
   [[nodiscard]] std::size_t size() const noexcept { return keypoints.size(); }
   [[nodiscard]] bool empty() const noexcept { return keypoints.empty(); }
+
+  bool operator==(const frame_features&) const = default;
 };
 
 }  // namespace vs::feat

@@ -7,6 +7,7 @@
 #include "core/error.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
+#include "features/harris.h"
 #include "rt/instrument.h"
 
 namespace vs::feat {
@@ -291,6 +292,61 @@ frame_features orb_extract(const img::image_u8& gray,
   return core::dispatch(
       [&] { return orb_extract_clean(gray, params); },
       [&] { return orb_extract_instrumented(gray, params); });
+}
+
+bool orb_verify_features(const img::image_u8& gray,
+                         const frame_features& features,
+                         const orb_params& params) {
+  if (features.keypoints.size() != features.descriptors.size()) return false;
+  if (features.keypoints.size() >
+      static_cast<std::size_t>(std::max(0, params.fast.max_keypoints))) {
+    return false;
+  }
+  if (features.keypoints.empty()) return true;
+
+  // Mirror the extractor's effective detection window exactly: any stored
+  // coordinate outside it cannot be a genuine detection, and rejecting it
+  // here keeps the clean-lane reloads below in bounds.
+  const int border =
+      std::max(3, std::max(params.fast.border, params.patch_radius * 2 + 2));
+  const int w = gray.width();
+  const int h = gray.height();
+  const int threshold = std::max(1, params.fast.threshold);
+  const img::image_u8 smooth = img::box_blur3(gray);
+  constexpr double two_pi = 2.0 * 3.14159265358979323846;
+
+  for (std::size_t i = 0; i < features.keypoints.size(); ++i) {
+    const keypoint& kp = features.keypoints[i];
+    const int x = static_cast<int>(kp.x);
+    const int y = static_cast<int>(kp.y);
+    // FAST emits integral positions; a fractional (or NaN) coordinate can
+    // only come from a fault.
+    if (static_cast<float>(x) != kp.x || static_cast<float>(y) != kp.y) {
+      return false;
+    }
+    if (x < border || y < border || x >= w - border || y >= h - border) {
+      return false;
+    }
+    const float score =
+        params.fast.score == corner_score::harris
+            ? static_cast<float>(1e6 * harris_response(gray, x, y))
+            : static_cast<float>(fast_score(gray, x, y, threshold));
+    if (score != kp.score || !(score > 0.0f)) return false;
+    const float raw =
+        intensity_centroid_angle_clean(gray, x, y, params.patch_radius);
+    const double positive = raw < 0 ? raw + two_pi : raw;
+    const int bin =
+        static_cast<int>(positive / two_pi * orientation_bins + 0.5) %
+        orientation_bins;
+    if (kp.angle != static_cast<float>(bin * two_pi / orientation_bins)) {
+      return false;
+    }
+    if (!(orb_describe_one_clean(smooth, kp, params.patch_radius) ==
+          features.descriptors[i])) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace vs::feat

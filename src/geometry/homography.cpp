@@ -83,6 +83,7 @@ std::optional<mat3> estimate_homography(std::span<const point_pair> pairs) {
   // normalization poisons every row of the DLT system at once.
   const auto replicated_normalize = [&](bool src) {
     return resil::replicated(
+        pipeline::stage_id::estimate,
         [&] { return normalize_points(pairs, src); },
         [](const normalization& a, const normalization& b) {
           return bits_equal(a, b);

@@ -90,6 +90,7 @@ std::optional<ransac_result> ransac_fit(
     // the canonical silent-geometry-corruption path.  Dual execution turns
     // it into a detected (and frame-retriable) error.
     const auto model = resil::replicated(
+        pipeline::stage_id::estimate,
         [&] { return estimator(sample); },
         [](const std::optional<mat3>& a, const std::optional<mat3>& b) {
           return bits_equal(a, b);
@@ -104,6 +105,7 @@ std::optional<ransac_result> ransac_fit(
     // Scoring too: every reprojection error flows through f64 fault sites,
     // and a corrupted score silently mis-ranks hypotheses.
     auto scored = resil::replicated(
+        pipeline::stage_id::estimate,
         [&] {
           score_result s;
           s.mask.assign(pairs.size(), false);
@@ -150,6 +152,7 @@ std::optional<ransac_result> refit_on_inliers(
     if (result.inlier_mask[i]) inliers.push_back(pairs[i]);
   }
   const auto refined = resil::replicated(
+      pipeline::stage_id::estimate,
       [&] { return estimator(inliers); },
       [](const std::optional<mat3>& a, const std::optional<mat3>& b) {
         return bits_equal(a, b);

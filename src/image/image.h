@@ -91,6 +91,32 @@ class basic_image {
 using image_u8 = basic_image<std::uint8_t>;
 using image_f32 = basic_image<float>;
 
+/// FNV-1a digest over an image's shape and pixel bytes — what the
+/// dual-execution checksum checks (resil::verify_replica) compare for
+/// buffer-producing stages.  Not cryptographic; a 64-bit accidental
+/// collision between a corrupted and a clean buffer is negligible next to
+/// the fault rates being measured.
+template <class T>
+[[nodiscard]] std::uint64_t digest(const basic_image<T>& image) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(image.width()));
+  mix(static_cast<std::uint64_t>(image.height()));
+  mix(static_cast<std::uint64_t>(image.channels()));
+  const auto* bytes = reinterpret_cast<const unsigned char*>(image.data());
+  const std::size_t n = image.size() * sizeof(T);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 /// Grayscale conversion (ITU-R BT.601 luma weights, integer arithmetic).
 [[nodiscard]] image_u8 to_gray(const image_u8& src);
 

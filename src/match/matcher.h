@@ -21,6 +21,8 @@ struct match {
   int query = -1;
   int train = -1;
   int distance = 0;  ///< Hamming distance of the accepted pair
+
+  bool operator==(const match&) const = default;
 };
 
 enum class match_mode {

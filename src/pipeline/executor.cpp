@@ -9,7 +9,8 @@ namespace vs::pipeline {
 
 frame_executor::frame_executor(const resil::hardening_config& hardening,
                                int frame_count, int frames_in_flight,
-                               acquire_fn acquire, detect_fn detect)
+                               acquire_fn acquire, detect_fn detect,
+                               verify_fn verify)
     : hardening_(hardening),
       hardened_(hardening.enabled()),
       frame_count_(frame_count),
@@ -19,7 +20,8 @@ frame_executor::frame_executor(const resil::hardening_config& hardening,
       // stream the fault plans address.
       overlap_(!rt::instrumented() && depth_ > 0 && frame_count > 1),
       acquire_(std::move(acquire)),
-      detect_(std::move(detect)) {}
+      detect_(std::move(detect)),
+      verify_(std::move(verify)) {}
 
 frame_executor::~frame_executor() {
   for (slot& s : ring_) {
@@ -41,6 +43,26 @@ frame_work frame_executor::produce(int index) const {
   w.frame = acquire_(index);
   w.features = detect_(w.frame);
   return w;
+}
+
+void frame_executor::check_extract_replica(const frame_work& work) const {
+  // detect and describe are fused in one extraction call, so either
+  // stage's replication bit dual-executes the pair; a divergence is
+  // attributed to the stage whose bit requested the check.
+  const bool detect_on = resil::stage_replicated(stage_id::detect);
+  if (!detect_on && !resil::stage_replicated(stage_id::describe)) return;
+  const stage_id blame = detect_on ? stage_id::detect : stage_id::describe;
+  if (verify_) {
+    // Per-keypoint scoring verification: O(keypoints) instead of the
+    // detector's O(pixels) full-frame search, so dual-executing the
+    // extraction pair costs a fraction of the primary run.
+    resil::verify_checked(blame,
+                          [&] { return verify_(work.frame, work.features); });
+    return;
+  }
+  resil::verify_recomputed(blame, work.features,
+                           [&] { return detect_(work.frame); },
+                           std::equal_to<feat::frame_features>());
 }
 
 void frame_executor::drain_stale(int index) {
@@ -72,6 +94,10 @@ frame_work frame_executor::obtain(int index) {
   if (overlap_ && !retrying_) {
     drain_stale(index);
     if (!ring_.empty() && ring_.front().index == index) {
+      // Interprocedural CFCSS: consuming the ring signs through the
+      // prefetch node, so control flow that jumps out of (or into) the
+      // prefetched path is caught by the acquire transition's fan-in.
+      resil::mark(resil::cfcss::node::prefetch);
       std::future<frame_work> work = std::move(ring_.front().work);
       ring_.pop_front();
       frame_work w;
@@ -85,6 +111,7 @@ frame_work frame_executor::obtain(int index) {
       {
         const stage_guard g = enter(stage_id::detect);
         mark(stage_id::describe);
+        check_extract_replica(w);
       }
       top_up(index);
       return w;
@@ -101,6 +128,7 @@ frame_work frame_executor::obtain(int index) {
     const stage_guard g = enter(stage_id::detect);
     w.features = detect_(w.frame);
     mark(stage_id::describe);
+    check_extract_replica(w);
   }
   if (overlap_ && !retrying_) top_up(index);
   return w;

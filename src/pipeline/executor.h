@@ -52,12 +52,20 @@ class frame_executor {
  public:
   using acquire_fn = std::function<img::image_u8(int)>;
   using detect_fn = std::function<feat::frame_features(const img::image_u8&)>;
+  /// Cheap dual check of an extraction product: true when every reported
+  /// keypoint's derived fields re-verify against the frame (the
+  /// per-keypoint scoring contract — see feat::orb_verify_features).
+  using verify_fn =
+      std::function<bool(const img::image_u8&, const feat::frame_features&)>;
 
   /// `hardening` must outlive the executor (it is the pipeline_config's).
   /// `frames_in_flight` bounds the clean-lane lookahead ring; the
-  /// instrumented lane ignores it and runs strictly inline.
+  /// instrumented lane ignores it and runs strictly inline.  When `verify`
+  /// is provided the extraction stages' replication check uses it instead
+  /// of a full recompute-and-compare of `detect`.
   frame_executor(const resil::hardening_config& hardening, int frame_count,
-                 int frames_in_flight, acquire_fn acquire, detect_fn detect);
+                 int frames_in_flight, acquire_fn acquire, detect_fn detect,
+                 verify_fn verify = {});
   /// Drains every in-flight prefetch before the frame source can die.
   ~frame_executor();
   frame_executor(const frame_executor&) = delete;
@@ -109,7 +117,10 @@ class frame_executor {
   template <class State, class Body, class Degrade>
   void run_frame(State& st, Body&& body, Degrade&& degrade) {
     const auto attempt_body = [&] {
-      if (resil::tls.monitor != nullptr) resil::tls.monitor->begin_frame();
+      // Interprocedural CFCSS: frame entry is a checked transition from the
+      // previous frame's exit (or from the recovery node on a retry), so
+      // the signature chain spans frame boundaries instead of re-seeding.
+      if (resil::tls.monitor != nullptr) resil::tls.monitor->enter_frame();
       body();
     };
     if (!hardened_) {
@@ -128,6 +139,10 @@ class frame_executor {
       }
       st = snapshot;
       failed_once = true;
+      // The signature register is presumed corrupt on the exception path:
+      // re-anchor the chain at the recover node, from which the retry's
+      // frame entry is a checked edge.
+      if (resil::tls.monitor != nullptr) resil::tls.monitor->enter_recovery();
       // The failed attempt already consumed (or poisoned) this frame's
       // prefetch slot; obtain() must bypass the ring and recompute inline
       // rather than dequeue a later frame's work.
@@ -149,6 +164,14 @@ class frame_executor {
  private:
   /// The whole prefetchable prefix composed, as helper threads run it.
   [[nodiscard]] frame_work produce(int index) const;
+  /// Dual-execution check of the extraction stages (selective
+  /// replication): per-keypoint scoring verification when a verify_fn was
+  /// supplied, full recompute-compare otherwise.  No-op unless the
+  /// session's replication mask includes detect or describe.  Called
+  /// inside the detect stage guard so a divergence is detected — and
+  /// budgeted — in the stage it implicates.  (Acquire has no check: it is
+  /// the I/O boundary, outside the sphere of replication.)
+  void check_extract_replica(const frame_work& work) const;
   /// Finishes and discards slots of frames consumption skipped past
   /// (RFD-dropped frames): the helper thread reads the source, so the slot
   /// must complete before it dies.
@@ -166,6 +189,7 @@ class frame_executor {
   bool retrying_ = false;
   acquire_fn acquire_;
   detect_fn detect_;
+  verify_fn verify_;
 
   struct slot {
     int index = -1;

@@ -1,5 +1,8 @@
 #include "pipeline/stage.h"
 
+#include <cctype>
+
+#include "core/error.h"
 #include "resil/hardening.h"
 
 namespace vs::pipeline {
@@ -8,31 +11,51 @@ namespace {
 
 using resil::cfcss::node;
 
+// Replication contracts: composite's product is a pixel buffer (the warped
+// patch), so its dual execution compares digests of a clean-lane
+// recomputation; detect/describe/match/estimate produce structured values
+// (keypoints, descriptors, matches, models) that are checked after a
+// second execution — full for match/estimate, per-keypoint scoring for the
+// extraction pair (the corner search itself is not re-run; every reported
+// keypoint's score, orientation, and descriptor are re-derived at its
+// coordinates, so a fault that perturbs any stored field diverges).
+// Acquire sits *outside* the sphere of replication (the SWIFT/HAFT
+// convention): it is the I/O boundary, and a general video decoder cannot
+// be re-invoked for the same frame without re-seeking the stream.
+// Composite is replicable even though blending mutates the canvas: the
+// checked product is the warped patch the blend consumes, computed
+// *before* any canvas mutation.
 constexpr stage_desc kRegistry[stage_count] = {
     {stage_id::acquire, "acquire", node::acquire, budget_key::acquire,
      /*opens_scope=*/true, /*executor_marked=*/true,
      {rt::fn::video_decode, rt::fn::count_, rt::fn::count_},
-     /*prefetchable=*/true, /*clean_lane=*/true},
+     /*prefetchable=*/true, /*clean_lane=*/true,
+     /*replicable=*/false, dual_check::none},
     {stage_id::detect, "detect", node::detect, budget_key::extract,
      /*opens_scope=*/true, /*executor_marked=*/true,
      {rt::fn::fast_detect, rt::fn::count_, rt::fn::count_},
-     /*prefetchable=*/true, /*clean_lane=*/true},
+     /*prefetchable=*/true, /*clean_lane=*/true,
+     /*replicable=*/true, dual_check::recompute},
     {stage_id::describe, "describe", node::describe, budget_key::extract,
      /*opens_scope=*/false, /*executor_marked=*/true,
      {rt::fn::orb_describe, rt::fn::count_, rt::fn::count_},
-     /*prefetchable=*/true, /*clean_lane=*/true},
+     /*prefetchable=*/true, /*clean_lane=*/true,
+     /*replicable=*/true, dual_check::recompute},
     {stage_id::match, "match", node::match, budget_key::align,
      /*opens_scope=*/true, /*executor_marked=*/true,
      {rt::fn::match, rt::fn::count_, rt::fn::count_},
-     /*prefetchable=*/false, /*clean_lane=*/true},
+     /*prefetchable=*/false, /*clean_lane=*/true,
+     /*replicable=*/true, dual_check::recompute},
     {stage_id::estimate, "estimate", node::estimate, budget_key::align,
      /*opens_scope=*/false, /*executor_marked=*/false,
      {rt::fn::ransac, rt::fn::homography, rt::fn::count_},
-     /*prefetchable=*/false, /*clean_lane=*/false},
+     /*prefetchable=*/false, /*clean_lane=*/false,
+     /*replicable=*/true, dual_check::recompute},
     {stage_id::composite, "composite", node::composite, budget_key::composite,
      /*opens_scope=*/true, /*executor_marked=*/true,
      {rt::fn::warp, rt::fn::remap, rt::fn::stitch},
-     /*prefetchable=*/false, /*clean_lane=*/true},
+     /*prefetchable=*/false, /*clean_lane=*/true,
+     /*replicable=*/true, dual_check::checksum},
 };
 
 }  // namespace
@@ -70,6 +93,80 @@ stage_id stage_of(rt::fn f) noexcept {
     }
   }
   return stage_id::count_;
+}
+
+const char* dual_check_name(dual_check check) noexcept {
+  switch (check) {
+    case dual_check::none:
+      return "none";
+    case dual_check::recompute:
+      return "recompute";
+    case dual_check::checksum:
+      return "checksum";
+  }
+  return "?";
+}
+
+std::uint32_t replicable_stage_mask() noexcept {
+  std::uint32_t mask = 0;
+  for (const stage_desc& stage : kRegistry) {
+    if (stage.replicable) mask |= stage_bit(stage.id);
+  }
+  return mask;
+}
+
+std::uint32_t geometry_stage_mask() noexcept {
+  return stage_bit(stage_id::estimate);
+}
+
+std::uint32_t parse_replicate_stages(const std::string& spec) {
+  std::string lower;
+  lower.reserve(spec.size());
+  for (char c : spec) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower.empty() || lower == "off" || lower == "none") return 0;
+  if (lower == "geometry") return geometry_stage_mask();
+  if (lower == "all") return replicable_stage_mask();
+
+  std::uint32_t mask = 0;
+  std::size_t begin = 0;
+  while (begin <= lower.size()) {
+    const std::size_t comma = lower.find(',', begin);
+    const std::string name =
+        lower.substr(begin, comma == std::string::npos ? comma : comma - begin);
+    begin = comma == std::string::npos ? lower.size() + 1 : comma + 1;
+    if (name.empty()) continue;
+    bool found = false;
+    for (const stage_desc& stage : kRegistry) {
+      if (name == stage.name) {
+        if (!stage.replicable) {
+          throw invalid_argument("stage is not replicable: " + name);
+        }
+        mask |= stage_bit(stage.id);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw invalid_argument(
+          "unknown stage in replicate list: " + name +
+          " (expected off, geometry, all, or a comma-separated list of "
+          "detect, describe, match, estimate, composite)");
+    }
+  }
+  return mask;
+}
+
+std::string replicate_stages_name(std::uint32_t mask) {
+  if (mask == 0) return "off";
+  if (mask == geometry_stage_mask()) return "geometry";
+  if (mask == replicable_stage_mask()) return "all";
+  std::string name;
+  for (const stage_desc& stage : kRegistry) {
+    if ((mask & stage_bit(stage.id)) == 0) continue;
+    if (!name.empty()) name.push_back(',');
+    name += stage.name;
+  }
+  return name;
 }
 
 std::uint64_t budget_value(const resil::stage_budget_config& budgets,

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "resil/cfcss.h"
 #include "rt/instrument.h"
@@ -52,6 +53,18 @@ inline constexpr int budget_key_count = static_cast<int>(budget_key::count_);
 
 [[nodiscard]] const char* budget_key_name(budget_key key) noexcept;
 
+/// How a stage verifies its HAFT-style dual execution when selective
+/// replication includes it (resil::replicated / resil::verify_replica).
+enum class dual_check : std::uint8_t {
+  none = 0,   ///< the stage cannot dual-execute
+  recompute,  ///< pure value stage: run twice, compare results structurally
+  checksum,   ///< buffer-producing stage: re-run the producer on the clean
+              ///< lane, compare output digests (the buffer itself is kept
+              ///< from the primary execution)
+};
+
+[[nodiscard]] const char* dual_check_name(dual_check check) noexcept;
+
 /// One stage of the per-frame graph: everything the cross-cutting
 /// subsystems need to know about it, declared once.
 struct stage_desc {
@@ -81,6 +94,13 @@ struct stage_desc {
   bool prefetchable = false;
   /// Whether the stage's kernels have a hook-free parallel twin.
   bool clean_lane = false;
+  /// Whether the stage can opt into selective replication (dual execution
+  /// with divergence detection).  Every replicable stage names the check
+  /// contract its dual execution uses in `check`.
+  bool replicable = false;
+  /// The dual-execution comparison contract (dual_check::none unless
+  /// `replicable`).
+  dual_check check = dual_check::none;
 };
 
 /// The canonical stage graph, in dataflow order.
@@ -99,5 +119,33 @@ struct stage_desc {
 /// The budget allowance a key selects from a stage_budget_config.
 [[nodiscard]] std::uint64_t budget_value(
     const resil::stage_budget_config& budgets, budget_key key) noexcept;
+
+// --- selective-replication stage masks -----------------------------------
+// A replication mask has bit i set when stage_id i dual-executes.  The mask
+// is the unit the hardening config, the CLI --replicate axis, and the
+// frontier bench all speak.
+
+[[nodiscard]] constexpr std::uint32_t stage_bit(stage_id s) noexcept {
+  return 1u << static_cast<int>(s);
+}
+
+/// Mask of every stage whose registry entry is replicable.
+[[nodiscard]] std::uint32_t replicable_stage_mask() noexcept;
+
+/// The legacy HAFT set: geometry model estimation only (what hardening
+/// level `full` enabled before replication became a per-stage attribute).
+[[nodiscard]] std::uint32_t geometry_stage_mask() noexcept;
+
+/// Parses a --replicate specification into a stage mask:
+///   "off" / "none"    -> 0
+///   "geometry"        -> geometry_stage_mask()
+///   "all"             -> replicable_stage_mask()
+///   "a,b,..."         -> union of the named stages (case-insensitive)
+/// Throws invalid_argument on unknown stage names or non-replicable stages.
+[[nodiscard]] std::uint32_t parse_replicate_stages(const std::string& spec);
+
+/// Canonical spelling of a mask ("off", "geometry", "all", or the
+/// comma-separated stage list) — inverse of parse_replicate_stages.
+[[nodiscard]] std::string replicate_stages_name(std::uint32_t mask);
 
 }  // namespace vs::pipeline

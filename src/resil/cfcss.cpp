@@ -20,12 +20,16 @@ constexpr std::uint64_t kSig[node_count] = {
     0xa0761d6478bd642fULL,  // estimate
     0xe7037ed1a0b428dbULL,  // composite
     0x8ebc6af09c88c6e3ULL,  // frame_end
+    0x589965cc75374cc3ULL,  // recover
+    0x1d8e4e27c47d124fULL,  // prefetch
 };
 
 // Designated primary predecessor p(v) of each node: the fall-through edge
-// of the per-frame stage sequence.
+// of the per-frame stage sequence.  frame_begin's primary is the previous
+// frame's exit — the interprocedural edge that chains frames together
+// (enter_frame re-seeds instead only on the first frame of a run).
 constexpr node kPrimary[node_count] = {
-    node::frame_begin,  // frame_begin (frame entry; re-seeded, no real pred)
+    node::frame_end,    // frame_begin
     node::frame_begin,  // acquire
     node::acquire,      // detect
     node::detect,       // describe
@@ -33,19 +37,26 @@ constexpr node kPrimary[node_count] = {
     node::match,        // estimate
     node::estimate,     // composite
     node::composite,    // frame_end
+    node::recover,      // recover (entered by re-seed, never by transition)
+    node::frame_begin,  // prefetch
 };
 
 // Legal predecessor sets (bit i = node i is a legal predecessor):
+//   frame_begin <- frame_end | recover       (interprocedural frame chain;
+//               the retry path re-enters the frame from the recover node)
+//   acquire   <- frame_begin | prefetch      (inline vs ring consumption)
 //   estimate  <- match | estimate            (homography -> affine cascade)
 //   composite <- estimate | describe | match | composite
 //               (anchor frames skip matching; a view-change closes the
 //                panorama and re-anchors; canvas-cap retries re-composite)
 //   frame_end <- composite | describe | match | estimate
 //               (discard paths end the frame from any post-extract stage)
+//   prefetch  <- frame_begin                 (the executor's ring is
+//               consumed at the top of a frame, before acquisition)
 constexpr std::uint32_t bit(node n) { return 1u << static_cast<int>(n); }
 constexpr std::uint32_t kPreds[node_count] = {
-    0,                                                     // frame_begin
-    bit(node::frame_begin),                                // acquire
+    bit(node::frame_end) | bit(node::recover),             // frame_begin
+    bit(node::frame_begin) | bit(node::prefetch),          // acquire
     bit(node::acquire),                                    // detect
     bit(node::detect),                                     // describe
     bit(node::describe),                                   // match
@@ -54,6 +65,8 @@ constexpr std::uint32_t kPreds[node_count] = {
         bit(node::match) | bit(node::composite),
     bit(node::composite) | bit(node::describe) |           // frame_end
         bit(node::match) | bit(node::estimate),
+    0,                                                     // recover
+    bit(node::frame_begin),                                // prefetch
 };
 
 }  // namespace
@@ -76,6 +89,10 @@ const char* node_name(node n) noexcept {
       return "composite";
     case node::frame_end:
       return "frame_end";
+    case node::recover:
+      return "recover";
+    case node::prefetch:
+      return "prefetch";
     case node::count_:
       break;
   }
@@ -89,6 +106,20 @@ std::uint64_t static_signature(node n) noexcept {
 void monitor::begin_frame() noexcept {
   cur_ = node::frame_begin;
   g_ = kSig[static_cast<int>(node::frame_begin)];
+}
+
+void monitor::enter_frame() {
+  if (cur_ == node::frame_end || cur_ == node::recover) {
+    transition(node::frame_begin);
+  } else {
+    // First frame of the run: the signature chain has no predecessor yet.
+    begin_frame();
+  }
+}
+
+void monitor::enter_recovery() noexcept {
+  cur_ = node::recover;
+  g_ = kSig[static_cast<int>(node::recover)];
 }
 
 void monitor::transition(node v) {

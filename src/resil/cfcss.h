@@ -36,6 +36,10 @@ enum class node : std::uint8_t {
   estimate,         ///< RANSAC model fit (homography / affine cascade)
   composite,        ///< warp + blend into the mini-panorama
   frame_end,        ///< exit of the per-frame unit of work
+  // Interprocedural nodes (CFCSS-pintool style): the signature chain leaves
+  // the per-frame stage sequence and follows the callers around it.
+  recover,          ///< the recovery/retry path between failed attempts
+  prefetch,         ///< consuming the executor's clean-lane prefetch ring
   count_,
 };
 inline constexpr int node_count = static_cast<int>(node::count_);
@@ -52,6 +56,21 @@ class monitor {
  public:
   /// Resets the runtime signature to the frame entry node.
   void begin_frame() noexcept;
+
+  /// Interprocedural frame entry: when the previous frame's unit of work
+  /// signed off legally (frame_end) or the recovery path owns the signature
+  /// (recover), entry is a *checked transition* into frame_begin — the
+  /// signature chain spans the frame boundary, so control flow that
+  /// escaped a frame without reaching its exit node is caught at the next
+  /// frame's entry.  Otherwise (the first frame of a run) it re-seeds.
+  void enter_frame();
+
+  /// Interprocedural recovery entry: re-seeds the signature to the recover
+  /// node.  Called from the exception path after a contained failure, where
+  /// G is presumed corrupt — a transition cannot be checked from a corrupt
+  /// register, so recovery re-anchors the chain and the retry's enter_frame
+  /// then runs over the checked recover -> frame_begin edge.
+  void enter_recovery() noexcept;
 
   /// Records entry into stage `v`: updates the runtime signature through an
   /// rt hook and verifies it.  Throws detected_error(control_flow) on a

@@ -66,6 +66,14 @@ struct hardening_config {
 
   stage_budget_config stage_budgets;
 
+  /// Selective replication: per-stage mask (bit i == pipeline::stage_id i;
+  /// see pipeline::parse_replicate_stages).  nullopt derives the mask from
+  /// the level — `full` replicates the geometry (estimate) stage, the
+  /// legacy HAFT set; lower levels replicate nothing.  An explicit mask is
+  /// honoured at any enabled level: dual execution needs only the
+  /// containment boundary, not CFCSS.
+  std::optional<std::uint32_t> replicate_stages;
+
   /// Envelope for the final-output symptom detectors (calibrated from
   /// fault-free runs; detectors are skipped when absent).
   std::optional<fault::detector_calibration> calibration;
@@ -76,10 +84,13 @@ struct hardening_config {
   [[nodiscard]] bool cfcss_enabled() const noexcept {
     return level >= hardening_level::cfcss;
   }
-  [[nodiscard]] bool replication_enabled() const noexcept {
-    return level >= hardening_level::full;
-  }
 };
+
+/// Effective replication mask of a config (resolves the level default; 0
+/// whenever hardening is off — replication without a containment boundary
+/// would turn detections into unhandled exceptions).
+[[nodiscard]] std::uint32_t replication_mask(
+    const hardening_config& config) noexcept;
 
 /// What the hardening observed and did during one pipeline run.
 struct run_report {

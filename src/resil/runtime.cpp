@@ -7,7 +7,7 @@
 
 namespace vs::resil {
 
-thread_local runtime_state tls;
+thread_local constinit runtime_state tls VS_RT_TLS_MODEL;
 
 namespace {
 thread_local run_report last_report;
@@ -17,10 +17,20 @@ const run_report& last_run_report() noexcept { return last_report; }
 
 void clear_last_run_report() noexcept { last_report = run_report{}; }
 
+std::uint32_t replication_mask(const hardening_config& config) noexcept {
+  if (!config.enabled()) return 0;
+  if (config.replicate_stages.has_value()) {
+    return *config.replicate_stages & pipeline::replicable_stage_mask();
+  }
+  return config.level >= hardening_level::full
+             ? pipeline::geometry_stage_mask()
+             : 0;
+}
+
 session::session(const hardening_config& config) : saved_(tls) {
   tls = runtime_state{};
   tls.active = true;
-  tls.replicate = config.replication_enabled();
+  tls.replicate_mask = replication_mask(config);
   if (config.cfcss_enabled()) {
     monitor_.begin_frame();
     tls.monitor = &monitor_;
@@ -60,7 +70,8 @@ hardening_level parse_hardening_level(const std::string& name) {
   if (lower == "detectors") return hardening_level::detectors;
   if (lower == "cfcss") return hardening_level::cfcss;
   if (lower == "full") return hardening_level::full;
-  throw invalid_argument("unknown hardening level: " + name);
+  throw invalid_argument("unknown hardening level: " + name +
+                         " (expected off, detectors, cfcss, full)");
 }
 
 stage_budget_config derive_stage_budgets(const rt::counters& golden,

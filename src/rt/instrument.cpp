@@ -4,7 +4,7 @@
 
 namespace vs::rt {
 
-thread_local state tls;
+thread_local constinit state tls VS_RT_TLS_MODEL;
 
 const char* fn_name(fn f) noexcept {
   switch (f) {

@@ -174,7 +174,27 @@ struct state {
   std::uint64_t mem_slack = 1ULL << 14;
 };
 
-extern thread_local state tls;
+// constinit: the state is constant-initialized, so no TLS init-on-first-use
+// wrapper function is emitted for cross-TU accesses.  Besides saving a call
+// per access, this is what lets the ASan+UBSan CI job run clean: UBSan's
+// -fsanitize=null instruments every member access routed through the
+// wrapper's returned pointer, and the wrapper itself is the only place a
+// null could (in principle) appear.
+//
+// tls_model("local-exec"): the library is only ever linked statically into
+// executables, so the most direct TLS access sequence is always legal.  It
+// is also load-bearing under UBSan: for the default initial-exec model GCC
+// 12 emits `add tls@gottpoff(%rip),%reg; je <null-abort>` — the null check
+// consumes the add's flags — and GNU ld's IE->LE relaxation rewrites that
+// add into an lea, which sets no flags, so the je reads stale flags and
+// aborts with a spurious "member access within null pointer".  Local-exec
+// needs no relaxation, so the flag dependency survives.
+#if defined(__GNUC__) || defined(__clang__)
+#define VS_RT_TLS_MODEL __attribute__((tls_model("local-exec")))
+#else
+#define VS_RT_TLS_MODEL
+#endif
+extern thread_local constinit state tls VS_RT_TLS_MODEL;
 
 /// Whether this thread is executing on the instrumented lane (an rt session
 /// is active, hooks are live).  The two-lane kernel dispatch and the
@@ -375,6 +395,25 @@ class stage_scope {
  private:
   std::uint64_t prev_steps_;
   std::uint64_t prev_budget_;
+};
+
+/// RAII lane switch for dual-execution replicas (resil::replicated /
+/// verify_replica): disables the hooks while alive, so the replica re-runs
+/// a stage through the hook-free clean-lane twins.  That keeps the second
+/// execution cheap and keeps it out of the instrumented lane's dynamic-op
+/// stream — a replica must neither shift the indices fault plans address
+/// nor offer the already-fired injection a second strike.  The clean twins
+/// are pinned byte-identical to the instrumented kernels, so a fault-free
+/// replica always agrees with a fault-free primary.
+class replica_scope {
+ public:
+  replica_scope() noexcept : prev_(tls.enabled) { tls.enabled = false; }
+  ~replica_scope() { tls.enabled = prev_; }
+  replica_scope(const replica_scope&) = delete;
+  replica_scope& operator=(const replica_scope&) = delete;
+
+ private:
+  bool prev_;
 };
 
 /// Snapshot of the session-level mutable instrumentation state that a

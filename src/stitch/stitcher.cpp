@@ -1,5 +1,7 @@
 #include "stitch/stitcher.h"
 
+#include <functional>
+
 #include "geometry/affine.h"
 #include "geometry/homography.h"
 #include "resil/runtime.h"
@@ -12,8 +14,13 @@ std::optional<alignment> align_frames(const feat::frame_features& current,
                                       const match::match_params& match_params,
                                       const alignment_params& params,
                                       std::uint64_t seed) {
-  const auto matches =
-      match::match_descriptors(current, previous, match_params);
+  // Selective replication (dual_check::recompute): matching is a pure
+  // function of the two feature sets, so the replica re-runs it on the
+  // clean lane and compares the accepted correspondences element-wise.
+  const auto matches = resil::replicated(
+      pipeline::stage_id::match,
+      [&] { return match::match_descriptors(current, previous, match_params); },
+      std::equal_to<std::vector<match::match>>());
   const auto pairs = match::to_point_pairs(matches, current, previous);
 
   // The match count is the control value the cascade branches on.
@@ -52,6 +59,17 @@ std::optional<alignment> align_frames(const feat::frame_features& current,
   return std::nullopt;
 }
 
+namespace {
+
+std::uint64_t patch_digest(const geo::warped_patch& patch) {
+  return img::digest(patch.pixels) ^ (img::digest(patch.valid) * 31u) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(patch.x0))
+          << 32) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(patch.y0));
+}
+
+}  // namespace
+
 mini_panorama_builder::mini_panorama_builder(std::size_t max_pixels,
                                              bool gain_compensation)
     : canvas_(max_pixels), gain_compensation_(gain_compensation) {}
@@ -72,6 +90,17 @@ bool mini_panorama_builder::add_frame(const img::image_u8& frame,
   // application (Fig 8) and per-frame cost grow with panorama size — the
   // polynomial complexity in frames the paper cites (Section IV-A).
   auto patch = geo::warp_perspective(frame, frame_to_anchor, canvas_.bounds());
+  // Selective replication (dual_check::checksum): the checked product is
+  // the warped patch the blend consumes, re-warped on the clean lane and
+  // compared by digest *before* the canvas mutates — blending and
+  // feathering cannot re-run, so the check sits at the last pure point of
+  // the stage.
+  resil::verify_replica(
+      pipeline::stage_id::composite, [&] { return patch_digest(patch); },
+      [&] {
+        return patch_digest(
+            geo::warp_perspective(frame, frame_to_anchor, canvas_.bounds()));
+      });
   canvas_.blend(patch, gain_compensation_);
   canvas_.feather_seams();
   ++frames_added_;

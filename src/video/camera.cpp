@@ -108,4 +108,21 @@ path_params input2_path(int frames) {
   return p;
 }
 
+path_params input3_path(int frames) {
+  // Slower than Input 2 (a loitering night orbit keeps plenty of overlap),
+  // with slightly more translational jitter: low light means longer
+  // exposures and a stabilizer working against wind.  The challenge of this
+  // input is the scene, not the flight path.
+  path_params p;
+  p.frames = frames;
+  p.speed = 4.0;
+  p.turn_sigma = 0.003;
+  p.zoom_sigma = 0.0;
+  p.jitter = 0.35;
+  p.segment_mean = 0;  // one smooth segment
+  p.jump_turn = 0.0;
+  p.jump_zoom = 0.0;
+  return p;
+}
+
 }  // namespace vs::video

@@ -6,6 +6,9 @@
 //   input 1 — frequent heading / zoom changes and occasional hard view jumps
 //             (many segments -> many mini-panoramas, frames often discarded)
 //   input 2 — smooth steady drift (one long segment, robust stitching)
+//   input 3 — slow low-light pass: smooth like input 2 but slower still,
+//             over a texture-starved night scene (feature scarcity, not
+//             camera dynamics, is what stresses the pipeline)
 #pragma once
 
 #include <cstdint>
@@ -57,5 +60,8 @@ struct path_params {
 
 /// Paper "Input 2" profile: smooth single-segment drift.
 [[nodiscard]] path_params input2_path(int frames);
+
+/// Synthetic "Input 3" profile: slow, smooth low-altitude night pass.
+[[nodiscard]] path_params input3_path(int frames);
 
 }  // namespace vs::video

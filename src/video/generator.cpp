@@ -240,7 +240,12 @@ img::image_u8 frame_list::frame(int index) const {
 }
 
 const char* input_name(input_id id) noexcept {
-  return id == input_id::input1 ? "Input1" : "Input2";
+  switch (id) {
+    case input_id::input1: return "Input1";
+    case input_id::input2: return "Input2";
+    case input_id::input3: return "Input3";
+  }
+  return "Input?";
 }
 
 std::shared_ptr<const synthetic_video> make_input(input_id id, int frames,
@@ -262,7 +267,7 @@ std::shared_ptr<const synthetic_video> make_input(input_id id, int frames,
     params.clutter_stability = 0.92;
     params.clutter_height_min = 0.075;
     params.clutter_height_max = 0.095;
-  } else {
+  } else if (id == input_id::input2) {
     params.scene.seed = 0xB0B42;
     params.path = input2_path(frames);
     params.seed = 202;
@@ -270,6 +275,26 @@ std::shared_ptr<const synthetic_video> make_input(input_id id, int frames,
     params.scene.speckles = 20000;
     params.dynamic_clutter = 4000;
     params.clutter_stability = 0.95;
+  } else {
+    params.scene.seed = 0xC0FFEE;
+    params.path = input3_path(frames);
+    params.seed = 303;
+    // Low-texture night pass: the detector is starved rather than
+    // saturated.  Most of the daytime corner sources are gone (sparse
+    // fields, few buildings, little ground speckle), sensor noise is up
+    // (high gain in low light), and the little clutter there is flickers
+    // quickly (headlights, moving shadows).  Alignment runs close to the
+    // min-matches threshold, so faults that shave a few matches — harmless
+    // on Inputs 1-2 — tip frames into discard here.
+    params.scene.noise_octaves = 3;
+    params.scene.fields = 8;
+    params.scene.roads = 6;
+    params.scene.buildings = 90;
+    params.scene.trees = 160;
+    params.scene.speckles = 1200;
+    params.sensor_noise_sigma = 1.4;
+    params.dynamic_clutter = 1500;
+    params.clutter_stability = 0.80;
   }
   params.seed += static_cast<std::uint64_t>(replica) * 10007u;
   return std::make_shared<const synthetic_video>(params);

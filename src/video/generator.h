@@ -103,8 +103,10 @@ class frame_list final : public video_source {
   std::vector<img::image_u8> frames_;
 };
 
-/// Identifier for the paper's two evaluation inputs.
-enum class input_id { input1, input2 };
+/// Identifier for the evaluation inputs: the paper's two VIRAT-style
+/// clips, plus a synthetic third scenario (low-texture night pass) for
+/// whole-pipeline campaigns summarized across a scenario matrix.
+enum class input_id { input1, input2, input3 };
 
 [[nodiscard]] const char* input_name(input_id id) noexcept;
 

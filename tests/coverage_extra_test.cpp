@@ -50,7 +50,7 @@ TEST(ReportExtra, EmptyCampaignCsvIsHeaderOnly) {
   const auto csv = fault::records_to_csv(result);
   EXPECT_EQ(csv,
             "index,cls,target,bit,reg_id,live,fired,outcome,scope,kind,stage,"
-            "detections,retries,frames_degraded\n");
+            "detections,replica_divergences,retries,frames_degraded\n");
 }
 
 TEST(ReportExtra, JsonRatesOfEmptyCampaignAreZero) {
@@ -58,6 +58,23 @@ TEST(ReportExtra, JsonRatesOfEmptyCampaignAreZero) {
   const auto json = fault::rates_to_json(result, "empty");
   EXPECT_NE(json.find("\"experiments\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"crash_rate\": 0"), std::string::npos);
+}
+
+TEST(ReportExtra, ReplicaDivergencesSurviveCsvAndJson) {
+  fault::campaign_result result;
+  fault::injection_record r;
+  r.fired = true;
+  r.result = fault::outcome::detected_recovered;
+  r.detections = 2;
+  r.replica_divergences = 3;
+  r.retries = 1;
+  result.records.push_back(r);
+  result.rates.experiments = 1;
+  const auto csv = fault::records_to_csv(result);
+  // ...,detections,replica_divergences,retries,frames_degraded
+  EXPECT_NE(csv.find(",2,3,1,0\n"), std::string::npos);
+  const auto json = fault::rates_to_json(result, "w");
+  EXPECT_NE(json.find("\"replica_divergences\": 3"), std::string::npos);
 }
 
 TEST(InstrumentExtra, F32FlipWorksOnPromotedDouble) {

@@ -89,24 +89,88 @@ TEST(Cfcss, SkippingAStageIsDetected) {
   EXPECT_THROW(m.transition(node::detect), detected_error);  // skipped acquire
 }
 
+TEST(Cfcss, InterproceduralFrameChainSpansFrameBoundaries) {
+  using resil::cfcss::node;
+  resil::cfcss::monitor m;
+
+  // First frame of the run: no predecessor yet, enter_frame re-seeds.
+  m.enter_frame();
+  for (const node n : {node::acquire, node::detect, node::describe,
+                       node::match, node::estimate, node::composite,
+                       node::frame_end}) {
+    m.transition(n);
+  }
+  // Second frame: entry is now a *checked* frame_end -> frame_begin edge.
+  m.enter_frame();
+  EXPECT_EQ(m.violations(), 0u);
+  EXPECT_EQ(m.current(), node::frame_begin);
+
+  // Consuming the prefetch ring signs frame_begin -> prefetch -> acquire.
+  m.transition(node::prefetch);
+  m.transition(node::acquire);
+  EXPECT_EQ(m.violations(), 0u);
+
+  // But the ring cannot be consumed mid-frame: prefetch's only legal
+  // predecessor is frame_begin.
+  EXPECT_THROW(m.transition(node::prefetch), detected_error);
+  EXPECT_EQ(m.violations(), 1u);
+}
+
+TEST(Cfcss, RecoveryReanchorsTheSignatureChain) {
+  using resil::cfcss::node;
+  resil::cfcss::monitor m;
+  m.enter_frame();
+  m.transition(node::acquire);
+  // A contained failure mid-frame presumes G corrupt: enter_recovery
+  // re-seeds at the recover node instead of checking a transition.
+  m.enter_recovery();
+  EXPECT_EQ(m.current(), node::recover);
+  // The retry's frame entry is then the checked recover -> frame_begin
+  // edge, and the re-attempted frame walks cleanly.
+  m.enter_frame();
+  for (const node n : {node::acquire, node::detect, node::describe,
+                       node::match, node::frame_end}) {
+    m.transition(n);
+  }
+  EXPECT_EQ(m.violations(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // HAFT-style replication
 // ---------------------------------------------------------------------------
 
 TEST(Replication, RunsOnceWithoutASession) {
   resil_state_guard guard;
-  resil::tls = resil::runtime_state{};  // replicate off
+  resil::tls = resil::runtime_state{};  // replication mask empty
   int calls = 0;
-  EXPECT_EQ(resil::replicated([&] { ++calls; return 7; }, int_eq), 7);
+  EXPECT_EQ(resil::replicated(pipeline::stage_id::estimate,
+                              [&] { ++calls; return 7; }, int_eq),
+            7);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Replication, MaskSelectsStages) {
+  resil_state_guard guard;
+  resil::tls = resil::runtime_state{};
+  resil::tls.replicate_mask = pipeline::stage_bit(pipeline::stage_id::match);
+  EXPECT_TRUE(resil::stage_replicated(pipeline::stage_id::match));
+  EXPECT_FALSE(resil::stage_replicated(pipeline::stage_id::estimate));
+  int calls = 0;
+  // A stage outside the mask runs once, unchecked.
+  EXPECT_EQ(resil::replicated(pipeline::stage_id::estimate,
+                              [&] { ++calls; return 7; }, int_eq),
+            7);
   EXPECT_EQ(calls, 1);
 }
 
 TEST(Replication, AgreementReturnsFirstResult) {
   resil_state_guard guard;
   resil::tls = resil::runtime_state{};
-  resil::tls.replicate = true;
+  resil::tls.replicate_mask = pipeline::replicable_stage_mask();
   int calls = 0;
-  EXPECT_EQ(resil::replicated([&] { ++calls; return 7; }, int_eq), 7);
+  EXPECT_EQ(resil::replicated(pipeline::stage_id::estimate,
+                              [&] { ++calls; return 7; }, int_eq),
+            7);
   EXPECT_EQ(calls, 2);
   EXPECT_EQ(resil::tls.report.replica_divergences, 0u);
 }
@@ -114,10 +178,11 @@ TEST(Replication, AgreementReturnsFirstResult) {
 TEST(Replication, DivergenceThrowsDetectedError) {
   resil_state_guard guard;
   resil::tls = resil::runtime_state{};
-  resil::tls.replicate = true;
+  resil::tls.replicate_mask = pipeline::replicable_stage_mask();
   int calls = 0;
   try {
-    (void)resil::replicated([&] { return calls++; }, int_eq);
+    (void)resil::replicated(pipeline::stage_id::estimate,
+                            [&] { return calls++; }, int_eq);
     FAIL() << "divergence not flagged";
   } catch (const detected_error& e) {
     EXPECT_EQ(e.kind(), detect_kind::replica_divergence);
@@ -130,11 +195,13 @@ TEST(Replication, DivergenceThrowsDetectedError) {
 TEST(Replication, NestedCallsDoNotMultiplyCost) {
   resil_state_guard guard;
   resil::tls = resil::runtime_state{};
-  resil::tls.replicate = true;
+  resil::tls.replicate_mask = pipeline::replicable_stage_mask();
   int inner_calls = 0;
   const int v = resil::replicated(
+      pipeline::stage_id::estimate,
       [&] {
-        return resil::replicated([&] { ++inner_calls; return 2; }, int_eq);
+        return resil::replicated(pipeline::stage_id::estimate,
+                                 [&] { ++inner_calls; return 2; }, int_eq);
       },
       int_eq);
   EXPECT_EQ(v, 2);
@@ -312,7 +379,7 @@ TEST(Hardening, SessionPublishesAndRestores) {
   {
     resil::session session(config);
     EXPECT_TRUE(resil::tls.active);
-    EXPECT_TRUE(resil::tls.replicate);
+    EXPECT_EQ(resil::tls.replicate_mask, pipeline::geometry_stage_mask());
     ASSERT_NE(resil::tls.monitor, nullptr);
     ++resil::tls.report.retries;
   }
@@ -404,6 +471,57 @@ TEST(HardenedPipeline, UnhardenedCampaignReportsNoDetections) {
     EXPECT_EQ(record.detections, 0u);
     EXPECT_EQ(record.retries, 0u);
   }
+}
+
+/// A source whose frame 0 fails on every acquisition attempt — the worst
+/// case for the recovery ladder, because with no stitched reference there
+/// is no motion model to dead-reckon with.
+class dead_frame_zero_source final : public video::video_source {
+ public:
+  explicit dead_frame_zero_source(const video::video_source& inner)
+      : inner_(inner) {}
+  [[nodiscard]] int frame_count() const override {
+    return inner_.frame_count();
+  }
+  [[nodiscard]] int frame_width() const override {
+    return inner_.frame_width();
+  }
+  [[nodiscard]] int frame_height() const override {
+    return inner_.frame_height();
+  }
+  [[nodiscard]] img::image_u8 frame(int index) const override {
+    if (index == 0) {
+      throw crash_error(crash_kind::segfault, "dead frame 0 (test)");
+    }
+    return inner_.frame(index);
+  }
+
+ private:
+  const video::video_source& inner_;
+};
+
+TEST(HardenedPipeline, FrameZeroRetryExhaustionSkipsWithoutDeadReckoning) {
+  const auto inner = video::make_input(video::input_id::input1, 6);
+  const auto config = hardened_config(*inner, resil::hardening_level::full);
+  const dead_frame_zero_source source(*inner);
+
+  const auto result = app::summarize(source, config);
+  const auto& recovery = result.recovery;
+  // Initial attempt + max_frame_retries re-attempts all contained.
+  EXPECT_EQ(recovery.crashes_contained,
+            1u + static_cast<std::uint32_t>(
+                     config.hardening.max_frame_retries));
+  EXPECT_EQ(recovery.retries,
+            static_cast<std::uint32_t>(config.hardening.max_frame_retries));
+  EXPECT_EQ(recovery.frames_recovered, 0u);
+  // The ladder falls past retry straight to skip: no reference frame
+  // exists yet, so the dead-reckoning step cannot run.
+  EXPECT_EQ(recovery.frames_degraded, 1u);
+  EXPECT_EQ(recovery.frames_skipped, 1u);
+  EXPECT_EQ(result.stats.frames_discarded, 1);
+  // Frame 1 anchors instead and the rest of the clip stitches normally.
+  EXPECT_EQ(result.stats.frames_stitched, inner->frame_count() - 1);
+  EXPECT_FALSE(result.panorama.empty());
 }
 
 }  // namespace

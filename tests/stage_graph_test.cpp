@@ -56,7 +56,9 @@ TEST(StageRegistry, PrefetchableStagesFormAPrefix) {
   bool seen_unprefetchable = false;
   for (const auto& stage : pipeline::stage_registry()) {
     if (!stage.prefetchable) seen_unprefetchable = true;
-    if (seen_unprefetchable) EXPECT_FALSE(stage.prefetchable) << stage.name;
+    if (seen_unprefetchable) {
+      EXPECT_FALSE(stage.prefetchable) << stage.name;
+    }
   }
   EXPECT_TRUE(pipeline::stage_info(stage_id::acquire).prefetchable);
   EXPECT_TRUE(pipeline::stage_info(stage_id::describe).prefetchable);
@@ -352,6 +354,90 @@ TEST(FrameExecutor, ObtainDrainsSkippedFramesAndConsumesInOrder) {
   // Every scheduled acquisition ran exactly once: 0 and the prefetches of
   // 1..9 (monotonic top-up never re-schedules a frame).
   EXPECT_EQ(calls.load(), 10);
+}
+
+// ---------------------------------------------------------------------------
+// Selective replication: registry contracts and the executor's dual checks.
+// ---------------------------------------------------------------------------
+
+TEST(StageRegistry, ReplicationContractsMatchProductKinds) {
+  using pipeline::dual_check;
+  // Acquire is the I/O boundary — outside the sphere of replication.
+  EXPECT_FALSE(pipeline::stage_info(stage_id::acquire).replicable);
+  EXPECT_EQ(pipeline::stage_info(stage_id::acquire).check, dual_check::none);
+  // Structured-value stages recompute; the buffer producer checksums.
+  for (const stage_id s : {stage_id::detect, stage_id::describe,
+                           stage_id::match, stage_id::estimate}) {
+    EXPECT_TRUE(pipeline::stage_info(s).replicable)
+        << pipeline::stage_name(s);
+    EXPECT_EQ(pipeline::stage_info(s).check, dual_check::recompute)
+        << pipeline::stage_name(s);
+  }
+  EXPECT_TRUE(pipeline::stage_info(stage_id::composite).replicable);
+  EXPECT_EQ(pipeline::stage_info(stage_id::composite).check,
+            dual_check::checksum);
+  EXPECT_EQ(pipeline::replicable_stage_mask() &
+                pipeline::stage_bit(stage_id::acquire),
+            0u);
+  EXPECT_EQ(pipeline::geometry_stage_mask(),
+            pipeline::stage_bit(stage_id::estimate));
+}
+
+TEST(StageRegistry, ReplicateSpecParsingAndNaming) {
+  EXPECT_EQ(pipeline::parse_replicate_stages("off"), 0u);
+  EXPECT_EQ(pipeline::parse_replicate_stages(""), 0u);
+  EXPECT_EQ(pipeline::parse_replicate_stages("geometry"),
+            pipeline::geometry_stage_mask());
+  EXPECT_EQ(pipeline::parse_replicate_stages("ALL"),
+            pipeline::replicable_stage_mask());
+  EXPECT_EQ(pipeline::parse_replicate_stages("match,estimate"),
+            pipeline::stage_bit(stage_id::match) |
+                pipeline::stage_bit(stage_id::estimate));
+  // Canonical names round trip through the parser.
+  EXPECT_EQ(pipeline::replicate_stages_name(0), "off");
+  EXPECT_EQ(pipeline::replicate_stages_name(pipeline::geometry_stage_mask()),
+            "geometry");
+  EXPECT_EQ(
+      pipeline::replicate_stages_name(pipeline::replicable_stage_mask()),
+      "all");
+  EXPECT_EQ(pipeline::replicate_stages_name(
+                pipeline::parse_replicate_stages("describe,composite")),
+            "describe,composite");
+  // Acquire is a stage name but not a replicable one.
+  EXPECT_THROW((void)pipeline::parse_replicate_stages("acquire"),
+               invalid_argument);
+  EXPECT_THROW((void)pipeline::parse_replicate_stages("warp"),
+               invalid_argument);
+}
+
+TEST(FrameExecutor, ReplicaDivergenceInAPrefetchedStageIsDetected) {
+  // detectors level: containment without the CFCSS monitor, so the
+  // executor can be driven directly; the explicit mask turns the
+  // extraction dual check on.
+  resil::hardening_config hardening;
+  hardening.level = resil::hardening_level::detectors;
+  hardening.replicate_stages = pipeline::stage_bit(stage_id::detect);
+  resil::session session(hardening);
+
+  std::atomic<int> checks{0};
+  pipeline::frame_executor exec(
+      hardening, 6, 2, [](int) { return img::image_u8(4, 4, 1); },
+      [](const img::image_u8&) { return feat::frame_features{}; },
+      // The verifier disagrees on the second checked frame — which the
+      // clean-lane ring has prefetched by then.
+      [&checks](const img::image_u8&, const feat::frame_features&) {
+        return ++checks != 2;
+      });
+  ASSERT_TRUE(exec.overlapping());
+  (void)exec.obtain(0);  // inline cold start: check runs and passes
+  try {
+    (void)exec.obtain(1);  // consumed from the ring: check diverges
+    FAIL() << "replica divergence was not raised";
+  } catch (const detected_error& e) {
+    EXPECT_EQ(e.kind(), detect_kind::replica_divergence);
+  }
+  EXPECT_EQ(checks.load(), 2);
+  EXPECT_EQ(resil::tls.report.replica_divergences, 1u);
 }
 
 }  // namespace

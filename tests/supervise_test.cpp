@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "app/pipeline.h"
 #include "app/wp.h"
@@ -88,6 +89,7 @@ TEST(Wire, RecordRoundTripAndTamperRejection) {
   r.fired_scope = rt::fn::remap;
   r.fired_kind = rt::op::fp_alu;
   r.detections = 3;
+  r.replica_divergences = 5;
   r.retries = 2;
   r.frames_degraded = 1;
 
@@ -110,6 +112,70 @@ TEST(Wire, RecordRoundTripAndTamperRejection) {
   // A sealed but field-damaged payload fails the parse.
   EXPECT_FALSE(fault::wire::parse_record("R 1 9 0 0 0 0 0 0 0 0 0 0 0 0 0 0")
                    .has_value());
+}
+
+TEST(Wire, DetectedReplicaOutcomeRoundTrips) {
+  // A Detected(replica) record — dual execution caught the fault and the
+  // retry recovered — must survive the journal byte-for-byte.
+  fault::injection_record r;
+  r.plan.cls = rt::reg_class::gpr;
+  r.plan.target = 1024;
+  r.plan.bit = 7;
+  r.register_live = true;
+  r.fired = true;
+  r.result = fault::outcome::detected_recovered;
+  r.fired_scope = rt::fn::fast_detect;
+  r.fired_kind = rt::op::int_alu;
+  r.detections = 1;
+  r.replica_divergences = 1;
+  r.retries = 1;
+
+  const std::string payload = fault::wire::record_payload(9, r);
+  const auto parsed = fault::wire::parse_record(payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->record.replica_divergences, 1u);
+  EXPECT_EQ(parsed->record.result, fault::outcome::detected_recovered);
+  EXPECT_EQ(fault::wire::record_payload(9, parsed->record), payload);
+}
+
+TEST(Wire, LegacyRecordWithoutReplicaFieldParses) {
+  // Journals written before the replica_divergences column carry one token
+  // less; they must parse with the field defaulting to zero so a resumed
+  // campaign can read its own pre-upgrade checkpoint.
+  fault::injection_record r;
+  r.fired = true;
+  r.result = fault::outcome::detected_degraded;
+  r.detections = 2;
+  r.replica_divergences = 4;
+  r.retries = 1;
+  r.frames_degraded = 1;
+  std::string payload = fault::wire::record_payload(3, r);
+
+  // Drop the replica_divergences token (16th field counting the "R" tag).
+  std::vector<std::string> tokens;
+  std::size_t begin = 0;
+  while (begin <= payload.size()) {
+    const std::size_t space = payload.find(' ', begin);
+    tokens.push_back(payload.substr(
+        begin, space == std::string::npos ? space : space - begin));
+    begin = space == std::string::npos ? payload.size() + 1 : space + 1;
+  }
+  ASSERT_EQ(tokens.size(), 18u);
+  EXPECT_EQ(tokens[15], "4");
+  tokens.erase(tokens.begin() + 15);
+  std::string legacy;
+  for (const auto& token : tokens) {
+    if (!legacy.empty()) legacy.push_back(' ');
+    legacy += token;
+  }
+
+  const auto parsed = fault::wire::parse_record(legacy);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->record.replica_divergences, 0u);
+  EXPECT_EQ(parsed->record.detections, 2u);
+  EXPECT_EQ(parsed->record.retries, 1u);
+  EXPECT_EQ(parsed->record.frames_degraded, 1u);
+  EXPECT_EQ(parsed->record.result, fault::outcome::detected_degraded);
 }
 
 TEST(Supervisor, ShardedMatchesReferenceAtAnyJobCount) {

@@ -3,25 +3,25 @@
 // A global --simd=scalar|sse4|avx2|auto flag (any position) selects the
 // clean lane's vector tier; output is byte-identical at every level.
 //
-//   vs generate  <input1|input2> <frames> <out_dir>        write clip frames
-//   vs summarize <input1|input2> [VS|VS_RFD|VS_KDS|VS_SM] [frames] [out.pgm]
-//   vs events    <input1|input2> [frames] [out.ppm]        tracked summary
-//   vs inject    <input1|input2> <gpr|fpr> <injections> [algorithm]
+//   vs generate  <input1|input2|input3> <frames> <out_dir>        write clip frames
+//   vs summarize <input1|input2|input3> [VS|VS_RFD|VS_KDS|VS_SM] [frames] [out.pgm]
+//   vs events    <input1|input2|input3> [frames] [out.ppm]        tracked summary
+//   vs inject    <input1|input2|input3> <gpr|fpr> <injections> [algorithm]
 //                [--csv=path] [--json=path] [--jobs=N] [--isolate]
 //                [--journal=path] [--resume] [--timeout=S]
 //   vs quality   <golden.pgm> <faulty.pgm>                 Section V-D metric
-//   vs profile   <input1|input2> [frames]                  Fig 8 breakdown
+//   vs profile   <input1|input2|input3> [frames]                  Fig 8 breakdown
 //   vs stages                                              stage registry dump
-//   vs resil     <input1|input2> [algorithm] [frames]      hardened run +
+//   vs resil     <input1|input2|input3> [algorithm] [frames]      hardened run +
 //                [--level=off|detectors|cfcss|full]        recovery report
 //                [--retries=N] [--no-motion-reuse] [--budget-factor=F]
-//   vs fleet     <input1|input2> [algorithms...] [--frames=N] [--jobs=N]
+//   vs fleet     <input1|input2|input3> [algorithms...] [--frames=N] [--jobs=N]
 //                [--isolate] [--timeout=S] [--budget=N]    multi-clip workers
 //                [--csv=path] [--json=path]                streamed reports
 //   vs serve     <socket> [--queue=N] [--runners=N] [--budget=N]
 //                [--isolate] [--timeout=S] [--report=path] summarization
 //                                                          service
-//   vs submit    <socket> <input1|input2> [algorithm] [frames] [out.pgm]
+//   vs submit    <socket> <input1|input2|input3> [algorithm] [frames] [out.pgm]
 //                [--hardening=L] [--priority=interactive|batch]
 //                [--deadline=MS] [--threads=N] [--stream-dir=DIR]
 //   vs submit    <socket> --stats                          server snapshot
@@ -58,24 +58,26 @@ using namespace vs;
   std::fprintf(
       stderr,
       "usage: vs [--simd=scalar|sse4|avx2|auto] <command> ...\n"
-      "  vs generate  <input1|input2> <frames> <out_dir>\n"
-      "  vs summarize <input1|input2> [algorithm] [frames] [out.pgm]\n"
-      "  vs events    <input1|input2> [frames] [out.ppm]\n"
-      "  vs inject    <input1|input2> <gpr|fpr> <injections> [algorithm]\n"
+      "  vs generate  <input1|input2|input3> <frames> <out_dir>\n"
+      "  vs summarize <input1|input2|input3> [algorithm] [frames] [out.pgm]\n"
+      "  vs events    <input1|input2|input3> [frames] [out.ppm]\n"
+      "  vs inject    <input1|input2|input3> <gpr|fpr> <injections> [algorithm]\n"
+      "               [--harden[=LEVEL]] [--replicate=STAGES]\n"
       "               [--csv=path] [--json=path] [--jobs=N] [--isolate]\n"
       "               [--journal=path] [--resume] [--timeout=S]\n"
       "  vs quality   <golden.pnm> <faulty.pnm>\n"
-      "  vs profile   <input1|input2> [frames]\n"
+      "  vs profile   <input1|input2|input3> [frames]\n"
       "  vs stages\n"
-      "  vs resil     <input1|input2> [algorithm] [frames]\n"
+      "  vs resil     <input1|input2|input3> [algorithm] [frames]\n"
       "               [--level=off|detectors|cfcss|full] [--retries=N]\n"
+      "               [--replicate=off|geometry|all|stage,...]\n"
       "               [--no-motion-reuse] [--budget-factor=F]\n"
-      "  vs fleet     <input1|input2> [algorithms...] [--frames=N]\n"
+      "  vs fleet     <input1|input2|input3> [algorithms...] [--frames=N]\n"
       "               [--jobs=N] [--isolate] [--timeout=S] [--budget=N]\n"
       "               [--csv=path] [--json=path]\n"
       "  vs serve     <socket> [--queue=N] [--runners=N] [--budget=N]\n"
       "               [--isolate] [--timeout=S] [--report=path]\n"
-      "  vs submit    <socket> <input1|input2> [algorithm] [frames]\n"
+      "  vs submit    <socket> <input1|input2|input3> [algorithm] [frames]\n"
       "               [out.pgm] [--hardening=off|detectors|cfcss|full]\n"
       "               [--priority=interactive|batch] [--deadline=MS]\n"
       "               [--threads=N] [--stream-dir=DIR]\n"
@@ -86,6 +88,7 @@ using namespace vs;
 video::input_id parse_input(const std::string& name) {
   if (name == "input1") return video::input_id::input1;
   if (name == "input2") return video::input_id::input2;
+  if (name == "input3") return video::input_id::input3;
   usage();
 }
 
@@ -164,10 +167,19 @@ int cmd_inject(int argc, char** argv) {
   app::pipeline_config config;
   std::string csv_path;
   std::string json_path;
+  std::string harden_level;
+  std::string replicate_spec;
+  bool replicate_set = false;
   supervise::supervisor_config super;
   bool supervised = false;
   for (int i = 5; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+    if (std::strncmp(argv[i], "--harden", 8) == 0 &&
+        (argv[i][8] == '\0' || argv[i][8] == '=')) {
+      harden_level = argv[i][8] == '=' ? argv[i] + 9 : "full";
+    } else if (std::strncmp(argv[i], "--replicate=", 12) == 0) {
+      replicate_spec = argv[i] + 12;
+      replicate_set = true;
+    } else if (std::strncmp(argv[i], "--csv=", 6) == 0) {
       csv_path = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
@@ -192,6 +204,27 @@ int cmd_inject(int argc, char** argv) {
   }
 
   const auto source = video::make_input(input, 20);
+  if (!harden_level.empty()) {
+    config.hardening.level = resil::parse_hardening_level(harden_level);
+    if (replicate_set) {
+      config.hardening.replicate_stages =
+          pipeline::parse_replicate_stages(replicate_spec);
+    }
+    // Calibrate budgets and detector envelopes from one fault-free
+    // profiled run, as cmd_resil does.
+    app::pipeline_config profile_config = config;
+    profile_config.hardening = resil::hardening_config{};
+    rt::session profile;
+    const auto golden = app::summarize(*source, profile_config).panorama;
+    config.hardening.stage_budgets =
+        resil::derive_stage_budgets(profile.stats(), 20);
+    config.hardening.calibration = fault::calibrate_detectors({golden});
+    std::printf("hardening: level=%s replication=%s\n",
+                resil::hardening_level_name(config.hardening.level),
+                pipeline::replicate_stages_name(
+                    resil::replication_mask(config.hardening))
+                    .c_str());
+  }
   fault::campaign_config campaign;
   campaign.cls = fpr ? rt::reg_class::fpr : rt::reg_class::gpr;
   campaign.injections = injections;
@@ -202,7 +235,9 @@ int cmd_inject(int argc, char** argv) {
   if (supervised) {
     super.workload_label = std::string(video::input_name(input)) + "/" +
                            app::algorithm_name(config.approx.alg) +
-                           (fpr ? "/fpr" : "/gpr");
+                           (fpr ? "/fpr" : "/gpr") +
+                           (harden_level.empty() ? "" : "/" + harden_level) +
+                           (replicate_set ? "/r=" + replicate_spec : "");
     auto sharded = supervise::run_sharded_campaign(work, campaign, super);
     result = std::move(sharded.campaign);
     const auto& st = sharded.stats;
@@ -302,8 +337,9 @@ int cmd_stages() {
               "VS_SIMD)\n\n",
               core::simd::level_name(core::simd::detected()),
               core::simd::level_name(core::simd::active()));
-  std::printf("%-10s %-12s %-18s %-8s %-6s %-6s %s\n", "stage", "budget",
-              "cfcss signature", "scope?", "ahead", "clean", "rt scopes");
+  std::printf("%-10s %-12s %-18s %-8s %-6s %-6s %-10s %s\n", "stage",
+              "budget", "cfcss signature", "scope?", "ahead", "clean",
+              "replica", "rt scopes");
   for (const auto& stage : pipeline::stage_registry()) {
     std::string scopes;
     for (const rt::fn f : stage.scopes) {
@@ -311,19 +347,25 @@ int cmd_stages() {
       if (!scopes.empty()) scopes += ",";
       scopes += rt::fn_name(f);
     }
-    std::printf("%-10s %-12s 0x%016llx %-8s %-6s %-6s %s\n", stage.name,
+    std::printf("%-10s %-12s 0x%016llx %-8s %-6s %-6s %-10s %s\n", stage.name,
                 pipeline::budget_key_name(stage.budget),
                 static_cast<unsigned long long>(
                     resil::cfcss::static_signature(stage.node)),
                 stage.opens_scope ? "opens" : "fused",
                 stage.prefetchable ? "yes" : "no",
-                stage.clean_lane ? "yes" : "no", scopes.c_str());
+                stage.clean_lane ? "yes" : "no",
+                stage.replicable ? pipeline::dual_check_name(stage.check)
+                                 : "-",
+                scopes.c_str());
   }
   std::printf(
       "\n'ahead' stages form the clean lane's prefetchable frame prefix; "
       "'fused' stages\nride inside the previous stage's watchdog scope.  "
       "The estimate transition is\nmarked inside the alignment cascade, not "
-      "by the executor.\n");
+      "by the executor.\n'replica' is the stage's dual-execution contract "
+      "(--replicate / hardening full):\nrecompute stages re-run and "
+      "compare structurally, checksum stages digest the\nproduced "
+      "buffer.\n");
   return 0;
 }
 
@@ -340,6 +382,9 @@ int cmd_resil(int argc, char** argv) {
       config.hardening.level = resil::parse_hardening_level(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
       config.hardening.max_frame_retries = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--replicate=", 12) == 0) {
+      config.hardening.replicate_stages =
+          pipeline::parse_replicate_stages(argv[i] + 12);
     } else if (std::strcmp(argv[i], "--no-motion-reuse") == 0) {
       config.hardening.reuse_last_motion = false;
     } else if (std::strncmp(argv[i], "--budget-factor=", 16) == 0) {
@@ -368,10 +413,13 @@ int cmd_resil(int argc, char** argv) {
   const auto result = app::summarize(*source, config);
   const auto& rec = result.recovery;
   std::printf("hardened run: %s on %s, %d frames, level=%s, retries=%d, "
-              "motion-reuse=%s\n",
+              "replicate=%s, motion-reuse=%s\n",
               app::algorithm_name(config.approx.alg), video::input_name(input),
               frames, resil::hardening_level_name(config.hardening.level),
               config.hardening.max_frame_retries,
+              pipeline::replicate_stages_name(
+                  resil::replication_mask(config.hardening))
+                  .c_str(),
               config.hardening.reuse_last_motion ? "on" : "off");
   std::printf("  stitched %d/%d frames into %d mini-panorama(s)\n",
               result.stats.frames_stitched, result.stats.frames_total,
