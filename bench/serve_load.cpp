@@ -2,7 +2,7 @@
 //
 // Boots an in-process `vs serve` instance on a private socket, then drives
 // it with closed-loop client fleets (each client submits its next job the
-// moment the previous one finishes) at 1, 4, and 16 concurrent clients,
+// moment the previous one finishes) at 1, 4, 16 and 64 concurrent clients,
 // cycling through the four approximation variants.  Reports per-fleet
 // throughput and p50/p95/p99 client-observed latency, self-checking two
 // service contracts on every job:
@@ -17,6 +17,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -28,6 +29,7 @@
 #include "common.h"
 #include "fault/wire.h"
 #include "perf/latency.h"
+#include "pipeline/scheduler.h"
 #include "serve/client.h"
 #include "serve/server.h"
 
@@ -82,16 +84,22 @@ int main(int argc, char** argv) {
   server_config.socket_path = socket_path;
   server_config.queue_capacity = 8;
   server_config.runners = 4;
+  // The batch axis the server will resolve in start(): --batch / VS_BATCH /
+  // auto.  Recorded in the JSON so rows from different batch settings are
+  // distinguishable.
+  const int resolved_batch = pipeline::resolve_batch(server_config.batch);
+  std::printf("stage batching: %s\n\n",
+              pipeline::batch_name(resolved_batch).c_str());
   serve::server server(server_config);
   server.start();
   std::thread server_thread([&server] { server.run(); });
 
-  bool ok = true;
+  std::atomic<bool> ok{true};
   std::vector<fleet_row> rows;
-  for (const int clients : {1, 4, 16}) {
+  for (const int clients : {1, 4, 16, 64}) {
     std::vector<double> latencies;
     std::mutex latencies_mutex;
-    std::uint64_t rejections = 0;
+    std::atomic<std::uint64_t> rejections{0};
     const auto fleet_t0 = clock_type::now();
 
     std::vector<std::thread> fleet;
@@ -109,27 +117,30 @@ int main(int argc, char** argv) {
           for (;;) {
             const auto outcome = client.submit(request);
             if (outcome.rejected) {
-              // Honor the backpressure hint, then resubmit.
-              std::lock_guard<std::mutex> lock(latencies_mutex);
-              ++rejections;
-              if (outcome.rejected->retry_after_ms == 0) ok = false;
+              // Honor the backpressure hint, then resubmit.  The sleep must
+              // happen OUTSIDE any shared lock: a rejected client stalls only
+              // itself, so its job re-enters the offered load while the rest
+              // of the fleet keeps submitting.  (An earlier version slept
+              // under latencies_mutex, which serialized the whole fleet on
+              // one client's backoff and quietly shrank the offered load.)
+              rejections.fetch_add(1, std::memory_order_relaxed);
+              if (outcome.rejected->retry_after_ms == 0) ok.store(false);
               std::this_thread::sleep_for(std::chrono::milliseconds(
                   outcome.rejected->retry_after_ms));
               continue;
             }
             if (!outcome.complete) {
-              std::lock_guard<std::mutex> lock(latencies_mutex);
-              ok = false;
+              ok.store(false);
               break;
             }
             const auto want =
                 reference.find({static_cast<int>(request.input),
                                 static_cast<int>(request.alg)});
-            const std::lock_guard<std::mutex> lock(latencies_mutex);
             if (want == reference.end() ||
                 outcome.complete->panorama_hash != want->second) {
-              ok = false;
+              ok.store(false);
             }
+            const std::lock_guard<std::mutex> lock(latencies_mutex);
             latencies.push_back(ms_since(t0));
             break;
           }
@@ -141,7 +152,7 @@ int main(int argc, char** argv) {
     fleet_row row;
     row.clients = clients;
     row.jobs = static_cast<int>(latencies.size());
-    row.rejections = rejections;
+    row.rejections = rejections.load();
     row.wall_ms = ms_since(fleet_t0);
     row.throughput_jobs_s = row.jobs / (row.wall_ms / 1000.0);
     row.p50_ms = perf::percentile(latencies, 0.50);
@@ -166,7 +177,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.rejected),
               static_cast<unsigned long long>(stats.pool_peak_in_use),
               static_cast<unsigned long long>(stats.pool_budget));
-  if (stats.pool_peak_in_use > stats.pool_budget) ok = false;
+  if (stats.pool_peak_in_use > stats.pool_budget) ok.store(false);
 
   const std::string out_path =
       (opt.out_dir.empty() ? std::string(".") : opt.out_dir) +
@@ -176,6 +187,8 @@ int main(int argc, char** argv) {
       << ",\n  \"jobs_per_client\": " << jobs_per_client
       << ",\n  \"queue_capacity\": " << server_config.queue_capacity
       << ",\n  \"runners\": " << server_config.runners
+      << ",\n  \"batch\": \"" << pipeline::batch_name(resolved_batch) << "\""
+      << ",\n  \"lookahead\": " << server_config.lookahead
       << ",\n  \"pool_budget\": " << stats.pool_budget
       << ",\n  \"pool_peak_in_use\": " << stats.pool_peak_in_use
       << ",\n  \"fleets\": [\n";
@@ -192,7 +205,7 @@ int main(int argc, char** argv) {
   out << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
 
-  if (!ok) {
+  if (!ok.load()) {
     std::fprintf(stderr, "FAIL: a served montage diverged from its one-shot "
                          "reference, a rejection lacked a retry hint, or "
                          "the pool budget was exceeded\n");

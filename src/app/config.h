@@ -8,6 +8,7 @@
 #include "features/orb.h"
 #include "image/image.h"
 #include "match/matcher.h"
+#include "pipeline/scheduler.h"
 #include "resil/hardening.h"
 #include "stitch/stitcher.h"
 
@@ -55,6 +56,19 @@ struct pipeline_config {
   /// Output is byte-identical at every depth (the prefix is a pure
   /// function of the frame index, consumed in stitch order).
   int frames_in_flight = 2;
+
+  /// Clean-lane stage batching (pipeline/scheduler.h): how many in-flight
+  /// frames one per-stage pool dispatch may group.  kBatchOff keeps the
+  /// legacy one-future-per-frame ring; kBatchAuto tracks the dispatch
+  /// width; kBatchInherit (the default) defers to --batch / VS_BATCH.
+  /// Byte-identical along the whole axis, like frames_in_flight.
+  int batch = pipeline::kBatchInherit;
+
+  /// External stage scheduler to feed instead of a per-run private one —
+  /// the serving front end shares one across admitted jobs so deep queues
+  /// batch frames from different clips into single dispatches.  Must
+  /// outlive the run.  Null = own scheduler when batching is on.
+  pipeline::stage_scheduler* scheduler = nullptr;
 
   /// Fault containment & recovery (src/resil/).  Off by default: the
   /// unhardened pipeline is bit-identical — including its instrumented-lane

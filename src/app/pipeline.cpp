@@ -193,7 +193,8 @@ summary_result summarize(const video::video_source& source,
       [&config](const img::image_u8& frame,
                 const feat::frame_features& features) {
         return feat::orb_verify_features(frame, features, config.orb);
-      });
+      },
+      config.batch, config.scheduler);
 
   // --- the per-frame unit of work: acquire -> detect -> describe ->
   // --- match -> estimate -> composite, exactly the legacy statement order -

@@ -160,6 +160,15 @@ void thread_pool::parallel_for(std::int64_t begin, std::int64_t end,
   if (j.err) std::rethrow_exception(j.err);
 }
 
+void thread_pool::run_tasks(std::span<const std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  parallel_for(0, static_cast<std::int64_t>(tasks.size()), 1,
+               [&tasks](std::int64_t begin, std::int64_t, std::size_t chunk) {
+                 (void)begin;
+                 tasks[chunk]();
+               });
+}
+
 void thread_pool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -70,6 +71,17 @@ class thread_pool {
   ///     stops best-effort — chunks already running elsewhere still finish).
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     const chunk_fn& body);
+
+  /// Grouped submit: runs `tasks` as ONE pool dispatch, task i as chunk i of
+  /// the fixed grain-1 tiling over [0, tasks.size()).  This is the primitive
+  /// the per-stage batch scheduler fans a batch of frames out with: because
+  /// every task is exactly one chunk, each task's work is identical to
+  /// running it alone (a nested parallel_for inside a task degrades to
+  /// inline, same as any chunk body), so grouping k frames into one dispatch
+  /// cannot change a single output byte at any batch size or pool width.
+  /// Inherits parallel_for's error contract: the lowest-indexed throwing
+  /// task's exception rethrows after the group drains.
+  void run_tasks(std::span<const std::function<void()>> tasks);
 
   /// The process-wide pool the clean lanes dispatch to.  Lazily constructed;
   /// width comes from the VS_THREADS environment variable when set, else

@@ -10,18 +10,36 @@ namespace vs::pipeline {
 frame_executor::frame_executor(const resil::hardening_config& hardening,
                                int frame_count, int frames_in_flight,
                                acquire_fn acquire, detect_fn detect,
-                               verify_fn verify)
+                               verify_fn verify, int batch,
+                               stage_scheduler* scheduler)
     : hardening_(hardening),
       hardened_(hardening.enabled()),
       frame_count_(frame_count),
       depth_(std::max(0, frames_in_flight)),
+      batch_(resolve_batch(batch)),
       // The instrumented lane never prefetches: acquisition must stay
       // inline so its hooks keep their position in the dynamic-instruction
       // stream the fault plans address.
       overlap_(!rt::instrumented() && depth_ > 0 && frame_count > 1),
       acquire_(std::move(acquire)),
       detect_(std::move(detect)),
-      verify_(std::move(verify)) {}
+      verify_(std::move(verify)) {
+  if (overlap_ && batch_ != kBatchOff) {
+    if (scheduler != nullptr) {
+      scheduler_ = scheduler;
+    } else {
+      stage_scheduler::options opt;
+      opt.batch = batch_;
+      // Batches dispatch to the pool this run's own kernels use, so a job
+      // under a leased-width pool (core/pool_budget.h) keeps its batched
+      // prefetch on the lease instead of escaping to the process-wide pool.
+      opt.pool = &core::thread_pool::current();
+      owned_scheduler_ = std::make_unique<stage_scheduler>(opt);
+      scheduler_ = owned_scheduler_.get();
+    }
+    job_ = scheduler_->attach();
+  }
+}
 
 frame_executor::~frame_executor() {
   for (slot& s : ring_) {
@@ -75,7 +93,25 @@ void frame_executor::drain_stale(int index) {
 void frame_executor::top_up(int index) {
   const int horizon = std::min(frame_count_, index + 1 + depth_);
   if (next_prefetch_ <= index) next_prefetch_ = index + 1;
-  // Helper threads inherit the submitting thread's pool override, so a job
+  if (scheduler_ != nullptr) {
+    // Batched production: each frame becomes a (job, frame) ticket in the
+    // scheduler's acquire queue; the dispatcher groups queued tickets —
+    // across jobs, under serving — into one pool dispatch per stage.  The
+    // consumption side below is identical to the ring's, so ordering,
+    // CFCSS marks and retry semantics don't move.
+    while (next_prefetch_ < horizon) {
+      const int i = next_prefetch_++;
+      ring_.push_back(
+          {i, scheduler_->submit(
+                  job_, i, [this, i] { return acquire_(i); },
+                  [this](const img::image_u8& frame) {
+                    return detect_(frame);
+                  })});
+    }
+    return;
+  }
+  // Legacy per-frame ring (--batch=off): one detached helper per in-flight
+  // frame.  Helpers inherit the submitting thread's pool override, so a job
   // running under a leased-width pool (core/pool_budget.h) keeps its
   // prefetched kernels on the leased pool instead of escaping to the
   // process-wide one.

@@ -11,9 +11,11 @@
 //                           inline (fault plans address injections by
 //                           dynamic-op index, so acquisition must keep its
 //                           position in the hook stream), while the clean
-//                           lane schedules the prefetchable stage prefix
+//                           lane feeds the prefetchable stage prefix
 //                           (acquire/detect/describe) of frames t+1..t+k
-//                           on helper threads while frame t is matched and
+//                           into a stage_scheduler's per-stage batch queues
+//                           (or, at --batch=off, onto legacy per-frame
+//                           helper threads) while frame t is matched and
 //                           composited;
 //   * profiling           — attribution scopes stay inside the kernels,
 //                           but the registry's fn->stage mapping is what
@@ -26,13 +28,16 @@
 // measured.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <optional>
 
 #include "features/keypoint.h"
 #include "image/image.h"
+#include "pipeline/scheduler.h"
 #include "pipeline/stage.h"
 #include "resil/hardening.h"
 #include "resil/recovery.h"
@@ -40,13 +45,6 @@
 #include "rt/instrument.h"
 
 namespace vs::pipeline {
-
-/// What the prefetchable stage prefix (acquire + detect + describe)
-/// produces for one frame.
-struct frame_work {
-  img::image_u8 frame;
-  feat::frame_features features;
-};
 
 class frame_executor {
  public:
@@ -63,9 +61,19 @@ class frame_executor {
   /// instrumented lane ignores it and runs strictly inline.  When `verify`
   /// is provided the extraction stages' replication check uses it instead
   /// of a full recompute-and-compare of `detect`.
+  ///
+  /// `batch` selects the clean lane's production side: kBatchOff keeps the
+  /// legacy one-future-per-frame ring; anything else routes prefetch
+  /// through a stage_scheduler's per-stage batch queues (kBatchInherit
+  /// defers to --batch / VS_BATCH).  `scheduler` shares an external
+  /// scheduler (the serving front end's cross-job queues); when null and
+  /// batching is on the executor owns a private one dispatching to the
+  /// pool its own kernels use.  Output is byte-identical along the whole
+  /// axis: tickets are consumed in stitch order either way.
   frame_executor(const resil::hardening_config& hardening, int frame_count,
                  int frames_in_flight, acquire_fn acquire, detect_fn detect,
-                 verify_fn verify = {});
+                 verify_fn verify = {}, int batch = kBatchInherit,
+                 stage_scheduler* scheduler = nullptr);
   /// Drains every in-flight prefetch before the frame source can die.
   ~frame_executor();
   frame_executor(const frame_executor&) = delete;
@@ -160,6 +168,11 @@ class frame_executor {
   /// Whether the clean-lane lookahead is active this run.
   [[nodiscard]] bool overlapping() const noexcept { return overlap_; }
   [[nodiscard]] int frames_in_flight() const noexcept { return depth_; }
+  /// Whether prefetch rides stage_scheduler batch queues (vs the legacy
+  /// per-frame future ring, or no lookahead at all).
+  [[nodiscard]] bool batched() const noexcept { return scheduler_ != nullptr; }
+  /// The resolved batch knob this run executes under.
+  [[nodiscard]] int batch() const noexcept { return batch_; }
 
  private:
   /// The whole prefetchable prefix composed, as helper threads run it.
@@ -185,11 +198,19 @@ class frame_executor {
   const bool hardened_;
   const int frame_count_;
   const int depth_;
+  const int batch_;  ///< resolved batch knob (kBatchOff / kBatchAuto / k)
   const bool overlap_;
   bool retrying_ = false;
   acquire_fn acquire_;
   detect_fn detect_;
   verify_fn verify_;
+
+  /// Private scheduler when batching is on and none was shared.  Declared
+  /// before ring_ and destroyed after the destructor body drains it, so
+  /// every ticket resolves while the dispatcher is still alive.
+  std::unique_ptr<stage_scheduler> owned_scheduler_;
+  stage_scheduler* scheduler_ = nullptr;  ///< null = legacy ring / inline
+  std::uint64_t job_ = 0;                 ///< scheduler job key
 
   struct slot {
     int index = -1;

@@ -30,17 +30,20 @@ constexpr stage_desc kRegistry[stage_count] = {
      /*opens_scope=*/true, /*executor_marked=*/true,
      {rt::fn::video_decode, rt::fn::count_, rt::fn::count_},
      /*prefetchable=*/true, /*clean_lane=*/true,
-     /*replicable=*/false, dual_check::none},
+     /*replicable=*/false, dual_check::none,
+     /*batch_queue=*/stage_id::acquire},
     {stage_id::detect, "detect", node::detect, budget_key::extract,
      /*opens_scope=*/true, /*executor_marked=*/true,
      {rt::fn::fast_detect, rt::fn::count_, rt::fn::count_},
      /*prefetchable=*/true, /*clean_lane=*/true,
-     /*replicable=*/true, dual_check::recompute},
+     /*replicable=*/true, dual_check::recompute,
+     /*batch_queue=*/stage_id::detect},
     {stage_id::describe, "describe", node::describe, budget_key::extract,
      /*opens_scope=*/false, /*executor_marked=*/true,
      {rt::fn::orb_describe, rt::fn::count_, rt::fn::count_},
      /*prefetchable=*/true, /*clean_lane=*/true,
-     /*replicable=*/true, dual_check::recompute},
+     /*replicable=*/true, dual_check::recompute,
+     /*batch_queue=*/stage_id::detect},
     {stage_id::match, "match", node::match, budget_key::align,
      /*opens_scope=*/true, /*executor_marked=*/true,
      {rt::fn::match, rt::fn::count_, rt::fn::count_},

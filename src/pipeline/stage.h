@@ -101,7 +101,19 @@ struct stage_desc {
   /// The dual-execution comparison contract (dual_check::none unless
   /// `replicable`).
   dual_check check = dual_check::none;
+  /// Batched scheduling: which stage's work queue carries this stage's
+  /// prefetched work in the clean lane's stage_scheduler.  Fused stages
+  /// ride the queue of the stage they fuse into (describe rides detect's
+  /// queue, mirroring opens_scope); count_ = not batchable — the stage
+  /// runs at the stitch point and never enters a queue.
+  stage_id batch_queue = stage_id::count_;
 };
+
+/// Whether a stage's work can enter a scheduler queue (prefetchable stages
+/// only; the rest run at the stitch point).
+[[nodiscard]] inline bool stage_batchable(const stage_desc& s) noexcept {
+  return s.batch_queue != stage_id::count_;
+}
 
 /// The canonical stage graph, in dataflow order.
 [[nodiscard]] std::span<const stage_desc> stage_registry() noexcept;

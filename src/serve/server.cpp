@@ -72,16 +72,23 @@ fault::outcome outcome_of(const std::exception& e) {
 /// The pipeline run shared by both execution modes: byte-identical to
 /// `vs summarize` because the config is built the same way (defaults plus
 /// the requested variant/hardening), the leased pool only changes *who*
-/// computes each fixed chunk, and frames_in_flight is 0 so every live
-/// thread is a leased slot.
+/// computes each fixed chunk, and the batched prefetch is consumed in
+/// stitch order (scheduler tickets are per-frame promises, so which
+/// dispatch produced a frame never shows in the bytes).  With batching on,
+/// `scheduler` is the server's shared cross-job queue set and `lookahead`
+/// frames per job ride it; with batching off both drop to the strictly
+/// inline pre-batching shape where every live thread is a leased slot.
 app::summary_result run_job_pipeline(
     const job_request& request, core::thread_pool& pool,
-    const std::function<void(int, const img::image_u8&)>& on_mini) {
+    const std::function<void(int, const img::image_u8&)>& on_mini,
+    pipeline::stage_scheduler* scheduler, int lookahead, int batch) {
   const auto source = video::make_input(request.input, request.frames);
   app::pipeline_config config;
   config.approx.alg = request.alg;
   config.hardening.level = request.hardening;
-  config.frames_in_flight = 0;
+  config.frames_in_flight = batch == pipeline::kBatchOff ? 0 : lookahead;
+  config.batch = batch;
+  config.scheduler = scheduler;
   config.on_mini_panorama = on_mini;
   const core::pool_scope scope(pool);
   return app::summarize(*source, config);
@@ -129,6 +136,9 @@ server::server(server_config config)
     : config_(std::move(config)), arbiter_(config_.pool_budget) {
   config_.runners = std::max(1, config_.runners);
   config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  config_.lookahead = std::max(0, config_.lookahead);
+  resolved_batch_ = pipeline::resolve_batch(config_.batch);
+  if (config_.lookahead == 0) resolved_batch_ = pipeline::kBatchOff;
 }
 
 server::~server() {
@@ -202,6 +212,19 @@ void server::start() {
                  "wall_ms");
   }
 
+  // Cross-job stage batching: every in-process job feeds the same per-stage
+  // queues, so frames from different admitted clips coalesce into single
+  // pool dispatches.  Batches lease dispatch width from the same arbiter the
+  // runners lease job width from — non-blocking, so scheduler progress never
+  // depends on a runner releasing its lease.  Isolate mode skips the shared
+  // scheduler (jobs run in forked children, which own private ones).
+  if (resolved_batch_ != pipeline::kBatchOff && !config_.isolate) {
+    pipeline::stage_scheduler::options opt;
+    opt.batch = resolved_batch_;
+    opt.arbiter = &arbiter_;
+    scheduler_ = std::make_unique<pipeline::stage_scheduler>(opt);
+  }
+
   for (int i = 0; i < config_.runners; ++i) {
     runners_.emplace_back([this] { runner_loop(); });
   }
@@ -209,7 +232,8 @@ void server::start() {
   log::info("serve: listening on " + config_.socket_path + " (" +
                   std::to_string(config_.runners) + " runners, budget " +
                   std::to_string(arbiter_.budget()) + " slots" +
-                  (config_.isolate ? ", isolated" : "") + ")");
+                  (config_.isolate ? ", isolated" : "") + ", batch " +
+                  pipeline::batch_name(resolved_batch_) + ")");
 }
 
 void server::request_drain() noexcept {
@@ -341,8 +365,14 @@ void server::handle_connection(int fd) {
 
 std::uint64_t server::retry_after_ms_locked() const {
   // Backpressure hint: how long until a queue slot should free up, from
-  // observed job latency (a cold server guesses 250 ms).
-  const auto snap = latency_.snapshot();
+  // observed SERVICE time (a cold server guesses 250 ms).  Using total
+  // latency here was the 16-client collapse: total includes the queue wait,
+  // so the deeper the backlog the longer rejected clients were told to stay
+  // away, and the server drained its queue and idled while every client
+  // slept out an estimate inflated by the very congestion it measured.
+  // Service time under concurrent runners already amortizes slot
+  // contention, so queue-depth/runners waves of it approximate the drain.
+  const auto snap = service_latency_.snapshot();
   const double per_job = snap.count > 0 ? snap.mean_ms : 250.0;
   const double waves =
       static_cast<double>(interactive_.size() + batch_.size() + 1) /
@@ -470,13 +500,16 @@ void server::run_in_process(const pending_job& job,
         },
         job.id);
     const app::summary_result result =
-        run_job_pipeline(job.request, lease.pool(), std::ref(stream));
+        run_job_pipeline(job.request, lease.pool(), std::ref(stream),
+                         scheduler_.get(), config_.lookahead,
+                         resolved_batch_);
     const auto wall_us = static_cast<std::uint64_t>(
         ms_between(t0, clock::now()) * 1000.0);
     // Account the job before the final send: the moment the client reads
     // the complete frame, a follow-up stats request must already see it.
     const double total_ms = ms_between(job.admitted, clock::now());
     latency_.record(total_ms);
+    service_latency_.record(ms_between(t0, clock::now()));
     {
       const std::lock_guard<std::mutex> lock(state_mutex_);
       ++completed_;
@@ -520,6 +553,11 @@ void server::run_isolated(const pending_job& job, core::pool_lease& lease) {
   const job_request request = job.request;
   const std::uint64_t id = job.id;
   const unsigned width = std::max(1u, lease.width());
+  // The forked worker owns a private scheduler on its own pool (batching
+  // within the job); the parent's shared one cannot cross the process
+  // boundary.
+  const int lookahead = config_.lookahead;
+  const int batch = resolved_batch_;
 
   frame_decoder decoder;
   bool saw_complete = false;
@@ -527,7 +565,7 @@ void server::run_isolated(const pending_job& job, core::pool_lease& lease) {
   const auto t0 = clock::now();
 
   const supervise::fork_ending ending = supervise::run_forked(
-      [request, id, width](int wfd) {
+      [request, id, width, lookahead, batch](int wfd) {
         try {
           core::thread_pool pool(width);
           mini_streamer stream(
@@ -537,8 +575,8 @@ void server::run_isolated(const pending_job& job, core::pool_lease& lease) {
               },
               id);
           const auto child_t0 = clock::now();
-          const app::summary_result result =
-              run_job_pipeline(request, pool, std::ref(stream));
+          const app::summary_result result = run_job_pipeline(
+              request, pool, std::ref(stream), nullptr, lookahead, batch);
           const auto wall_us = static_cast<std::uint64_t>(
               ms_between(child_t0, clock::now()) * 1000.0);
           const std::string done =
@@ -567,6 +605,7 @@ void server::run_isolated(const pending_job& job, core::pool_lease& lease) {
             // Account before relaying: once the client reads this frame, a
             // follow-up stats request must already see the job completed.
             latency_.record(ms_between(job.admitted, clock::now()));
+            service_latency_.record(ms_between(t0, clock::now()));
             const std::lock_guard<std::mutex> lock(state_mutex_);
             ++completed_;
           }
@@ -578,7 +617,6 @@ void server::run_isolated(const pending_job& job, core::pool_lease& lease) {
       });
 
   const double total_ms = ms_between(job.admitted, clock::now());
-  (void)t0;
   if (!saw_complete) {
     // The child never delivered a result: classify its death and tell the
     // client ourselves (unless the child already reported its own failure).

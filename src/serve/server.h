@@ -32,6 +32,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -40,6 +41,7 @@
 #include "core/pool_budget.h"
 #include "fault/report.h"
 #include "perf/latency.h"
+#include "pipeline/scheduler.h"
 #include "serve/protocol.h"
 
 namespace vs::serve {
@@ -57,6 +59,18 @@ struct server_config {
   double handshake_timeout_s = 5.0;
   /// Streaming per-job CSV log (fault::report_stream); empty = off.
   std::string report_path;
+  /// Clean-lane stage batching across admitted jobs: every in-process job
+  /// feeds its prefetchable stage prefix into ONE shared stage_scheduler,
+  /// so deep admission queues batch frames from different clips into
+  /// single pool dispatches (isolate mode gives each forked worker a
+  /// private scheduler instead).  pipeline::kBatchInherit defers to
+  /// --batch / VS_BATCH; kBatchOff restores the strictly-inline serving
+  /// path of the per-frame era.
+  int batch = pipeline::kBatchInherit;
+  /// Per-job clean-lane lookahead depth feeding the shared stage queues
+  /// (pipeline_config::frames_in_flight); 0 disables prefetch like the
+  /// pre-batching server.  Only effective when batching is on.
+  int lookahead = 2;
 };
 
 class server {
@@ -104,6 +118,16 @@ class server {
   server_config config_;
   core::pool_arbiter arbiter_;
   perf::latency_recorder latency_;
+  /// Service time (lease acquired -> result delivered), excluding queue
+  /// wait: what the retry-after backpressure hint is derived from.  Total
+  /// latency includes the queue wait itself, so under load it would
+  /// over-estimate by the very backlog the hint meters.
+  perf::latency_recorder service_latency_;
+  /// Shared cross-job stage scheduler (in-process, batching on).  Created
+  /// in start(); destroyed after every runner joined, so no executor
+  /// ticket can outlive its dispatcher.
+  std::unique_ptr<pipeline::stage_scheduler> scheduler_;
+  int resolved_batch_ = pipeline::kBatchOff;  ///< start() resolves config
 
   int listen_fd_ = -1;
   int wake_rd_ = -1;

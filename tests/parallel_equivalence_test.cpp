@@ -25,6 +25,7 @@
 #include "features/pyramid.h"
 #include "geometry/warp.h"
 #include "match/matcher.h"
+#include "pipeline/scheduler.h"
 #include "rt/instrument.h"
 #include "video/generator.h"
 
@@ -303,6 +304,35 @@ TEST(ParallelEquivalence, EndToEndFullyHardened) {
     const auto unhardened = app::summarize(source, app::pipeline_config{});
     EXPECT_EQ(reference.panorama, unhardened.panorama)
         << video::input_name(id);
+  }
+}
+
+// The batch axis: the per-stage scheduler (pipeline/scheduler.h) must be
+// byte-invisible.  Every batch setting — off (the legacy per-frame future
+// ring), fixed sizes, and the width-tracking auto policy — reproduces the
+// instrumented-lane reference at every pool width and SIMD level.
+TEST(ParallelEquivalence, EndToEndBatchAxis) {
+  const pool_width_guard guard;
+  const simd_level_guard simd_guard;
+  for (const auto id : {video::input_id::input1, video::input_id::input2}) {
+    const auto& source = clip(id);
+    app::summary_result reference;
+    {
+      rt::session session;
+      reference = app::summarize(source, app::pipeline_config{});
+    }
+    for (const int batch :
+         {pipeline::kBatchOff, 1, 2, 4, pipeline::kBatchAuto}) {
+      app::pipeline_config config;
+      config.frames_in_flight = 4;
+      config.batch = batch;
+      for_each_matrix_point([&](const std::string& at) {
+        const auto clean = app::summarize(source, config);
+        expect_same_summary(reference, clean,
+                            std::string(video::input_name(id)) + " batch " +
+                                pipeline::batch_name(batch) + " at " + at);
+      });
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 #include "core/thread_pool.h"
 #include "fault/detectors.h"
 #include "pipeline/executor.h"
+#include "pipeline/scheduler.h"
 #include "pipeline/stage.h"
 #include "resil/runtime.h"
 #include "rt/instrument.h"
@@ -117,6 +118,7 @@ TEST(StageRegistry, DerivedBudgetsFollowTheRegistryGrouping) {
 
 constexpr unsigned kWidths[] = {1, 2, 4};
 constexpr int kDepths[] = {1, 2, 4};
+constexpr int kBatches[] = {1, 2, 4, pipeline::kBatchAuto};
 
 struct pool_width_guard {
   ~pool_width_guard() { core::thread_pool::set_global_threads(0); }
@@ -215,6 +217,43 @@ void expect_matrix_matches_instrumented_lane(video::input_id id,
   }
 }
 
+/// Same golden contract along the batch axis: depth fixed at 4, the
+/// per-stage scheduler swept across fixed batch sizes and the auto policy
+/// at every pool width.  Every cell must reproduce the sequential
+/// instrumented-lane digest.
+void expect_batch_matrix_matches_instrumented_lane(video::input_id id,
+                                                   bool hardened) {
+  const pool_width_guard guard;
+  const auto& source = clip(id);
+  for (const auto alg : {app::algorithm::vs, app::algorithm::vs_rfd,
+                         app::algorithm::vs_kds, app::algorithm::vs_sm}) {
+    app::pipeline_config config;
+    if (hardened) {
+      config = hardened_config(source, alg);
+    } else {
+      config.approx.alg = alg;
+    }
+
+    std::uint64_t reference = 0;
+    {
+      rt::session session;
+      reference = summary_hash(app::summarize(source, config));
+    }
+
+    config.frames_in_flight = 4;
+    for (const unsigned width : kWidths) {
+      core::thread_pool::set_global_threads(width);
+      for (const int batch : kBatches) {
+        config.batch = batch;
+        EXPECT_EQ(reference, summary_hash(app::summarize(source, config)))
+            << video::input_name(id) << " " << app::algorithm_name(alg)
+            << (hardened ? " hardened" : " unhardened") << " width " << width
+            << " batch " << pipeline::batch_name(batch);
+      }
+    }
+  }
+}
+
 TEST(StageGraphGolden, Input1AllVariantsUnhardened) {
   expect_matrix_matches_instrumented_lane(video::input_id::input1, false);
 }
@@ -229,6 +268,24 @@ TEST(StageGraphGolden, Input1AllVariantsFullyHardened) {
 
 TEST(StageGraphGolden, Input2AllVariantsFullyHardened) {
   expect_matrix_matches_instrumented_lane(video::input_id::input2, true);
+}
+
+TEST(StageGraphGolden, Input1BatchMatrixUnhardened) {
+  expect_batch_matrix_matches_instrumented_lane(video::input_id::input1,
+                                                false);
+}
+
+TEST(StageGraphGolden, Input2BatchMatrixUnhardened) {
+  expect_batch_matrix_matches_instrumented_lane(video::input_id::input2,
+                                                false);
+}
+
+TEST(StageGraphGolden, Input1BatchMatrixFullyHardened) {
+  expect_batch_matrix_matches_instrumented_lane(video::input_id::input1, true);
+}
+
+TEST(StageGraphGolden, Input2BatchMatrixFullyHardened) {
+  expect_batch_matrix_matches_instrumented_lane(video::input_id::input2, true);
 }
 
 // ---------------------------------------------------------------------------
@@ -289,6 +346,35 @@ TEST(StageGraphRecovery, RetryRecomputesAPoisonedPrefetchInline) {
   }
 }
 
+TEST(StageGraphRecovery, RetryRecomputesAnEvictedBatchedFrameInline) {
+  // Same transient fault, batched scheduler: frame 2's acquire throws inside
+  // a grouped dispatch.  Eviction must poison only that frame's ticket — the
+  // rest of the batch completes — and the recovery boundary recomputes the
+  // frame inline, off the queues, leaving the summary byte-identical.
+  const pool_width_guard guard;
+  const auto& pristine = clip(video::input_id::input1);
+  const auto config = hardened_config(pristine, app::algorithm::vs);
+  const auto expected = summary_hash(app::summarize(pristine, config));
+
+  for (const int batch : kBatches) {
+    const transient_fault_source source(pristine, 2);
+    app::pipeline_config run_config = config;
+    run_config.frames_in_flight = 4;
+    run_config.batch = batch;
+    const auto result = app::summarize(source, run_config);
+    EXPECT_EQ(expected, summary_hash(result))
+        << "batch " << pipeline::batch_name(batch);
+    EXPECT_GE(result.recovery.crashes_contained, 1u)
+        << "batch " << pipeline::batch_name(batch);
+    EXPECT_GE(result.recovery.retries, 1u)
+        << "batch " << pipeline::batch_name(batch);
+    EXPECT_GE(result.recovery.frames_recovered, 1u)
+        << "batch " << pipeline::batch_name(batch);
+    EXPECT_EQ(result.recovery.frames_degraded, 0u)
+        << "batch " << pipeline::batch_name(batch);
+  }
+}
+
 TEST(StageGraphRecovery, InstrumentedLaneContainsTheSameTransientFault) {
   // The instrumented lane never prefetches; the same transient fault is
   // contained on its inline path with an identical summary.
@@ -332,6 +418,28 @@ TEST(FrameExecutor, CleanLaneOverlapsOnlyWithDepthAndFrames) {
       pipeline::frame_executor(hardening, 8, 0, acquire, detect).overlapping());
   EXPECT_FALSE(
       pipeline::frame_executor(hardening, 1, 2, acquire, detect).overlapping());
+}
+
+TEST(FrameExecutor, BatchKnobSelectsSchedulerOrLegacyRing) {
+  resil::hardening_config hardening;
+  const auto acquire = [](int) { return img::image_u8(2, 2, 1); };
+  const auto detect = [](const img::image_u8&) {
+    return feat::frame_features{};
+  };
+  // Explicit off keeps the legacy per-frame future ring.
+  pipeline::frame_executor ring(hardening, 8, 2, acquire, detect, {},
+                                pipeline::kBatchOff);
+  EXPECT_TRUE(ring.overlapping());
+  EXPECT_FALSE(ring.batched());
+  // Any scheduler batch setting routes production through stage queues.
+  pipeline::frame_executor batched(hardening, 8, 2, acquire, detect, {}, 2);
+  EXPECT_TRUE(batched.overlapping());
+  EXPECT_TRUE(batched.batched());
+  EXPECT_EQ(batched.batch(), 2);
+  // No overlap means no scheduler, whatever the knob says.
+  pipeline::frame_executor inline_only(hardening, 8, 0, acquire, detect, {},
+                                       2);
+  EXPECT_FALSE(inline_only.batched());
 }
 
 TEST(FrameExecutor, ObtainDrainsSkippedFramesAndConsumesInOrder) {
@@ -432,6 +540,36 @@ TEST(FrameExecutor, ReplicaDivergenceInAPrefetchedStageIsDetected) {
   (void)exec.obtain(0);  // inline cold start: check runs and passes
   try {
     (void)exec.obtain(1);  // consumed from the ring: check diverges
+    FAIL() << "replica divergence was not raised";
+  } catch (const detected_error& e) {
+    EXPECT_EQ(e.kind(), detect_kind::replica_divergence);
+  }
+  EXPECT_EQ(checks.load(), 2);
+  EXPECT_EQ(resil::tls.report.replica_divergences, 1u);
+}
+
+TEST(FrameExecutor, ReplicaDivergenceInABatchedStageIsDetected) {
+  // The same dual-check contract with production routed through the batched
+  // stage queues: the check still runs at the consuming obtain() against
+  // work a grouped dispatch produced, and its divergence must surface there.
+  resil::hardening_config hardening;
+  hardening.level = resil::hardening_level::detectors;
+  hardening.replicate_stages = pipeline::stage_bit(stage_id::detect);
+  resil::session session(hardening);
+
+  std::atomic<int> checks{0};
+  pipeline::frame_executor exec(
+      hardening, 6, 2, [](int) { return img::image_u8(4, 4, 1); },
+      [](const img::image_u8&) { return feat::frame_features{}; },
+      [&checks](const img::image_u8&, const feat::frame_features&) {
+        return ++checks != 2;
+      },
+      /*batch=*/2);
+  ASSERT_TRUE(exec.overlapping());
+  ASSERT_TRUE(exec.batched());
+  (void)exec.obtain(0);  // inline cold start: check runs and passes
+  try {
+    (void)exec.obtain(1);  // consumed from a batched ticket: check diverges
     FAIL() << "replica divergence was not raised";
   } catch (const detected_error& e) {
     EXPECT_EQ(e.kind(), detect_kind::replica_divergence);

@@ -1,7 +1,9 @@
 // vs — the command-line front end of the library.
 //
 // A global --simd=scalar|sse4|avx2|auto flag (any position) selects the
-// clean lane's vector tier; output is byte-identical at every level.
+// clean lane's vector tier; a global --batch=off|K|auto flag selects the
+// clean lane's stage-batching axis.  Output is byte-identical at every
+// level of both.
 //
 //   vs generate  <input1|input2|input3> <frames> <out_dir>        write clip frames
 //   vs summarize <input1|input2|input3> [VS|VS_RFD|VS_KDS|VS_SM] [frames] [out.pgm]
@@ -41,6 +43,7 @@
 #include "fault/report.h"
 #include "image/image_io.h"
 #include "perf/profiler.h"
+#include "pipeline/scheduler.h"
 #include "pipeline/stage.h"
 #include "resil/cfcss.h"
 #include "quality/metric.h"
@@ -57,7 +60,8 @@ using namespace vs;
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: vs [--simd=scalar|sse4|avx2|auto] <command> ...\n"
+      "usage: vs [--simd=scalar|sse4|avx2|auto] [--batch=off|K|auto] "
+      "<command> ...\n"
       "  vs generate  <input1|input2|input3> <frames> <out_dir>\n"
       "  vs summarize <input1|input2|input3> [algorithm] [frames] [out.pgm]\n"
       "  vs events    <input1|input2|input3> [frames] [out.ppm]\n"
@@ -77,6 +81,7 @@ using namespace vs;
       "               [--csv=path] [--json=path]\n"
       "  vs serve     <socket> [--queue=N] [--runners=N] [--budget=N]\n"
       "               [--isolate] [--timeout=S] [--report=path]\n"
+      "               [--lookahead=N]\n"
       "  vs submit    <socket> <input1|input2|input3> [algorithm] [frames]\n"
       "               [out.pgm] [--hardening=off|detectors|cfcss|full]\n"
       "               [--priority=interactive|batch] [--deadline=MS]\n"
@@ -334,12 +339,15 @@ int cmd_profile(int argc, char** argv) {
 
 int cmd_stages() {
   std::printf("simd: detected=%s active=%s (override with --simd=LEVEL or "
-              "VS_SIMD)\n\n",
+              "VS_SIMD)\n",
               core::simd::level_name(core::simd::detected()),
               core::simd::level_name(core::simd::active()));
-  std::printf("%-10s %-12s %-18s %-8s %-6s %-6s %-10s %s\n", "stage",
-              "budget", "cfcss signature", "scope?", "ahead", "clean",
-              "replica", "rt scopes");
+  std::printf("batching: request=%s (override with --batch=off|K|auto or "
+              "VS_BATCH)\n\n",
+              pipeline::batch_name(pipeline::requested_batch()).c_str());
+  std::printf("%-10s %-12s %-18s %-8s %-6s %-6s %-6s %-8s %-10s %s\n",
+              "stage", "budget", "cfcss signature", "scope?", "ahead",
+              "clean", "batch?", "queue", "replica", "rt scopes");
   for (const auto& stage : pipeline::stage_registry()) {
     std::string scopes;
     for (const rt::fn f : stage.scopes) {
@@ -347,13 +355,15 @@ int cmd_stages() {
       if (!scopes.empty()) scopes += ",";
       scopes += rt::fn_name(f);
     }
-    std::printf("%-10s %-12s 0x%016llx %-8s %-6s %-6s %-10s %s\n", stage.name,
-                pipeline::budget_key_name(stage.budget),
+    const bool batchable = pipeline::stage_batchable(stage);
+    std::printf("%-10s %-12s 0x%016llx %-8s %-6s %-6s %-6s %-8s %-10s %s\n",
+                stage.name, pipeline::budget_key_name(stage.budget),
                 static_cast<unsigned long long>(
                     resil::cfcss::static_signature(stage.node)),
                 stage.opens_scope ? "opens" : "fused",
                 stage.prefetchable ? "yes" : "no",
-                stage.clean_lane ? "yes" : "no",
+                stage.clean_lane ? "yes" : "no", batchable ? "yes" : "no",
+                batchable ? pipeline::stage_name(stage.batch_queue) : "-",
                 stage.replicable ? pipeline::dual_check_name(stage.check)
                                  : "-",
                 scopes.c_str());
@@ -362,9 +372,11 @@ int cmd_stages() {
       "\n'ahead' stages form the clean lane's prefetchable frame prefix; "
       "'fused' stages\nride inside the previous stage's watchdog scope.  "
       "The estimate transition is\nmarked inside the alignment cascade, not "
-      "by the executor.\n'replica' is the stage's dual-execution contract "
-      "(--replicate / hardening full):\nrecompute stages re-run and "
-      "compare structurally, checksum stages digest the\nproduced "
+      "by the executor.\n'batch?' stages enter the stage scheduler's work "
+      "queues; 'queue' names the\nqueue their work rides in (describe is "
+      "fused into detect's queue).\n'replica' is the stage's dual-execution "
+      "contract (--replicate / hardening full):\nrecompute stages re-run "
+      "and compare structurally, checksum stages digest the\nproduced "
       "buffer.\n");
   return 0;
 }
@@ -582,6 +594,8 @@ int cmd_serve(int argc, char** argv) {
       config.job_timeout_s = std::atof(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
       config.report_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--lookahead=", 12) == 0) {
+      config.lookahead = std::atoi(argv[i] + 12);
     } else {
       usage();
     }
@@ -716,9 +730,10 @@ int cmd_submit(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Global --simd=LEVEL flag: consumed here, before command dispatch, so
-  // every command sees the requested clean-lane SIMD tier.  The flag wins
-  // over the VS_SIMD environment variable.
+  // Global --simd=LEVEL / --batch=SPEC flags: consumed here, before command
+  // dispatch, so every command sees the requested clean-lane SIMD tier and
+  // stage-batching axis.  The flags win over the VS_SIMD / VS_BATCH
+  // environment variables.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -731,6 +746,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       vs::core::simd::set_level(*parsed);
+      continue;
+    }
+    if (std::strncmp(arg, "--batch=", 8) == 0) {
+      try {
+        vs::pipeline::set_batch(vs::pipeline::parse_batch(arg + 8));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: --batch: %s\n", e.what());
+        return 2;
+      }
       continue;
     }
     argv[kept++] = argv[i];
