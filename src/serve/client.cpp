@@ -4,8 +4,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "core/error.h"
@@ -62,6 +66,19 @@ frame next_frame(int fd, frame_decoder& decoder) {
                           : "serve client: recv failed: " +
                                 std::string(std::strerror(errno)));
   }
+}
+
+/// Process-unique idempotency key for callers that didn't bring one: the
+/// pid decorrelates concurrent fleets, the counter decorrelates jobs.
+std::string auto_client_key() {
+  static std::atomic<std::uint64_t> counter{0};
+  return "c" + std::to_string(static_cast<long>(::getpid())) + "-" +
+         std::to_string(counter.fetch_add(1));
+}
+
+void sleep_backoff(double ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
 }  // namespace
@@ -151,6 +168,62 @@ submit_outcome client::submit(
                        std::to_string(f.type));
     }
   }
+}
+
+submit_outcome client::submit_resilient(
+    job_request request, const resilient_policy& policy,
+    const std::function<void(const panorama_msg&)>& on_panorama) {
+  if (request.client_key.empty()) request.client_key = auto_client_key();
+  const int max_attempts = std::max(1, policy.backoff.max_attempts);
+  int reconnects = 0;
+  // Highest mini index already handed to on_panorama: a reconnect adopts
+  // the server-side sink and replays the whole stream, so earlier minis
+  // come down the wire again — deliver each to the caller exactly once.
+  int streamed_past = -1;
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    submit_outcome out;
+    try {
+      out = submit(request, [&](const panorama_msg& m) {
+        if (m.index <= streamed_past) return;
+        streamed_past = m.index;
+        if (on_panorama) on_panorama(m);
+      });
+    } catch (const io_error&) {
+      // Server unreachable or died mid-stream: the journaled job (if it
+      // was accepted) survives the crash, so back off and resubmit under
+      // the same key to adopt it.
+      ++reconnects;
+      if (attempt < max_attempts) {
+        sleep_backoff(policy.backoff.delay_ms(attempt));
+      }
+      continue;
+    }
+    out.attempts = attempt;
+    out.reconnects = reconnects;
+    if (out.complete || out.failed) return out;
+    if (out.rejected) {
+      const reject_reason reason = out.rejected->reason;
+      const bool retryable = reason == reject_reason::queue_full ||
+                             reason == reject_reason::draining;
+      if (!retryable || attempt == max_attempts) return out;
+      double delay = policy.backoff.delay_ms(attempt);
+      if (policy.honor_retry_after && out.rejected->retry_after_ms > 0) {
+        delay = std::max(
+            delay, static_cast<double>(out.rejected->retry_after_ms));
+      }
+      sleep_backoff(delay);
+      continue;
+    }
+    return out;  // defensive: submit() always sets a terminal field
+  }
+
+  // Every attempt died without a terminal reply: the job is Lost from
+  // this client's point of view (it may still complete server-side).
+  submit_outcome lost;
+  lost.attempts = max_attempts;
+  lost.reconnects = reconnects;
+  return lost;
 }
 
 stats_reply client::stats() {

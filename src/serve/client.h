@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/retry.h"
 #include "serve/protocol.h"
 
 namespace vs::serve {
@@ -22,12 +23,29 @@ namespace vs::serve {
 /// `rejected` is set; when accepted, exactly one of `complete` / `failed`
 /// is set (unless the connection died mid-stream, which surfaces as an
 /// io_error from submit()).
+///
+/// submit_resilient() relaxes the "exactly one" contract in one direction:
+/// after exhausting its attempt budget it can return with NONE of
+/// complete/failed/rejected set — the client-visible Lost outcome of the
+/// serve-layer fault campaign (serve/campaign.h).
 struct submit_outcome {
   std::optional<job_accepted> accepted;
   std::optional<job_rejected> rejected;
   std::optional<job_complete> complete;
   std::optional<job_failed> failed;
   std::vector<panorama_msg> panoramas;  ///< streamed minis, index order
+  int attempts = 1;    ///< submissions tried (resilient path)
+  int reconnects = 0;  ///< reconnects after a dead/unreachable server
+};
+
+/// Knobs for submit_resilient().  The backoff's max_attempts bounds total
+/// submissions (connect failures and mid-stream deaths both consume one);
+/// deterministic jitter keeps a reconnecting fleet from stampeding the
+/// freshly respawned server.
+struct resilient_policy {
+  core::backoff_policy backoff;
+  /// Sleep at least the server's queue-full retry_after hint, when given.
+  bool honor_retry_after = true;
 };
 
 class client {
@@ -42,6 +60,21 @@ class client {
   /// server vanishes mid-stream.
   [[nodiscard]] submit_outcome submit(
       const job_request& request,
+      const std::function<void(const panorama_msg&)>& on_panorama = {});
+
+  /// Crash-tolerant submit: reconnect-with-backoff around submit(), keyed
+  /// by a client-supplied idempotency id so a resubmission after a server
+  /// crash adopts the journaled job instead of re-executing it
+  /// (serve/server.h, "crash-only serving").  An empty request.client_key
+  /// gets a process-unique one.  Retries connect failures, mid-stream
+  /// deaths, and queue_full/draining rejections (sleeping the server's
+  /// retry_after hint when longer than the backoff).  Minis already
+  /// streamed on a previous attempt are not re-delivered to `on_panorama`.
+  /// Returns the terminal outcome, or — attempts exhausted with no
+  /// terminal reply — an outcome with neither complete, failed, nor
+  /// rejected set: the job is Lost from this client's point of view.
+  [[nodiscard]] submit_outcome submit_resilient(
+      job_request request, const resilient_policy& policy = {},
       const std::function<void(const panorama_msg&)>& on_panorama = {});
 
   /// Fetches the server's live stats snapshot.  Throws io_error on

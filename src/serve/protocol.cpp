@@ -124,6 +124,10 @@ std::string sanitize_token(std::string_view text) {
 
 }  // namespace
 
+std::vector<std::string_view> split_fields(std::string_view header) {
+  return split(header);
+}
+
 const char* priority_name(priority_class p) noexcept {
   return p == priority_class::interactive ? "interactive" : "batch";
 }
@@ -146,6 +150,12 @@ std::string encode_hello(const hello_msg& m) {
 
 std::string encode_submit(const job_request& m) {
   std::string p = "J";
+  p += request_fields_payload(m);
+  return encode_frame(static_cast<std::uint16_t>(msg_type::submit), p);
+}
+
+std::string request_fields_payload(const job_request& m) {
+  std::string p;
   append_u64(p, static_cast<std::uint64_t>(m.input));
   append_u64(p, static_cast<std::uint64_t>(m.alg));
   append_u64(p, static_cast<std::uint64_t>(m.frames));
@@ -153,7 +163,59 @@ std::string encode_submit(const job_request& m) {
   append_u64(p, static_cast<std::uint64_t>(m.priority));
   append_u64(p, m.deadline_ms);
   append_u64(p, m.max_threads);
-  return encode_frame(static_cast<std::uint16_t>(msg_type::submit), p);
+  p.push_back(' ');
+  p += m.client_key.empty()
+           ? "-"
+           : sanitize_token(m.client_key.substr(0, kMaxClientKey));
+  append_u64(p, m.fault.armed ? 1 : 0);
+  append_u64(p, static_cast<std::uint64_t>(m.fault.cls));
+  append_u64(p, m.fault.target);
+  append_u64(p, m.fault.bit);
+  append_u64(p, m.fault.step_budget);
+  return p;
+}
+
+std::optional<job_request> parse_request_fields(
+    const std::vector<std::string_view>& tokens) {
+  // Legacy 7-field requests (pre-crash-only clients) parse with an empty
+  // key and no armed fault; current requests carry 13 fields.
+  if (tokens.size() != 7 && tokens.size() != 13) return std::nullopt;
+  const auto input = parse_u64_max(tokens[0], 2);
+  const auto alg = parse_u64_max(
+      tokens[1], static_cast<std::uint64_t>(app::algorithm::vs_sm));
+  const auto frames = parse_int(tokens[2]);
+  const auto hardening = parse_u64_max(
+      tokens[3], static_cast<std::uint64_t>(resil::hardening_level::full));
+  const auto priority = parse_u64_max(tokens[4], 1);
+  const auto deadline = parse_u64(tokens[5]);
+  const auto threads = parse_u64_max(tokens[6], 256);
+  if (!input || !alg || !frames || !hardening || !priority || !deadline ||
+      !threads) {
+    return std::nullopt;
+  }
+  job_request m;
+  m.input = static_cast<video::input_id>(*input);
+  m.alg = static_cast<app::algorithm>(*alg);
+  m.frames = *frames;
+  m.hardening = static_cast<resil::hardening_level>(*hardening);
+  m.priority = static_cast<priority_class>(*priority);
+  m.deadline_ms = *deadline;
+  m.max_threads = static_cast<unsigned>(*threads);
+  if (tokens.size() == 7) return m;
+  if (tokens[7].size() > kMaxClientKey) return std::nullopt;
+  if (tokens[7] != "-") m.client_key = std::string(tokens[7]);
+  const auto armed = parse_u64_max(tokens[8], 1);
+  const auto cls = parse_u64_max(tokens[9], rt::reg_class_count - 1);
+  const auto target = parse_u64(tokens[10]);
+  const auto bit = parse_u64_max(tokens[11], 63);
+  const auto budget = parse_u64(tokens[12]);
+  if (!armed || !cls || !target || !bit || !budget) return std::nullopt;
+  m.fault.armed = *armed == 1;
+  m.fault.cls = static_cast<rt::reg_class>(*cls);
+  m.fault.target = *target;
+  m.fault.bit = static_cast<std::uint32_t>(*bit);
+  m.fault.step_budget = *budget;
+  return m;
 }
 
 std::string encode_accepted(const job_accepted& m) {
@@ -231,6 +293,9 @@ std::string encode_stats_reply(const stats_reply& m) {
   append_u64(p, m.pool_budget);
   append_u64(p, m.pool_in_use);
   append_u64(p, m.pool_peak_in_use);
+  append_u64(p, m.restarts);
+  append_u64(p, m.journal_depth);
+  append_u64(p, m.replayed);
   append_u64(p, static_cast<std::uint64_t>(m.latency.count));
   append_u64(p, ms_to_us(m.latency.mean_ms));
   append_u64(p, ms_to_us(m.latency.p50_ms));
@@ -253,30 +318,10 @@ std::optional<hello_msg> parse_hello(std::string_view payload) {
 }
 
 std::optional<job_request> parse_submit(std::string_view payload) {
-  const auto tokens = split(payload);
-  if (tokens.size() != 8 || tokens[0] != "J") return std::nullopt;
-  const auto input = parse_u64_max(tokens[1], 1);
-  const auto alg = parse_u64_max(
-      tokens[2], static_cast<std::uint64_t>(app::algorithm::vs_sm));
-  const auto frames = parse_int(tokens[3]);
-  const auto hardening = parse_u64_max(
-      tokens[4], static_cast<std::uint64_t>(resil::hardening_level::full));
-  const auto priority = parse_u64_max(tokens[5], 1);
-  const auto deadline = parse_u64(tokens[6]);
-  const auto threads = parse_u64_max(tokens[7], 256);
-  if (!input || !alg || !frames || !hardening || !priority || !deadline ||
-      !threads) {
-    return std::nullopt;
-  }
-  job_request m;
-  m.input = static_cast<video::input_id>(*input);
-  m.alg = static_cast<app::algorithm>(*alg);
-  m.frames = *frames;
-  m.hardening = static_cast<resil::hardening_level>(*hardening);
-  m.priority = static_cast<priority_class>(*priority);
-  m.deadline_ms = *deadline;
-  m.max_threads = static_cast<unsigned>(*threads);
-  return m;
+  auto tokens = split(payload);
+  if (tokens.empty() || tokens[0] != "J") return std::nullopt;
+  tokens.erase(tokens.begin());
+  return parse_request_fields(tokens);
 }
 
 std::optional<job_accepted> parse_accepted(std::string_view payload) {
@@ -390,8 +435,8 @@ std::optional<job_failed> parse_failed(std::string_view payload) {
 
 std::optional<stats_reply> parse_stats_reply(std::string_view payload) {
   const auto tokens = split(payload);
-  if (tokens.size() != 17 || tokens[0] != "S") return std::nullopt;
-  std::uint64_t v[16];
+  if (tokens.size() != 20 || tokens[0] != "S") return std::nullopt;
+  std::uint64_t v[19];
   for (std::size_t i = 1; i < tokens.size(); ++i) {
     const auto parsed = parse_u64(tokens[i]);
     if (!parsed) return std::nullopt;
@@ -408,13 +453,16 @@ std::optional<stats_reply> parse_stats_reply(std::string_view payload) {
   m.pool_budget = v[6];
   m.pool_in_use = v[7];
   m.pool_peak_in_use = v[8];
-  m.latency.count = static_cast<std::size_t>(v[9]);
-  m.latency.mean_ms = us_to_ms(v[10]);
-  m.latency.p50_ms = us_to_ms(v[11]);
-  m.latency.p90_ms = us_to_ms(v[12]);
-  m.latency.p95_ms = us_to_ms(v[13]);
-  m.latency.p99_ms = us_to_ms(v[14]);
-  m.latency.max_ms = us_to_ms(v[15]);
+  m.restarts = v[9];
+  m.journal_depth = v[10];
+  m.replayed = v[11];
+  m.latency.count = static_cast<std::size_t>(v[12]);
+  m.latency.mean_ms = us_to_ms(v[13]);
+  m.latency.p50_ms = us_to_ms(v[14]);
+  m.latency.p90_ms = us_to_ms(v[15]);
+  m.latency.p95_ms = us_to_ms(v[16]);
+  m.latency.p99_ms = us_to_ms(v[17]);
+  m.latency.max_ms = us_to_ms(v[18]);
   return m;
 }
 

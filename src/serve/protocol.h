@@ -13,12 +13,15 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "app/config.h"
 #include "app/pipeline.h"
 #include "fault/model.h"
 #include "image/image.h"
 #include "perf/latency.h"
+#include "rt/instrument.h"
 #include "serve/framing.h"
 #include "video/generator.h"
 
@@ -60,6 +63,23 @@ struct hello_msg {
   std::uint32_t version = kProtocolVersion;
 };
 
+/// Maximum length of a client idempotency key on the wire (bounds journal
+/// line growth from hostile submits).
+inline constexpr std::size_t kMaxClientKey = 64;
+
+/// A planned register-file bit flip armed around one job's pipeline run —
+/// the serve-layer fault campaign's delivery mechanism (serve/campaign.h).
+/// The plan fields are exactly fault::plan_experiment's output, so an
+/// injection replayed from the admission journal after a server crash
+/// reproduces the same flip at the same dynamic operation.
+struct fault_spec {
+  bool armed = false;
+  rt::reg_class cls = rt::reg_class::gpr;
+  std::uint64_t target = 0;       ///< dynamic op index within the class
+  std::uint32_t bit = 0;          ///< 0..63
+  std::uint64_t step_budget = 0;  ///< hang watchdog steps; 0 = none
+};
+
 /// One clip job: the same axes vs summarize takes on the command line,
 /// plus the service-only knobs (priority, deadline, thread cap).
 struct job_request {
@@ -70,6 +90,12 @@ struct job_request {
   priority_class priority = priority_class::batch;
   std::uint64_t deadline_ms = 0;  ///< wall-clock budget; 0 = none
   unsigned max_threads = 0;       ///< cap on the leased width; 0 = fair share
+  /// Client-supplied idempotency key; empty = none ("-" on the wire).
+  /// Resubmitting under the same key never double-executes: the server
+  /// dedupes against queued/running/recently-completed jobs and replays the
+  /// buffered result stream instead (server.h, "crash-only serving").
+  std::string client_key;
+  fault_spec fault;  ///< campaign injection to arm around this run
 };
 
 struct job_accepted {
@@ -117,6 +143,9 @@ struct stats_reply {
   std::uint64_t pool_budget = 0;
   std::uint64_t pool_in_use = 0;
   std::uint64_t pool_peak_in_use = 0;
+  std::uint64_t restarts = 0;       ///< supervisor respawn generation
+  std::uint64_t journal_depth = 0;  ///< journaled accepted-not-settled jobs
+  std::uint64_t replayed = 0;       ///< jobs re-enqueued from the journal
   perf::latency_snapshot latency;  ///< per-job wall latency, milliseconds
 };
 
@@ -153,5 +182,17 @@ struct stats_reply {
     std::string_view payload);
 [[nodiscard]] std::optional<stats_reply> parse_stats_reply(
     std::string_view payload);
+
+// --- shared request-field codec ---
+//
+// The request's wire fields without the frame tag, shared between the
+// submit frame and the admission journal's A/G lines (serve/job_journal.h)
+// so a journaled job replays through the same parser that admitted it.
+
+[[nodiscard]] std::vector<std::string_view> split_fields(
+    std::string_view header);
+[[nodiscard]] std::string request_fields_payload(const job_request& m);
+[[nodiscard]] std::optional<job_request> parse_request_fields(
+    const std::vector<std::string_view>& tokens);
 
 }  // namespace vs::serve

@@ -1,0 +1,86 @@
+// Supervised respawn shell for the summarization service: `vs serve
+// --supervised` runs the server as a forked child under this supervisor,
+// which restarts it after crashes with capped exponential backoff.
+//
+// The child pulses sealed heartbeat lines ("B <seq>", fault/wire.h) up the
+// supervision pipe from the server's accept loop (server_config::on_tick),
+// so a wedged loop reads as a stall and takes the watchdog SIGKILL.  Death
+// is classified from the waitpid status exactly like campaign workers
+// (supervise::classify_signal): signals count as crashes, a stall-kill as
+// a hang, a nonzero exit as a reported failure; exit 0 ends supervision.
+// Respawn delays come from core::backoff_policy — deterministic jitter, so
+// a given policy always produces the same schedule — and a streak of quick
+// deaths beyond max_consecutive_failures gives up instead of spinning.
+//
+// Queued work crosses the crash through the admission journal
+// (serve/job_journal.h): every generation boots with the same journal_path
+// and replays the unfinished tail, so a SIGKILL mid-load loses no accepted
+// job (ci/check_restart_gate.sh proves it byte-for-byte).
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/retry.h"
+#include "serve/server.h"
+
+namespace vs::serve {
+
+struct respawn_config {
+  server_config server;  ///< what every generation boots with
+  /// Cadence of the child's heartbeat lines.
+  double heartbeat_interval_s = 0.25;
+  /// No heartbeat for this long -> SIGKILL, classified as a hang.
+  double stall_timeout_s = 10.0;
+  /// Respawn delay schedule (attempt = current quick-death streak).
+  core::backoff_policy backoff;
+  /// Give up after this many consecutive short-lived generations.
+  int max_consecutive_failures = 5;
+  /// A generation that lives at least this long resets the streak.
+  double stable_uptime_s = 5.0;
+  /// Written with the live child's pid each generation (crash drills
+  /// SIGKILL `cat pidfile`); empty = off.
+  std::string pidfile;
+};
+
+struct respawn_stats {
+  std::uint64_t generations = 0;  ///< children spawned
+  std::uint64_t crashes = 0;      ///< signal deaths
+  std::uint64_t hangs = 0;        ///< heartbeat-stall SIGKILLs
+  std::uint64_t failures = 0;     ///< nonzero exits
+  bool gave_up = false;           ///< failure streak exhausted the budget
+  bool clean_exit = false;        ///< child finished a drain (exit 0)
+};
+
+class respawn_supervisor {
+ public:
+  explicit respawn_supervisor(respawn_config config);
+
+  /// Spawn/monitor/respawn loop; returns when the child exits cleanly,
+  /// the failure budget is exhausted, or request_shutdown() was called.
+  respawn_stats run();
+
+  /// Graceful stop: SIGTERM the live child (it drains) and never respawn.
+  /// Async-signal-safe.
+  void request_shutdown() noexcept;
+
+  /// Crash drill: SIGKILL the live child (the supervisor restarts it
+  /// unless shutdown was requested).  Async-signal-safe.
+  void kill_child() noexcept;
+
+  [[nodiscard]] pid_t child_pid() const noexcept {
+    return child_pid_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  pid_t spawn(std::uint64_t generation, int* pipe_rd);
+
+  respawn_config config_;
+  std::atomic<pid_t> child_pid_{-1};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace vs::serve

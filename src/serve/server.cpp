@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "core/error.h"
@@ -21,6 +22,13 @@
 namespace vs::serve {
 
 namespace {
+
+/// How many settled idempotency keys stay resolvable after completion: a
+/// duplicate submit inside this window replays the buffered result stream
+/// instead of re-executing.  Older keys fall off and a late duplicate
+/// re-executes — harmless, because the pipeline is deterministic and the
+/// journal dedupes by server id, not key.
+constexpr std::size_t kCompletedCacheCap = 32;
 
 using clock = std::chrono::steady_clock;
 
@@ -90,6 +98,21 @@ app::summary_result run_job_pipeline(
   config.batch = batch;
   config.scheduler = scheduler;
   config.on_mini_panorama = on_mini;
+  // Serve-layer fault campaign: arm the journaled injection plan around
+  // exactly this job's pipeline run, the same RAII shape the offline
+  // campaign uses (fault/campaign.cpp).  Because the plan fields ride the
+  // submit frame and the admission journal, a replay after a server crash
+  // re-fires the same bit at the same dynamic op.
+  std::optional<rt::session> armed;
+  if (request.fault.armed) {
+    rt::fault_plan plan;
+    plan.cls = request.fault.cls;
+    plan.target = request.fault.target;
+    plan.bit = request.fault.bit;
+    armed.emplace(plan, request.fault.step_budget > 0
+                            ? request.fault.step_budget
+                            : ~0ULL);
+  }
   const core::pool_scope scope(pool);
   return app::summarize(*source, config);
 }
@@ -131,6 +154,66 @@ class mini_streamer {
 };
 
 }  // namespace
+
+struct job_sink {
+  std::mutex mutex;
+  std::uint64_t job_id = 0;
+  int fd = -1;  ///< attached client connection; -1 = detached (orphan)
+  /// Every frame this job ever emitted, accept first, in send order —
+  /// the replay source for an adopting duplicate submit.
+  std::vector<std::string> frames;
+  bool settled = false;  ///< final complete/failed frame already emitted
+
+  ~job_sink() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Buffers the frame and mirrors it to the attached connection.  A dead
+  /// peer detaches the sink; the job keeps running and the buffer keeps
+  /// growing so a later adoption still gets the full stream.
+  void emit(const std::string& frame_bytes) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    frames.push_back(frame_bytes);
+    if (fd >= 0 && !send_all(fd, frame_bytes)) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+
+  /// Attaches a (re)submitting client: replaces any previous connection
+  /// and replays the entire buffered stream.  For a settled job that is
+  /// the complete response; for a live one the connection then receives
+  /// every future emit.
+  void adopt(int new_fd) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+    for (const auto& frame_bytes : frames) {
+      if (!send_all(new_fd, frame_bytes)) {
+        ::close(new_fd);
+        return;
+      }
+    }
+    if (settled) {
+      ::close(new_fd);
+      return;
+    }
+    fd = new_fd;
+  }
+
+  /// Marks the stream complete and hangs up.  Called after the final
+  /// complete/failed frame went through emit().
+  void finalize() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    settled = true;
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+};
 
 server::server(server_config config)
     : config_(std::move(config)), arbiter_(config_.pool_budget) {
@@ -212,6 +295,28 @@ void server::start() {
                  "wall_ms");
   }
 
+  // Crash-only serving: compact the admission journal down to its
+  // unfinished tail, re-enqueue that tail as detached jobs (their clients
+  // re-attach by idempotency key), and keep the journal open for this
+  // boot's A/D/G appends.  Runs before the runner threads exist, so the
+  // replayed queue is complete before anything executes.
+  if (!config_.journal_path.empty()) {
+    const std::vector<journaled_job> replay =
+        compact_job_journal(config_.journal_path, "serve");
+    journal_.open(config_.journal_path, /*truncate=*/false);
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    for (const auto& entry : replay) {
+      next_job_id_ = std::max(next_job_id_, entry.id + 1);
+      (void)enqueue_locked(entry.id, entry.request, -1);
+    }
+    replayed_ = replay.size();
+    journal_depth_ = replay.size();
+    if (!replay.empty()) {
+      log::info("serve: replayed " + std::to_string(replay.size()) +
+                " unfinished job(s) from " + config_.journal_path);
+    }
+  }
+
   // Cross-job stage batching: every in-process job feeds the same per-stage
   // queues, so frames from different admitted clips coalesce into single
   // pool dispatches.  Batches lease dispatch width from the same arbiter the
@@ -249,6 +354,9 @@ void server::request_drain() noexcept {
 
 void server::run() {
   for (;;) {
+    // Heartbeat hook: the supervisor shell (serve/respawn.h) pulses its
+    // liveness line from here, so a wedged accept loop reads as a stall.
+    if (config_.on_tick) config_.on_tick();
     pollfd fds[2];
     fds[0] = {listen_fd_, POLLIN, 0};
     fds[1] = {wake_rd_, POLLIN, 0};
@@ -304,7 +412,15 @@ void server::run() {
   }
   ::close(listen_fd_);
   listen_fd_ = -1;
-  log::info("serve: drained, socket closed");
+  std::uint64_t deferred = 0;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    deferred = deferred_;
+  }
+  log::info("serve: drained, socket closed" +
+            (deferred > 0 ? " (" + std::to_string(deferred) +
+                                " rejected job(s) deferred to journal)"
+                          : std::string()));
 }
 
 void server::handle_connection(int fd) {
@@ -381,12 +497,54 @@ std::uint64_t server::retry_after_ms_locked() const {
       1, static_cast<std::uint64_t>(per_job * waves + 0.5));
 }
 
+server::pending_job server::enqueue_locked(std::uint64_t id,
+                                           const job_request& request,
+                                           int fd) {
+  pending_job job;
+  job.id = id;
+  job.request = request;
+  job.sink = std::make_shared<job_sink>();
+  job.sink->job_id = id;
+  job.sink->fd = fd;
+  job.admitted = clock::now();
+  const std::size_t depth = interactive_.size() + batch_.size();
+  if (!request.client_key.empty()) by_key_[request.client_key] = job.sink;
+  if (request.priority == priority_class::interactive) {
+    interactive_.push_back(job);
+  } else {
+    batch_.push_back(job);
+  }
+  // The accept frame rides the sink like every other frame, so an
+  // adopting duplicate submit replays a complete, well-formed stream.
+  job_accepted accepted;
+  accepted.job_id = id;
+  accepted.queue_depth = depth;
+  job.sink->emit(encode_accepted(accepted));
+  return job;
+}
+
 void server::admit_or_reject(int fd, const job_request& request,
                              bool& fd_owned) {
-  pending_job job;
+  // Idempotent resubmission: a key we already know adopts the existing
+  // job's buffered stream — never a second execution.  Checked before the
+  // drain gate so a client chasing its pre-crash job can still collect
+  // its result from a draining server.
+  if (!request.client_key.empty()) {
+    std::shared_ptr<job_sink> existing;
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      const auto it = by_key_.find(request.client_key);
+      if (it != by_key_.end()) existing = it->second;
+    }
+    if (existing) {
+      existing->adopt(fd);
+      fd_owned = false;  // the sink owns the connection now
+      return;
+    }
+  }
+
   job_rejected rejection;
   bool rejected = false;
-  job_accepted accepted;
   {
     const std::lock_guard<std::mutex> lock(state_mutex_);
     const std::size_t depth = interactive_.size() + batch_.size();
@@ -395,6 +553,12 @@ void server::admit_or_reject(int fd, const job_request& request,
       rejection.queue_depth = depth;
       rejected = true;
       ++rejected_;
+      // Deferred, not dropped: the journal re-admits this submit on the
+      // next boot, so a SIGTERM drain loses no offered work either.
+      if (!config_.journal_path.empty()) {
+        journal_.append(deferred_payload(request));
+        ++deferred_;
+      }
     } else if (depth >= config_.queue_capacity) {
       rejection.reason = reject_reason::queue_full;
       rejection.retry_after_ms = retry_after_ms_locked();
@@ -402,25 +566,22 @@ void server::admit_or_reject(int fd, const job_request& request,
       rejected = true;
       ++rejected_;
     } else {
-      job.id = next_job_id_++;
-      job.request = request;
-      job.fd = fd;
-      job.admitted = clock::now();
-      accepted.job_id = job.id;
-      accepted.queue_depth = depth;
-      if (request.priority == priority_class::interactive) {
-        interactive_.push_back(job);
-      } else {
-        batch_.push_back(job);
+      const std::uint64_t id = next_job_id_++;
+      // Durability before acknowledgement: the A line is flushed to the
+      // journal before the accept frame can reach the client, so every
+      // accepted job survives any later crash.
+      if (!config_.journal_path.empty()) {
+        journal_.append(accepted_payload(id, request));
+        ++journal_depth_;
       }
+      (void)enqueue_locked(id, request, fd);
+      fd_owned = false;  // the job's sink owns the connection now
     }
   }
   if (rejected) {
     (void)send_all(fd, encode_rejected(rejection));
     return;  // fd_owned stays true: caller closes
   }
-  (void)send_all(fd, encode_accepted(accepted));
-  fd_owned = false;  // the runner owns the connection now
   work_cv_.notify_one();
 }
 
@@ -461,13 +622,13 @@ void server::execute_job(pending_job job) {
       f.job_id = job.id;
       f.failure = fault::outcome::hang;
       f.message = "deadline_expired_in_queue";
-      (void)send_all(job.fd, encode_failed(f));
+      job.sink->emit(encode_failed(f));
       {
         const std::lock_guard<std::mutex> lock(state_mutex_);
         ++failed_;
       }
-      settle(job, "hang", waited);
-      ::close(job.fd);
+      settle(job, "hang", waited, /*completed=*/false, fault::outcome::hang,
+             0);
       return;
     }
   }
@@ -487,7 +648,6 @@ void server::execute_job(pending_job job) {
   } else {
     run_in_process(job, lease);
   }
-  ::close(job.fd);
 }
 
 void server::run_in_process(const pending_job& job,
@@ -495,8 +655,8 @@ void server::run_in_process(const pending_job& job,
   const auto t0 = clock::now();
   try {
     mini_streamer stream(
-        [fd = job.fd](const std::string& frame_bytes) {
-          (void)send_all(fd, frame_bytes);
+        [sink = job.sink](const std::string& frame_bytes) {
+          sink->emit(frame_bytes);
         },
         job.id);
     const app::summary_result result =
@@ -514,21 +674,23 @@ void server::run_in_process(const pending_job& job,
       const std::lock_guard<std::mutex> lock(state_mutex_);
       ++completed_;
     }
-    (void)send_all(job.fd,
-                   encode_complete(make_complete(job.id, result, wall_us)));
-    settle(job, "completed", total_ms);
+    const job_complete done = make_complete(job.id, result, wall_us);
+    job.sink->emit(encode_complete(done));
+    settle(job, "completed", total_ms, /*completed=*/true,
+           fault::outcome::masked, done.panorama_hash);
   } catch (const std::exception& e) {
     job_failed f;
     f.job_id = job.id;
     f.failure = outcome_of(e);
     f.message = e.what();
-    (void)send_all(job.fd, encode_failed(f));
+    job.sink->emit(encode_failed(f));
     {
       const std::lock_guard<std::mutex> lock(state_mutex_);
       ++failed_;
     }
     settle(job, fault::outcome_name(f.failure),
-           ms_between(job.admitted, clock::now()));
+           ms_between(job.admitted, clock::now()), /*completed=*/false,
+           f.failure, 0);
     log::warn(std::string("serve: job failed in-process: ") +
                     e.what());
   }
@@ -562,6 +724,7 @@ void server::run_isolated(const pending_job& job, core::pool_lease& lease) {
   frame_decoder decoder;
   bool saw_complete = false;
   bool saw_failed = false;
+  std::uint64_t delivered_hash = 0;
   const auto t0 = clock::now();
 
   const supervise::fork_ending ending = supervise::run_forked(
@@ -602,6 +765,9 @@ void server::run_isolated(const pending_job& job, core::pool_lease& lease) {
         while (const auto f = decoder.next()) {
           if (f->type == static_cast<std::uint16_t>(msg_type::complete)) {
             saw_complete = true;
+            if (const auto done = parse_complete(f->payload)) {
+              delivered_hash = done->panorama_hash;
+            }
             // Account before relaying: once the client reads this frame, a
             // follow-up stats request must already see the job completed.
             latency_.record(ms_between(job.admitted, clock::now()));
@@ -612,7 +778,7 @@ void server::run_isolated(const pending_job& job, core::pool_lease& lease) {
           if (f->type == static_cast<std::uint16_t>(msg_type::failed)) {
             saw_failed = true;
           }
-          (void)send_all(job.fd, encode_frame(f->type, f->payload));
+          job.sink->emit(encode_frame(f->type, f->payload));
         }
       });
 
@@ -636,19 +802,57 @@ void server::run_isolated(const pending_job& job, core::pool_lease& lease) {
         f.message = "worker_failed";
         break;
     }
-    if (!saw_failed) (void)send_all(job.fd, encode_failed(f));
+    if (!saw_failed) job.sink->emit(encode_failed(f));
     {
       const std::lock_guard<std::mutex> lock(state_mutex_);
       ++failed_;
     }
-    settle(job, fault::outcome_name(f.failure), total_ms);
+    settle(job, fault::outcome_name(f.failure), total_ms,
+           /*completed=*/false, f.failure, 0);
     return;
   }
-  settle(job, "completed", total_ms);
+  settle(job, "completed", total_ms, /*completed=*/true,
+         fault::outcome::masked, delivered_hash);
 }
 
 void server::settle(const pending_job& job, const char* outcome,
-                    double wall_ms) {
+                    double wall_ms, bool completed, fault::outcome failure,
+                    std::uint64_t panorama_hash) {
+  // Durable settlement first: once the D line is flushed, a crash between
+  // here and the client's read replays nothing (the journal knows the job
+  // is done), and the buffered sink still serves the result to a
+  // resubmitting client.
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!config_.journal_path.empty()) {
+      journal_.append(
+          settled_payload(job.id, completed, failure, panorama_hash));
+      if (journal_depth_ > 0) --journal_depth_;
+    }
+  }
+  job.sink->finalize();
+  // Keep the settled key resolvable for a bounded window so a duplicate
+  // submit replays the buffered stream instead of re-executing; evict the
+  // oldest settled keys beyond the cap (an evicted duplicate re-executes,
+  // which determinism makes byte-identical anyway).
+  if (!job.request.client_key.empty()) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    cache_order_.push_back(job.request.client_key);
+    while (cache_order_.size() > kCompletedCacheCap) {
+      const auto it = by_key_.find(cache_order_.front());
+      cache_order_.pop_front();
+      if (it != by_key_.end()) {
+        bool done;
+        {
+          const std::lock_guard<std::mutex> sink_lock(it->second->mutex);
+          done = it->second->settled;
+        }
+        // Only settled sinks leave the index: a live key under re-use
+        // (evicted then resubmitted) keeps deduping until it settles.
+        if (done) by_key_.erase(it);
+      }
+    }
+  }
   const std::lock_guard<std::mutex> lock(report_mutex_);
   if (!report_.active()) return;
   char wall[32];
@@ -672,6 +876,9 @@ stats_reply server::stats() const {
     s.rejected = rejected_;
     s.failed = failed_;
     s.draining = draining_;
+    s.restarts = config_.restarts;
+    s.journal_depth = journal_depth_;
+    s.replayed = replayed_;
   }
   s.pool_budget = arbiter_.budget();
   s.pool_in_use = arbiter_.in_use();

@@ -26,12 +26,29 @@
 // undisturbed runs — the CI smoke job (ci/check_serve_gate.sh) SIGTERMs a
 // live server mid-stream and cmp's every drained montage against one-shot
 // references.
+//
+// Crash-only serving (DESIGN.md §5j): with `journal_path` set, every
+// admission is appended to a durable, checksummed journal
+// (serve/job_journal.h) BEFORE the client's accept frame is sent, and
+// every settlement appends a matching D line.  On start() the journal is
+// compacted and the unfinished tail re-enqueued as orphan jobs (no client
+// connection yet); a client that resubmits under its idempotency key
+// adopts the orphan's buffered result stream instead of re-executing.
+// Queued jobs refused during a drain are journaled as deferred (G lines)
+// and re-admitted on the next boot, so a SIGTERM loses nothing either.
+// The supervisor shell (serve/respawn.h) restarts a crashed server around
+// this journal; because app::summarize is deterministic, a replayed job's
+// montage is byte-identical to the one the dead server would have sent
+// (ci/check_restart_gate.sh SIGKILLs a loaded server and cmp's every
+// eventually-delivered montage against one-shot references).
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,7 +59,9 @@
 #include "fault/report.h"
 #include "perf/latency.h"
 #include "pipeline/scheduler.h"
+#include "serve/job_journal.h"
 #include "serve/protocol.h"
+#include "supervise/journal.h"
 
 namespace vs::serve {
 
@@ -71,7 +90,24 @@ struct server_config {
   /// (pipeline_config::frames_in_flight); 0 disables prefetch like the
   /// pre-batching server.  Only effective when batching is on.
   int lookahead = 2;
+  /// Durable admission journal (serve/job_journal.h); empty = volatile
+  /// queue, the pre-crash-only behavior.
+  std::string journal_path;
+  /// Supervisor respawn generation, surfaced in stats_reply.restarts
+  /// (0 = first boot or unsupervised).
+  std::uint64_t restarts = 0;
+  /// Called once per accept-loop iteration (<= ~100 ms cadence) from the
+  /// run() thread; the supervisor shell uses it as the heartbeat source.
+  std::function<void()> on_tick;
 };
+
+/// Per-job result conduit: buffers every frame the job ever emitted
+/// (accept included) and mirrors them to the attached client connection,
+/// if any.  A job replayed from the journal starts detached (fd -1); a
+/// client resubmitting under the same idempotency key adopts the sink and
+/// receives the full buffered stream — which is exactly why a duplicate
+/// submit never re-executes.  Defined in server.cpp.
+struct job_sink;
 
 class server {
  public:
@@ -102,7 +138,9 @@ class server {
   struct pending_job {
     std::uint64_t id = 0;
     job_request request;
-    int fd = -1;  ///< client connection, owned by the job once admitted
+    /// Result conduit; owns the client connection (detached for jobs
+    /// replayed from the journal until their client resubmits).
+    std::shared_ptr<job_sink> sink;
     std::chrono::steady_clock::time_point admitted;
   };
 
@@ -112,7 +150,15 @@ class server {
   void execute_job(pending_job job);
   void run_in_process(const pending_job& job, core::pool_lease& lease);
   void run_isolated(const pending_job& job, core::pool_lease& lease);
-  void settle(const pending_job& job, const char* outcome, double wall_ms);
+  /// Journals the D line, finalizes the sink, rotates the completed-key
+  /// cache, and appends the per-job report row.
+  void settle(const pending_job& job, const char* outcome, double wall_ms,
+              bool completed, fault::outcome failure,
+              std::uint64_t panorama_hash);
+  /// Creates the sink + queue entry for one admission (journal replay or
+  /// live submit).  Caller holds state_mutex_.
+  pending_job enqueue_locked(std::uint64_t id, const job_request& request,
+                             int fd);
   [[nodiscard]] std::uint64_t retry_after_ms_locked() const;
 
   server_config config_;
@@ -143,6 +189,20 @@ class server {
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t failed_ = 0;
+
+  /// Admission journal writer (guarded by state_mutex_; A/G lines are
+  /// appended under the same critical section that mutates the queue, so
+  /// the durable record can never lag the volatile one).
+  supervise::journal_writer journal_;
+  std::uint64_t journal_depth_ = 0;  ///< journaled accepted-not-settled
+  std::uint64_t replayed_ = 0;       ///< jobs re-enqueued at this boot
+  std::uint64_t deferred_ = 0;       ///< drain-time G lines this run
+  /// Idempotency index: client key -> sink of the live or recently
+  /// completed job under that key (guarded by state_mutex_).
+  std::map<std::string, std::shared_ptr<job_sink>> by_key_;
+  /// FIFO of settled keys still held in by_key_ for duplicate-replay;
+  /// bounded (kCompletedCacheCap in server.cpp), oldest evicted first.
+  std::deque<std::string> cache_order_;
 
   std::mutex report_mutex_;
   fault::report_stream report_;

@@ -99,23 +99,36 @@ std::optional<std::size_t> parse_shard_mark(std::string_view payload,
   return static_cast<std::size_t>(*shard);
 }
 
-journal_state load_journal(const std::string& path) {
-  journal_state state;
+std::size_t scan_journal_lines(
+    const std::string& path,
+    const std::function<void(std::string_view)>& fn) {
   std::ifstream in(path);
-  if (!in) return state;
-
+  if (!in) return 0;
+  std::size_t skipped = 0;
   std::string line;
-  bool saw_header = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const auto payload = fault::wire::unseal(line);
-    if (!payload) {
-      ++state.skipped_lines;
+    if (!payload || payload->empty()) {
+      ++skipped;
       continue;
     }
-    const char tag = (*payload)[0];
+    fn(*payload);
+  }
+  return skipped;
+}
+
+journal_state load_journal(const std::string& path) {
+  journal_state state;
+  bool saw_header = false;
+  // The lambda counts well-sealed-but-malformed lines; the scan's return
+  // value adds the unreadable ones (torn writes, bit flips, garbage).
+  state.skipped_lines += scan_journal_lines(path, [&](std::string_view
+                                                          payload_view) {
+    const std::string payload(payload_view);
+    const char tag = payload[0];
     if (tag == 'H') {
-      const auto header = parse_header(*payload);
+      const auto header = parse_header(payload);
       // Only the first header counts; anything else is journal damage.
       if (header && !saw_header) {
         state.header = *header;
@@ -124,21 +137,21 @@ journal_state load_journal(const std::string& path) {
         ++state.skipped_lines;
       }
     } else if (tag == 'R') {
-      const auto parsed = fault::wire::parse_record(*payload);
+      const auto parsed = fault::wire::parse_record(payload);
       if (parsed) {
         state.records[parsed->index] = parsed->record;
       } else {
         ++state.skipped_lines;
       }
     } else if (tag == 'C') {
-      const auto shard = parse_shard_mark(*payload, 'C');
+      const auto shard = parse_shard_mark(payload, 'C');
       if (shard) {
         state.completed_shards.insert(*shard);
       } else {
         ++state.skipped_lines;
       }
     } else if (tag == 'Q') {
-      const auto shard = parse_shard_mark(*payload, 'Q');
+      const auto shard = parse_shard_mark(payload, 'Q');
       if (shard) {
         state.quarantined_shards.insert(*shard);
       } else {
@@ -147,7 +160,7 @@ journal_state load_journal(const std::string& path) {
     } else {
       ++state.skipped_lines;
     }
-  }
+  });
   // Records journaled before the header (impossible in a healthy journal)
   // would have no identity to validate against; drop them.
   if (!state.header) {

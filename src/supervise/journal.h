@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -29,6 +30,18 @@
 #include "fault/wire.h"
 
 namespace vs::supervise {
+
+/// Line-wise scan of any sealed-line journal: invokes `fn` with the
+/// unsealed payload of every line whose checksum validates, skipping (and
+/// counting) torn, bit-flipped, or garbage lines.  A missing file scans as
+/// empty.  This is the torn-tail-tolerant replay primitive shared by the
+/// campaign journal below and the serve admission journal
+/// (serve/job_journal.h) — both formats are "sealed payloads, one per
+/// line, flushed per line", so a SIGKILL at any byte offset costs at most
+/// the line being written.
+std::size_t scan_journal_lines(
+    const std::string& path,
+    const std::function<void(std::string_view payload)>& fn);
 
 /// Campaign identity stamped at the top of a journal.  Resume refuses a
 /// journal whose identity doesn't match the campaign being run (a record

@@ -10,13 +10,19 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "app/pipeline.h"
 #include "fault/wire.h"
 #include "serve/client.h"
+#include "serve/job_journal.h"
+#include "serve/respawn.h"
+#include "supervise/journal.h"
 #include "video/generator.h"
 
 namespace vs::serve {
@@ -430,6 +436,240 @@ TEST(Serve, MalformedSubmitPayloadIsRejectedAsBadRequest) {
   const auto rejected = parse_rejected(reply->payload);
   ASSERT_TRUE(rejected.has_value());
   EXPECT_EQ(rejected->reason, reject_reason::bad_request);
+}
+
+// --- crash-only serving: journal replay, dedupe, drain deferral ---
+
+bool wait_for_path(const std::string& path, double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (::access(path.c_str(), F_OK) == 0) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+/// A supervised server (respawn_supervisor on its own thread); SIGKILLing
+/// the child via kill() exercises the full crash -> respawn -> replay path.
+class supervised_fixture {
+ public:
+  explicit supervised_fixture(server_config config) {
+    config_.server = std::move(config);
+    config_.stable_uptime_s = 0.2;
+    config_.max_consecutive_failures = 20;
+    config_.backoff.base_delay_ms = 10.0;
+    config_.backoff.max_delay_ms = 100.0;
+    supervisor_ = std::make_unique<respawn_supervisor>(config_);
+    thread_ = std::thread([this] { (void)supervisor_->run(); });
+  }
+  ~supervised_fixture() { shutdown(); }
+
+  void shutdown() {
+    if (thread_.joinable()) {
+      supervisor_->request_shutdown();
+      thread_.join();
+    }
+  }
+
+  respawn_supervisor& get() { return *supervisor_; }
+
+ private:
+  respawn_config config_;
+  std::unique_ptr<respawn_supervisor> supervisor_;
+  std::thread thread_;
+};
+
+TEST(ServeRestart, SigkillWithQueuedJobsReplaysByteIdentically) {
+  const std::string path = unique_socket_path();
+  const std::string journal = path + ".journal";
+  auto config = quick_config(path);
+  config.journal_path = journal;
+  config.runners = 1;  // serialize jobs so the kill lands on a real queue
+  supervised_fixture fixture(std::move(config));
+  ASSERT_TRUE(wait_for_path(path, 10.0));
+
+  constexpr int kJobs = 4;
+  std::vector<std::thread> clients;
+  std::vector<char> ok(kJobs, 0);
+  std::atomic<int> reconnected{0};
+  for (int i = 0; i < kJobs; ++i) {
+    clients.emplace_back([&, i] {
+      job_request request;
+      request.input = i % 2 == 0 ? video::input_id::input1
+                                 : video::input_id::input2;
+      request.alg = i % 2 == 0 ? app::algorithm::vs : app::algorithm::vs_rfd;
+      request.frames = 8;
+      request.client_key = "restart-" + std::to_string(i);
+      resilient_policy policy;
+      policy.backoff.max_attempts = 12;
+      policy.backoff.base_delay_ms = 20.0;
+      policy.backoff.max_delay_ms = 300.0;
+      client c(path, 120.0);
+      const auto outcome = c.submit_resilient(request, policy);
+      if (!outcome.complete) return;
+      if (outcome.reconnects > 0) ++reconnected;
+      ok[i] = outcome.complete->montage == reference_run(request).panorama
+                  ? 1
+                  : 0;
+    });
+  }
+
+  // Kill once the burst is admitted and the first job is mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  fixture.get().kill_child();
+
+  for (auto& t : clients) t.join();
+  for (int i = 0; i < kJobs; ++i) {
+    EXPECT_TRUE(ok[i]) << "job " << i
+                       << " lost or diverged across the restart";
+  }
+
+  fixture.shutdown();
+  std::remove(journal.c_str());
+}
+
+TEST(ServeRestart, DuplicateClientKeyExecutesOnce) {
+  const std::string path = unique_socket_path();
+  const std::string journal = path + ".journal";
+  auto config = quick_config(path);
+  config.journal_path = journal;
+  server_fixture fixture(std::move(config));
+  client c(path, 120.0);
+
+  job_request request;
+  request.input = video::input_id::input1;
+  request.alg = app::algorithm::vs;
+  request.frames = 8;
+  request.client_key = "dup-key";
+  const auto first = c.submit(request);
+  ASSERT_TRUE(first.complete.has_value());
+
+  // Same key again: the server adopts the settled sink and replays the
+  // buffered stream — no second execution.
+  const auto second = c.submit(request);
+  ASSERT_TRUE(second.complete.has_value());
+  EXPECT_TRUE(second.complete->montage == first.complete->montage);
+  EXPECT_EQ(second.complete->panorama_hash, first.complete->panorama_hash);
+  EXPECT_EQ(fixture.get().stats().completed, 1u);
+
+  fixture.shutdown();
+  std::remove(journal.c_str());
+}
+
+TEST(ServeRestart, ReplayOfCompletedJobIsANoOp) {
+  const std::string path = unique_socket_path();
+  const std::string journal = path + ".journal";
+
+  // Hand-write a journal claiming job 1 accepted AND settled, job 2 only
+  // accepted: a correct boot replays exactly job 2.
+  job_request req;
+  req.input = video::input_id::input1;
+  req.alg = app::algorithm::vs;
+  req.frames = 8;
+  {
+    supervise::journal_writer writer;
+    writer.open(journal, /*truncate=*/true);
+    writer.append(job_journal_header_payload("serve"));
+    req.client_key = "done-already";
+    writer.append(accepted_payload(1, req));
+    writer.append(settled_payload(1, true, fault::outcome::masked, 0x1234));
+    req.client_key = "still-pending";
+    writer.append(accepted_payload(2, req));
+  }
+
+  auto config = quick_config(path);
+  config.journal_path = journal;
+  server_fixture fixture(std::move(config));
+  client c(path, 120.0);
+
+  EXPECT_EQ(c.stats().replayed, 1u);
+  // The replayed job runs to completion without any client attached...
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(60);
+  while (std::chrono::steady_clock::now() < deadline &&
+         c.stats().completed < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const auto stats = c.stats();
+  EXPECT_EQ(stats.completed, 1u);  // job 2 only; job 1 never re-executed
+  EXPECT_EQ(stats.journal_depth, 0u);
+
+  // ...and a client showing up late under the pending key adopts the
+  // finished result instead of triggering a second execution.
+  req.client_key = "still-pending";
+  const auto adopted = c.submit(req);
+  ASSERT_TRUE(adopted.complete.has_value());
+  EXPECT_TRUE(adopted.complete->montage == reference_run(req).panorama);
+  EXPECT_EQ(fixture.get().stats().completed, 1u);
+
+  fixture.shutdown();
+  std::remove(journal.c_str());
+}
+
+TEST(ServeRestart, DrainDefersRejectedJobsToTheJournal) {
+  const std::string path = unique_socket_path();
+  const std::string journal = path + ".journal";
+  {
+    server_config config;
+    config.socket_path = path;
+    config.journal_path = journal;
+    config.queue_capacity = 8;
+    config.runners = 1;
+    config.pool_budget = 1;
+    server_fixture fixture(std::move(config));
+
+    // Wedge the runner so the drain has something to wait for, then ask
+    // for the drain and submit a latecomer: it must be rejected with
+    // `draining` AND journaled as a deferred G line.
+    std::thread busy([&] {
+      job_request request;
+      request.frames = 40;
+      client c(path, 120.0);
+      (void)c.submit(request);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    fixture.get().request_drain();
+
+    job_request late;
+    late.input = video::input_id::input2;
+    late.frames = 8;
+    late.client_key = "deferred-job";
+    client c(path, 120.0);
+    try {
+      const auto outcome = c.submit(late);
+      ASSERT_TRUE(outcome.rejected.has_value());
+      EXPECT_EQ(outcome.rejected->reason, reject_reason::draining);
+    } catch (const io_error&) {
+      // Drain finished first and the socket is gone: no deferral to test.
+      busy.join();
+      fixture.shutdown();
+      std::remove(journal.c_str());
+      GTEST_SKIP() << "server drained before the late submit connected";
+    }
+    busy.join();
+    fixture.shutdown();
+  }
+
+  const auto state = load_job_journal(journal);
+  ASSERT_EQ(state.deferred.size(), 1u);
+  EXPECT_EQ(state.deferred[0].client_key, "deferred-job");
+
+  // Next boot re-admits the deferred job and completes it.
+  auto config = quick_config(path);
+  config.journal_path = journal;
+  server_fixture fixture(std::move(config));
+  client c(path, 120.0);
+  EXPECT_EQ(c.stats().replayed, 1u);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(60);
+  while (std::chrono::steady_clock::now() < deadline &&
+         c.stats().completed < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(c.stats().completed, 1u);
+  fixture.shutdown();
+  std::remove(journal.c_str());
 }
 
 }  // namespace

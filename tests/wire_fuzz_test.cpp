@@ -7,13 +7,17 @@
 // crash, never a half-parsed record.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "fault/wire.h"
 #include "serve/framing.h"
+#include "serve/job_journal.h"
 #include "serve/protocol.h"
+#include "supervise/journal.h"
 
 namespace vs {
 namespace {
@@ -291,6 +295,12 @@ TEST(ProtocolFuzz, SubmitRoundTripPreservesEveryField) {
   request.priority = serve::priority_class::interactive;
   request.deadline_ms = 12345;
   request.max_threads = 5;
+  request.client_key = "fleet-42-7";
+  request.fault.armed = true;
+  request.fault.cls = rt::reg_class::fpr;
+  request.fault.target = 987654321ULL;
+  request.fault.bit = 61;
+  request.fault.step_budget = 5555555ULL;
 
   serve::frame_decoder decoder;
   decoder.feed(serve::encode_submit(request));
@@ -305,6 +315,238 @@ TEST(ProtocolFuzz, SubmitRoundTripPreservesEveryField) {
   EXPECT_EQ(back->priority, request.priority);
   EXPECT_EQ(back->deadline_ms, request.deadline_ms);
   EXPECT_EQ(back->max_threads, request.max_threads);
+  EXPECT_EQ(back->client_key, request.client_key);
+  EXPECT_EQ(back->fault.armed, request.fault.armed);
+  EXPECT_EQ(back->fault.cls, request.fault.cls);
+  EXPECT_EQ(back->fault.target, request.fault.target);
+  EXPECT_EQ(back->fault.bit, request.fault.bit);
+  EXPECT_EQ(back->fault.step_budget, request.fault.step_budget);
+}
+
+TEST(ProtocolFuzz, LegacySevenFieldSubmitStillParses) {
+  // A pre-crash-only client sends only the original 7 fields; the server
+  // must accept it as a keyless, unarmed request.
+  const auto back = serve::parse_submit("J 1 2 24 1 0 500 4");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->input, video::input_id::input2);
+  EXPECT_EQ(back->alg, app::algorithm::vs_kds);
+  EXPECT_EQ(back->frames, 24);
+  EXPECT_TRUE(back->client_key.empty());
+  EXPECT_FALSE(back->fault.armed);
+  // Any other field count between the two shapes is garbage.
+  EXPECT_FALSE(serve::parse_submit("J 1 2 24 1 0 500 4 key").has_value());
+  EXPECT_FALSE(
+      serve::parse_submit("J 1 2 24 1 0 500 4 key 1 0 9 3").has_value());
+}
+
+// --- serve job journal on top of the sealed line protocol ---
+//
+// The admission journal shares the campaign journal's physics (sealed
+// payloads, one per line, flushed per line), so the adversary is the same:
+// a SIGKILL tearing the tail, a disk flipping a bit, a replay duplicating
+// lines.  The contract under fuzz: the replayed job set is exactly the
+// clean journal's minus the corrupted records — never a crash, never a
+// half-parsed admission, never a double execution.
+
+serve::job_request journal_request(int i) {
+  serve::job_request r;
+  r.input = i % 2 == 0 ? video::input_id::input1 : video::input_id::input2;
+  r.alg = static_cast<app::algorithm>(i % 4);
+  r.frames = 6 + i;
+  r.client_key = "fuzz-" + std::to_string(i);
+  r.fault.armed = i % 3 == 0;
+  r.fault.target = static_cast<std::uint64_t>(i) * 1013904223ULL;
+  r.fault.bit = static_cast<std::uint32_t>(i % 64);
+  r.fault.step_budget = 1000000ULL + static_cast<std::uint64_t>(i);
+  return r;
+}
+
+/// The clean journal every corruption test perturbs: header, five
+/// admissions, two settlements (ids 1 and 4), one deferred drain-tail job.
+std::vector<std::string> clean_journal_payloads() {
+  std::vector<std::string> lines;
+  lines.push_back(serve::job_journal_header_payload("fuzz"));
+  for (int i = 1; i <= 5; ++i) {
+    lines.push_back(serve::accepted_payload(static_cast<std::uint64_t>(i),
+                                            journal_request(i)));
+  }
+  lines.push_back(
+      serve::settled_payload(1, true, fault::outcome::masked, 0xabcdULL));
+  lines.push_back(serve::settled_payload(4, false,
+                                         fault::outcome::crash_segfault, 0));
+  lines.push_back(serve::deferred_payload(journal_request(99)));
+  return lines;
+}
+
+void write_journal(const std::string& path,
+                   const std::vector<std::string>& payloads) {
+  supervise::journal_writer writer;
+  writer.open(path, /*truncate=*/true);
+  for (const auto& p : payloads) writer.append(p);
+}
+
+/// Serializes a replay set; equal strings mean equal job sets, field for
+/// field, in replay order.
+std::string replay_key(const std::vector<serve::journaled_job>& jobs) {
+  std::string out;
+  for (const auto& j : jobs) {
+    out += std::to_string(j.id) + ":" +
+           serve::request_fields_payload(j.request) + "\n";
+  }
+  return out;
+}
+
+std::string journal_temp(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+TEST(JournalFuzz, CleanJournalReplaysUnsettledPlusDeferred) {
+  const std::string path = journal_temp("job_journal_clean.journal");
+  write_journal(path, clean_journal_payloads());
+  const auto state = serve::load_job_journal(path);
+  EXPECT_TRUE(state.saw_header);
+  EXPECT_EQ(state.skipped_lines, 0u);
+  const auto replay = state.unfinished();
+  // Ids 1 and 4 settled; 2, 3, 5 replay in admission order, then the
+  // deferred job under a fresh id past the largest journaled one.
+  ASSERT_EQ(replay.size(), 4u);
+  EXPECT_EQ(replay[0].id, 2u);
+  EXPECT_EQ(replay[1].id, 3u);
+  EXPECT_EQ(replay[2].id, 5u);
+  EXPECT_GT(replay[3].id, 5u);
+  EXPECT_EQ(replay[0].request.client_key, "fuzz-2");
+  EXPECT_EQ(replay[3].request.client_key, "fuzz-99");
+  EXPECT_EQ(serve::request_fields_payload(replay[2].request),
+            serve::request_fields_payload(journal_request(5)));
+  std::remove(path.c_str());
+}
+
+TEST(JournalFuzz, TruncationReplaysExactlyTheIntactPrefix) {
+  // Cutting the byte stream anywhere must replay exactly what a journal
+  // holding only the fully-written lines would: the torn tail costs its
+  // own line, never the records before it.
+  const auto payloads = clean_journal_payloads();
+  std::string stream;
+  std::vector<std::size_t> line_ends;
+  for (const auto& p : payloads) {
+    stream += fault::wire::seal(p) + "\n";
+    line_ends.push_back(stream.size());
+  }
+  const std::string torn_path = journal_temp("job_journal_torn.journal");
+  const std::string ref_path = journal_temp("job_journal_ref.journal");
+  std::mt19937_64 rng(41);
+  std::uniform_int_distribution<std::size_t> cut(0, stream.size());
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t at = cut(rng);
+    std::ofstream(torn_path, std::ios::binary | std::ios::trunc)
+        << stream.substr(0, at);
+    // A line survives if every byte except its trailing '\n' made it:
+    // getline yields an unterminated final line, and the seal still
+    // validates.
+    std::size_t complete = 0;
+    while (complete < line_ends.size() && line_ends[complete] - 1 <= at) {
+      ++complete;
+    }
+    write_journal(ref_path, {payloads.begin(),
+                             payloads.begin() +
+                                 static_cast<std::ptrdiff_t>(complete)});
+    EXPECT_EQ(replay_key(serve::load_job_journal(torn_path).unfinished()),
+              replay_key(serve::load_job_journal(ref_path).unfinished()));
+  }
+  std::remove(torn_path.c_str());
+  std::remove(ref_path.c_str());
+}
+
+TEST(JournalFuzz, BitFlipCostsAtMostTheFlippedRecord) {
+  // Flip one bit somewhere in one line: the loader must either reject that
+  // line (replay == clean journal minus that record) or, if the flip
+  // happens to leave the seal valid (hex-case flips in the checksum),
+  // replay the clean set untouched.
+  const auto payloads = clean_journal_payloads();
+  const std::string flip_path = journal_temp("job_journal_flip.journal");
+  const std::string ref_path = journal_temp("job_journal_flipref.journal");
+  std::mt19937_64 rng(43);
+  std::uniform_int_distribution<int> bit(0, 7);
+  for (std::size_t victim = 0; victim < payloads.size(); ++victim) {
+    const std::string sealed = fault::wire::seal(payloads[victim]);
+    std::uniform_int_distribution<std::size_t> pick(0, sealed.size() - 1);
+    for (int trial = 0; trial < 30; ++trial) {
+      std::string bent = sealed;
+      const std::size_t at = pick(rng);
+      bent[at] = static_cast<char>(bent[at] ^ (1 << bit(rng)));
+      if (bent[at] == '\n') continue;  // a flip INTO framing splits lines
+      std::ofstream out(flip_path, std::ios::binary | std::ios::trunc);
+      for (std::size_t i = 0; i < payloads.size(); ++i) {
+        out << (i == victim ? bent : fault::wire::seal(payloads[i])) << "\n";
+      }
+      out.close();
+      const auto flipped = serve::load_job_journal(flip_path);
+      if (fault::wire::unseal(bent) == payloads[victim]) {
+        write_journal(ref_path, payloads);  // benign hex-case flip
+      } else {
+        std::vector<std::string> minus;
+        for (std::size_t i = 0; i < payloads.size(); ++i) {
+          if (i != victim) minus.push_back(payloads[i]);
+        }
+        write_journal(ref_path, minus);
+        EXPECT_GE(flipped.skipped_lines, 1u);
+      }
+      EXPECT_EQ(replay_key(flipped.unfinished()),
+                replay_key(serve::load_job_journal(ref_path).unfinished()));
+    }
+  }
+  std::remove(flip_path.c_str());
+  std::remove(ref_path.c_str());
+}
+
+TEST(JournalFuzz, DuplicatedLinesAreNoOps) {
+  // A replayed write (crash between append and ack, then re-append) must
+  // not double-admit or double-settle: duplicate A and D lines are no-ops.
+  const auto payloads = clean_journal_payloads();
+  const std::string clean_path = journal_temp("job_journal_dup_ref.journal");
+  write_journal(clean_path, payloads);
+  const std::string clean_key =
+      replay_key(serve::load_job_journal(clean_path).unfinished());
+
+  const std::string dup_path = journal_temp("job_journal_dup.journal");
+  std::vector<std::string> doubled;
+  for (const auto& p : payloads) {
+    doubled.push_back(p);
+    if (p.size() > 1 && (p[0] == 'A' || p[0] == 'D')) doubled.push_back(p);
+  }
+  write_journal(dup_path, doubled);
+  const auto state = serve::load_job_journal(dup_path);
+  EXPECT_EQ(replay_key(state.unfinished()), clean_key);
+  EXPECT_EQ(state.accepted.size(), 5u);
+  EXPECT_EQ(state.settled.size(), 2u);
+  std::remove(clean_path.c_str());
+  std::remove(dup_path.c_str());
+}
+
+TEST(JournalFuzz, HeaderlessJournalDropsEveryRecord) {
+  // Records without an identity line are another journal's strays; replay
+  // must refuse them all rather than resurrect foreign jobs.
+  auto payloads = clean_journal_payloads();
+  payloads.erase(payloads.begin());
+  const std::string path = journal_temp("job_journal_headerless.journal");
+  write_journal(path, payloads);
+  const auto state = serve::load_job_journal(path);
+  EXPECT_FALSE(state.saw_header);
+  EXPECT_TRUE(state.unfinished().empty());
+  EXPECT_EQ(state.skipped_lines, payloads.size());
+  std::remove(path.c_str());
+}
+
+TEST(JournalFuzz, GarbageJournalNeverCrashesTheLoader) {
+  std::mt19937_64 rng(47);
+  const std::string path = journal_temp("job_journal_garbage.journal");
+  for (int i = 0; i < 50; ++i) {
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << random_bytes(rng, 2000);
+    const auto state = serve::load_job_journal(path);
+    EXPECT_TRUE(state.unfinished().empty());
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

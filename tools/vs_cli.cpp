@@ -29,11 +29,16 @@
 //   vs submit    <socket> --stats                          server snapshot
 
 #include <csignal>
+#include <unistd.h>
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "app/events.h"
 #include "app/pipeline.h"
@@ -48,7 +53,9 @@
 #include "resil/cfcss.h"
 #include "quality/metric.h"
 #include "resil/runtime.h"
+#include "serve/campaign.h"
 #include "serve/client.h"
+#include "serve/respawn.h"
 #include "serve/server.h"
 #include "supervise/supervisor.h"
 #include "video/generator.h"
@@ -69,6 +76,7 @@ using namespace vs;
       "               [--harden[=LEVEL]] [--replicate=STAGES]\n"
       "               [--csv=path] [--json=path] [--jobs=N] [--isolate]\n"
       "               [--journal=path] [--resume] [--timeout=S]\n"
+      "               [--serve] [--serve-kill=N] [--frames=N]\n"
       "  vs quality   <golden.pnm> <faulty.pnm>\n"
       "  vs profile   <input1|input2|input3> [frames]\n"
       "  vs stages\n"
@@ -78,14 +86,18 @@ using namespace vs;
       "               [--no-motion-reuse] [--budget-factor=F]\n"
       "  vs fleet     <input1|input2|input3> [algorithms...] [--frames=N]\n"
       "               [--jobs=N] [--isolate] [--timeout=S] [--budget=N]\n"
-      "               [--csv=path] [--json=path]\n"
+      "               [--csv=path] [--json=path] [--socket=PATH]\n"
+      "               [--retries=N]\n"
       "  vs serve     <socket> [--queue=N] [--runners=N] [--budget=N]\n"
       "               [--isolate] [--timeout=S] [--report=path]\n"
-      "               [--lookahead=N]\n"
+      "               [--lookahead=N] [--journal=path] [--supervised]\n"
+      "               [--pidfile=path] [--stall-timeout=S]\n"
+      "               [--max-respawns=N]\n"
       "  vs submit    <socket> <input1|input2|input3> [algorithm] [frames]\n"
       "               [out.pgm] [--hardening=off|detectors|cfcss|full]\n"
       "               [--priority=interactive|batch] [--deadline=MS]\n"
-      "               [--threads=N] [--stream-dir=DIR]\n"
+      "               [--threads=N] [--stream-dir=DIR] [--id=KEY]\n"
+      "               [--retries=N]\n"
       "  vs submit    <socket> --stats\n");
   std::exit(2);
 }
@@ -177,6 +189,9 @@ int cmd_inject(int argc, char** argv) {
   bool replicate_set = false;
   supervise::supervisor_config super;
   bool supervised = false;
+  bool serve_campaign = false;
+  int serve_kill = 0;
+  int serve_frames = 12;
   for (int i = 5; i < argc; ++i) {
     if (std::strncmp(argv[i], "--harden", 8) == 0 &&
         (argv[i][8] == '\0' || argv[i][8] == '=')) {
@@ -203,9 +218,63 @@ int cmd_inject(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--timeout=", 10) == 0) {
       super.shard_timeout_s = std::atof(argv[i] + 10);
       supervised = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve_campaign = true;
+    } else if (std::strncmp(argv[i], "--serve-kill=", 13) == 0) {
+      serve_kill = std::atoi(argv[i] + 13);
+      serve_campaign = true;
+    } else if (std::strncmp(argv[i], "--frames=", 9) == 0) {
+      serve_frames = std::atoi(argv[i] + 9);
     } else {
       config.approx.alg = app::parse_algorithm(argv[i]);
     }
+  }
+
+  // Serve-layer campaign: same planned injections, but fired through a
+  // resident supervised server and classified from the client's chair
+  // (serve/campaign.h).
+  if (serve_campaign) {
+    serve::serve_campaign_config sc;
+    sc.input = input;
+    sc.alg = config.approx.alg;
+    sc.frames = serve_frames;
+    sc.cls = fpr ? rt::reg_class::fpr : rt::reg_class::gpr;
+    sc.injections = injections;
+    sc.kill_every = serve_kill;
+    const auto result = serve::run_serve_campaign(sc);
+    std::printf("golden %016llx over %llu %s op(s), step budget %llu\n",
+                static_cast<unsigned long long>(result.golden_hash),
+                static_cast<unsigned long long>(result.total_ops),
+                fpr ? "fpr" : "gpr",
+                static_cast<unsigned long long>(result.step_budget));
+    std::printf("%s", result.to_string().c_str());
+    if (!json_path.empty()) {
+      char hash[24];
+      std::snprintf(hash, sizeof(hash), "%016llx",
+                    static_cast<unsigned long long>(result.golden_hash));
+      fault::write_text_file(
+          json_path,
+          std::string("{\"input\": \"") + video::input_name(input) +
+              "\", \"algorithm\": \"" +
+              app::algorithm_name(config.approx.alg) + "\", \"class\": \"" +
+              (fpr ? "fpr" : "gpr") +
+              "\", \"injections\": " + std::to_string(injections) +
+              ", \"kill_every\": " + std::to_string(serve_kill) +
+              ", \"golden_hash\": \"" + hash + "\", \"server_restarts\": " +
+              std::to_string(result.server_restarts) +
+              ", \"completed\": " + std::to_string(result.counts[0]) +
+              ", \"completed_after_restart\": " +
+              std::to_string(result.counts[1]) +
+              ", \"rejected\": " + std::to_string(result.counts[2]) +
+              ", \"lost\": " + std::to_string(result.counts[3]) +
+              ", \"sdc_delivered\": " + std::to_string(result.sdc_visible) +
+              "}\n");
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return result.counts[static_cast<int>(serve::client_outcome::lost)] ==
+                   0
+               ? 0
+               : 1;
   }
 
   const auto source = video::make_input(input, 20);
@@ -462,6 +531,8 @@ int cmd_fleet(int argc, char** argv) {
   int frames = 20;
   std::string csv_path;
   std::string json_path;
+  std::string socket_path;
+  int fleet_retries = 0;
   std::vector<app::algorithm> algorithms;
   for (int i = 3; i < argc; ++i) {
     if (std::strncmp(argv[i], "--frames=", 9) == 0) {
@@ -478,6 +549,10 @@ int cmd_fleet(int argc, char** argv) {
       csv_path = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--socket=", 9) == 0) {
+      socket_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      fleet_retries = std::atoi(argv[i] + 10);
     } else {
       algorithms.push_back(app::parse_algorithm(argv[i]));
     }
@@ -543,7 +618,57 @@ int cmd_fleet(int argc, char** argv) {
         }
       };
 
-  const auto results = supervise::run_clip_fleet(jobs, super, observer);
+  std::vector<supervise::clip_result> results;
+  if (!socket_path.empty()) {
+    // Serve-backed fleet: each clip is a resilient submission to a running
+    // server instead of a local forked worker.  Idempotency keys make the
+    // retries safe; results are synthesized into the same clip_result rows
+    // so the streamed reports and summary below are format-identical.
+    results.resize(jobs.size());
+    std::vector<std::thread> threads;
+    threads.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      threads.emplace_back([&, i] {
+        serve::job_request request;
+        request.input = jobs[i].input;
+        request.alg = jobs[i].alg;
+        request.frames = jobs[i].frames;
+        request.client_key =
+            "fleet-" + std::to_string(static_cast<long>(::getpid())) + "-" +
+            std::to_string(i);
+        serve::resilient_policy policy;
+        if (fleet_retries > 0) policy.backoff.max_attempts = fleet_retries;
+        serve::client c(socket_path, /*receive_timeout_s=*/300.0);
+        const auto t0 = std::chrono::steady_clock::now();
+        const serve::submit_outcome out = c.submit_resilient(request, policy);
+        supervise::clip_result r;
+        r.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        r.attempts = out.attempts;
+        if (out.complete) {
+          r.completed = true;
+          r.panorama_hash = out.complete->panorama_hash;
+          r.frames_stitched = out.complete->stats.frames_stitched;
+          r.mini_panoramas = out.complete->stats.mini_panoramas;
+        } else if (out.failed) {
+          r.failure = out.failed->failure;
+        } else {
+          // Rejected or Lost: nothing ran to completion on our behalf.
+          r.failure = fault::outcome::crash_abort;
+        }
+        results[i] = r;
+      });
+    }
+    for (auto& t : threads) t.join();
+    // The observer contract is serialized delivery; invoke it in clip
+    // order after the joins rather than racing from worker threads.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      observer(i, jobs[i], results[i]);
+    }
+  } else {
+    results = supervise::run_clip_fleet(jobs, super, observer);
+  }
   if (!csv_path.empty()) std::printf("wrote %s\n", csv_path.c_str());
   if (!json_path.empty()) std::printf("wrote %s\n", json_path.c_str());
 
@@ -576,10 +701,21 @@ extern "C" void handle_drain_signal(int) {
   if (g_serve_instance != nullptr) g_serve_instance->request_drain();
 }
 
+// Supervised mode: SIGTERM/SIGINT stop the SUPERVISOR (which SIGTERMs the
+// child so it drains); the child generation installs its own drain handler
+// post-fork (serve/respawn.cpp).
+serve::respawn_supervisor* g_respawn_instance = nullptr;
+
+extern "C" void handle_supervisor_signal(int) {
+  if (g_respawn_instance != nullptr) g_respawn_instance->request_shutdown();
+}
+
 int cmd_serve(int argc, char** argv) {
   if (argc < 3) usage();
   serve::server_config config;
   config.socket_path = argv[2];
+  bool supervised = false;
+  serve::respawn_config respawn;
   for (int i = 3; i < argc; ++i) {
     if (std::strncmp(argv[i], "--queue=", 8) == 0) {
       config.queue_capacity =
@@ -596,9 +732,42 @@ int cmd_serve(int argc, char** argv) {
       config.report_path = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--lookahead=", 12) == 0) {
       config.lookahead = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
+      config.journal_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--supervised") == 0) {
+      supervised = true;
+    } else if (std::strncmp(argv[i], "--pidfile=", 10) == 0) {
+      respawn.pidfile = argv[i] + 10;
+      supervised = true;
+    } else if (std::strncmp(argv[i], "--stall-timeout=", 16) == 0) {
+      respawn.stall_timeout_s = std::atof(argv[i] + 16);
+      supervised = true;
+    } else if (std::strncmp(argv[i], "--max-respawns=", 15) == 0) {
+      respawn.max_consecutive_failures = std::atoi(argv[i] + 15);
+      supervised = true;
     } else {
       usage();
     }
+  }
+
+  if (supervised) {
+    respawn.server = config;
+    serve::respawn_supervisor supervisor(respawn);
+    g_respawn_instance = &supervisor;
+    std::signal(SIGTERM, handle_supervisor_signal);
+    std::signal(SIGINT, handle_supervisor_signal);
+    const auto stats = supervisor.run();
+    g_respawn_instance = nullptr;
+    std::printf(
+        "supervisor: %llu generation(s), %llu crash(es), %llu hang(s), "
+        "%llu failure(s)%s%s\n",
+        static_cast<unsigned long long>(stats.generations),
+        static_cast<unsigned long long>(stats.crashes),
+        static_cast<unsigned long long>(stats.hangs),
+        static_cast<unsigned long long>(stats.failures),
+        stats.clean_exit ? ", clean exit" : "",
+        stats.gave_up ? ", GAVE UP" : "");
+    return stats.clean_exit ? 0 : 1;
   }
 
   serve::server server(config);
@@ -639,6 +808,11 @@ int cmd_submit(int argc, char** argv) {
                 static_cast<unsigned long long>(s.pool_in_use),
                 static_cast<unsigned long long>(s.pool_budget),
                 static_cast<unsigned long long>(s.pool_peak_in_use));
+    std::printf("crash-only: %llu restart(s), journal depth %llu, "
+                "%llu job(s) replayed at boot\n",
+                static_cast<unsigned long long>(s.restarts),
+                static_cast<unsigned long long>(s.journal_depth),
+                static_cast<unsigned long long>(s.replayed));
     std::printf("latency over %zu job(s): mean %.0f ms, p50 %.0f ms, "
                 "p95 %.0f ms, p99 %.0f ms, max %.0f ms\n",
                 s.latency.count, s.latency.mean_ms, s.latency.p50_ms,
@@ -650,10 +824,18 @@ int cmd_submit(int argc, char** argv) {
   request.input = parse_input(argv[3]);
   std::string out = "panorama.pgm";
   std::string stream_dir;
+  bool resilient = false;
+  int retries = 0;
   int positional = 0;
   for (int i = 4; i < argc; ++i) {
     if (std::strncmp(argv[i], "--hardening=", 12) == 0) {
       request.hardening = resil::parse_hardening_level(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--id=", 5) == 0) {
+      request.client_key = argv[i] + 5;
+      resilient = true;
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      retries = std::atoi(argv[i] + 10);
+      resilient = true;
     } else if (std::strncmp(argv[i], "--priority=", 11) == 0) {
       const std::string p = argv[i] + 11;
       if (p == "interactive") {
@@ -685,16 +867,34 @@ int cmd_submit(int argc, char** argv) {
   }
 
   serve::client c(socket_path, 300.0);
-  const auto outcome = c.submit(
-      request, [&](const serve::panorama_msg& m) {
-        std::printf("streamed mini-panorama %d (%dx%d)\n", m.index,
-                    m.image.width(), m.image.height());
-        if (!stream_dir.empty()) {
-          char name[64];
-          std::snprintf(name, sizeof(name), "/mini_%04d.pgm", m.index);
-          img::save_pnm(m.image, stream_dir + name);
-        }
-      });
+  const auto on_mini = [&](const serve::panorama_msg& m) {
+    std::printf("streamed mini-panorama %d (%dx%d)\n", m.index,
+                m.image.width(), m.image.height());
+    if (!stream_dir.empty()) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "/mini_%04d.pgm", m.index);
+      img::save_pnm(m.image, stream_dir + name);
+    }
+  };
+  serve::submit_outcome outcome;
+  if (resilient) {
+    // Crash-tolerant path: reconnect with backoff under an idempotency
+    // key; a resubmission adopts the journaled job instead of re-running.
+    serve::resilient_policy policy;
+    if (retries > 0) policy.backoff.max_attempts = retries;
+    outcome = c.submit_resilient(request, policy, on_mini);
+    if (outcome.reconnects > 0) {
+      std::printf("reconnected %d time(s) over %d attempt(s)\n",
+                  outcome.reconnects, outcome.attempts);
+    }
+    if (!outcome.complete && !outcome.failed && !outcome.rejected) {
+      std::printf("LOST: no terminal reply after %d attempt(s)\n",
+                  outcome.attempts);
+      return 4;
+    }
+  } else {
+    outcome = c.submit(request, on_mini);
+  }
 
   if (outcome.rejected) {
     std::printf("rejected: %s (queue depth %llu, retry after %llu ms)\n",
