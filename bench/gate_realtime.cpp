@@ -1,0 +1,134 @@
+// Real-time gating sweep: end-to-end frames/s and summary-quality delta of
+// the clean-lane pipeline at every gate level (src/gate/) across the three
+// scenario inputs.  The off row is the exactness baseline — it is asserted
+// byte-identical to a default-config run, because gating must be pay-only-
+// if-armed — and every other row reports its speedup against off measured
+// in the same process (machine noise cancels out of the ratio) plus the
+// montage-quality cost against the off panorama under the paper's relative
+// L2 metric.
+//
+// Emits BENCH_gate.json into --out-dir (or cwd).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/thread_pool.h"
+#include "gate/gate.h"
+#include "quality/metric.h"
+
+namespace {
+
+using namespace vs;
+
+double run_ms(const video::video_source& source,
+              const app::pipeline_config& config) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = app::summarize(source, config);
+  const auto stop = std::chrono::steady_clock::now();
+  if (result.panorama.empty()) std::fprintf(stderr, "empty panorama?\n");
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = benchutil::parse_options(argc, argv);
+  // Gating amortizes over temporal redundancy: short clips under-state it,
+  // so the default sweep runs longer clips than the campaign harnesses.
+  const int frames = opts.quick ? 24 : std::max(opts.frames, 120);
+  const int repeats = opts.quick ? 2 : 3;
+  const std::vector<gate::level> levels = {
+      gate::level::off, gate::level::skip, gate::level::roi,
+      gate::level::cache, gate::level::all};
+
+  std::string json = "{\n  \"benchmark\": \"gate_realtime\",\n  \"frames\": " +
+                     std::to_string(frames) + ",\n  \"runs\": [\n";
+  bool first = true;
+
+  for (const auto input : benchutil::all_scenarios()) {
+    const auto source = video::make_input(input, frames);
+    const auto base_config = benchutil::variant_config(app::algorithm::vs);
+
+    // The off baseline: timed like every other level, and byte-checked
+    // against a default-request run (off must cost and change nothing).
+    app::summary_result golden;
+    double off_ms = 0.0;
+    {
+      app::pipeline_config config = base_config;
+      config.gate.request = static_cast<int>(gate::level::off);
+      golden = app::summarize(*source, config);
+      const auto inherit = app::summarize(*source, base_config);
+      if (!(golden.panorama == inherit.panorama)) {
+        std::fprintf(stderr, "FATAL: --gate=off diverged from default on %s\n",
+                     video::input_name(input));
+        return 1;
+      }
+    }
+
+    benchutil::heading(std::string(video::input_name(input)) + ", " +
+                       std::to_string(frames) + " frames (VS, clean lane)");
+    std::printf("%8s %10s %8s %8s %6s %6s %7s %9s %9s\n", "gate", "best ms",
+                "fps", "speedup", "skip", "delta", "reused", "rel. L2",
+                "minis");
+
+    for (const auto level : levels) {
+      app::pipeline_config config = base_config;
+      config.gate.request = static_cast<int>(level);
+      double best = 1e30;
+      for (int r = 0; r < repeats; ++r) {
+        best = std::min(best, run_ms(*source, config));
+      }
+      const auto result = app::summarize(*source, config);
+      if (level == gate::level::off) {
+        off_ms = best;
+        if (!(result.panorama == golden.panorama)) {
+          std::fprintf(stderr, "FATAL: off rerun diverged on %s\n",
+                       video::input_name(input));
+          return 1;
+        }
+      }
+      const auto q = quality::compare_images(golden.panorama, result.panorama);
+      const double fps = static_cast<double>(frames) / (best / 1000.0);
+      std::printf("%8s %10.2f %8.1f %7.2fx %6d %6d %7zu %9.2f %9d\n",
+                  gate::level_name(level), best, fps, off_ms / best,
+                  result.stats.frames_gated_skip,
+                  result.stats.frames_gated_delta,
+                  result.stats.keypoints_reused, q.relative_l2_norm,
+                  result.stats.mini_panoramas);
+      json += std::string(first ? "" : ",\n") + "    {\"input\": \"" +
+              video::input_name(input) + "\", \"gate\": \"" +
+              gate::level_name(level) + "\", \"ms\": " + std::to_string(best) +
+              ", \"fps\": " + std::to_string(fps) +
+              ", \"speedup_vs_off\": " + std::to_string(off_ms / best) +
+              ", \"frames_gated_skip\": " +
+              std::to_string(result.stats.frames_gated_skip) +
+              ", \"frames_gated_delta\": " +
+              std::to_string(result.stats.frames_gated_delta) +
+              ", \"keypoints_reused\": " +
+              std::to_string(result.stats.keypoints_reused) +
+              ", \"frames_stitched\": " +
+              std::to_string(result.stats.frames_stitched) +
+              ", \"frames_discarded\": " +
+              std::to_string(result.stats.frames_discarded) +
+              ", \"mini_panoramas\": " +
+              std::to_string(result.stats.mini_panoramas) +
+              ", \"quality_rel_l2\": " + std::to_string(q.relative_l2_norm) +
+              ", \"egregious\": " + (q.egregious ? "true" : "false") + "}";
+      first = false;
+    }
+  }
+  core::thread_pool::set_global_threads(0);
+
+  json += "\n  ]\n}\n";
+  const std::string path =
+      (opts.out_dir.empty() ? std::string(".") : opts.out_dir) +
+      "/BENCH_gate.json";
+  std::ofstream out(path);
+  out << json;
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

@@ -11,14 +11,25 @@
 # On hosts whose detected SIMD level is scalar the pairs measure the same
 # code twice, so the gate reports neutral and passes.
 #
-# Usage: ci/check_bench_gate.sh [path/to/kernel_microbench]
+# The gating floor rides the same script: gate_realtime --quick reports
+# each gate level's speedup against the --gate=off baseline measured in
+# the same process (so machine noise cancels out of the ratio), and the
+# gate_floors entry in ci/bench_floor.json pins the Input2 --gate=all
+# speedup — the subsystem's headline real-time claim.
+#
+# Usage: ci/check_bench_gate.sh [path/to/kernel_microbench] [path/to/gate_realtime]
 set -euo pipefail
 
 bench_bin="${1:-build/bench/kernel_microbench}"
+gate_bin="${2:-build/bench/gate_realtime}"
 floor_json="$(dirname "$0")/bench_floor.json"
 
 if [[ ! -x "$bench_bin" ]]; then
   echo "error: benchmark binary not found at $bench_bin" >&2
+  exit 2
+fi
+if [[ ! -x "$gate_bin" ]]; then
+  echo "error: gate benchmark binary not found at $gate_bin" >&2
   exit 2
 fi
 
@@ -74,4 +85,53 @@ if failures:
         print(f"bench gate FAIL: {f}")
     sys.exit(1)
 print(f"\nbench gate: all SIMD speedups hold their floors (simd={detected})")
+EOF
+
+# --- gating floor: end-to-end speedup of --gate=all on Input2 ------------
+gate_dir="$(mktemp -d)"
+trap 'rm -f "$out_json"; rm -rf "$gate_dir"' EXIT
+
+"$gate_bin" --quick --out-dir="$gate_dir" >/dev/null
+
+python3 - "$gate_dir/BENCH_gate.json" "$floor_json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+with open(sys.argv[2]) as f:
+    gate_floors = json.load(f).get("gate_floors", {})
+
+failures = []
+for key, floor in gate_floors.items():
+    input_name, level, _ = key.split("_")
+    row = next(
+        (r for r in report["runs"]
+         if r["input"] == input_name and r["gate"] == level),
+        None,
+    )
+    if row is None:
+        failures.append(f"{key}: no {input_name}/{level} row in the sweep")
+        continue
+    speedup = row["speedup_vs_off"]
+    allowed = floor * 0.9  # same 10% noise slack as the SIMD floors
+    status = "ok" if speedup >= allowed else "FAIL"
+    print(f"gate {input_name} --gate={level}: speedup {speedup:5.2f}x  "
+          f"floor {floor:.2f}x (>= {allowed:.2f}x)  {status}  "
+          f"[quality rel. L2 {row['quality_rel_l2']:.2f}, "
+          f"egregious={row['egregious']}]")
+    if speedup < allowed:
+        failures.append(
+            f"{key}: speedup {speedup:.2f}x below floor {floor:.2f}x - 10%")
+    if row["egregious"]:
+        failures.append(
+            f"{key}: gated output is egregiously degraded "
+            f"(rel. L2 {row['quality_rel_l2']:.2f})")
+
+if failures:
+    print()
+    for f in failures:
+        print(f"bench gate FAIL: {f}")
+    sys.exit(1)
+print("\nbench gate: gating speedup holds its floor with non-egregious quality")
 EOF

@@ -18,12 +18,19 @@
 # ci/golden_campaign.txt unchanged: the hardening stack must be inert when
 # off.
 #
+# The gating axis (src/gate/) adds two rows: a forced `--gate=off` run
+# must reproduce ci/golden_campaign.txt bit-identically (a disarmed gate
+# contributes nothing to the hook stream), and `--gate=all` must match its
+# own golden, ci/golden_campaign_gate_all.txt (the gated workload's
+# distinct hook-stream fingerprint).
+#
 # Usage: ci/check_campaign_gate.sh [path/to/fault_campaign]
 set -euo pipefail
 
 campaign_bin="${1:-build/examples/fault_campaign}"
 golden="$(dirname "$0")/golden_campaign.txt"
 golden_hardened="$(dirname "$0")/golden_campaign_hardened.txt"
+golden_gate_all="$(dirname "$0")/golden_campaign_gate_all.txt"
 
 if [[ ! -x "$campaign_bin" ]]; then
   echo "error: campaign binary not found at $campaign_bin" >&2
@@ -89,12 +96,40 @@ check_hardened() {
   fi
 }
 
+check_gate_all() {
+  local out
+  out="$("$campaign_bin" VS gpr 120 10 --gate=all)"
+  echo "$out"
+  echo
+
+  local actual expected_gated
+  actual="$(echo "$out" | awk '
+    /^  masked/ { printf "masked %s\n", substr($2, 1, length($2)-1) }
+    /^  crash/  { printf "crash %s\n",  substr($2, 1, length($2)-1) }
+    /^  sdc/    { printf "sdc %s\n",    substr($2, 1, length($2)-1) }
+    /^  hang/   { printf "hang %s\n",   substr($2, 1, length($2)-1) }')"
+  expected_gated="$(grep -v '^#' "$golden_gate_all")"
+
+  if [[ "$actual" == "$expected_gated" ]]; then
+    echo "campaign gate [gate=all]: PASS (distribution matches $golden_gate_all)"
+  else
+    echo "campaign gate [gate=all]: FAIL — diverged from golden" >&2
+    echo "--- expected ($golden_gate_all)" >&2
+    echo "$expected_gated" >&2
+    echo "--- actual" >&2
+    echo "$actual" >&2
+    fail=1
+  fi
+}
+
 check_variant "in-process"
 check_variant "supervised jobs=1" --jobs=1
 check_variant "supervised jobs=4 isolate" --jobs=4 --isolate
+check_variant "gate=off forced" --gate=off
 check_hardened off
 check_hardened geometry
 check_hardened all
+check_gate_all
 
 if [[ "$fail" -ne 0 ]]; then
   echo >&2

@@ -2,15 +2,26 @@
 // of Section V in miniature.
 //
 //   $ ./fault_campaign [algorithm] [gpr|fpr] [injections] [frames]
-//         [--harden[=LEVEL]] [--replicate=STAGES] [--jobs=N] [--isolate]
+//         [--harden[=LEVEL]] [--replicate=STAGES] [--gate=LEVEL]
+//         [--gate-sweep] [--jobs=N] [--isolate]
 //         [--journal=PATH] [--resume] [--timeout=SECONDS]
 //
 // Example: ./fault_campaign VS_RFD gpr 500 20
 //          ./fault_campaign VS gpr 50 10 --harden        (full hardening)
 //          ./fault_campaign VS gpr 50 10 --harden=cfcss
 //          ./fault_campaign VS gpr 50 10 --harden --replicate=all
+//          ./fault_campaign VS gpr 100 20 --gate=all     (gated workload)
+//          ./fault_campaign VS gpr 100 20 --gate-sweep   (Fig 10/11 analog)
 //          ./fault_campaign VS gpr 300 20 --jobs=4 --isolate \
 //              --journal=campaign.journal --resume
+//
+// --gate=LEVEL runs the campaign against the gated workload (the gated
+// state is part of the fault surface: the change score, the chosen shift,
+// the classification branch and the extrapolation search are all hook
+// sites).  --gate-sweep runs a campaign per gate level across the full
+// scenario matrix (Inputs 1-3) and prints one outcome-distribution table
+// per input — the gating analog of the paper's per-approximation Fig 10/11
+// comparison.
 //
 // With --harden the workload runs under the src/resil/ containment
 // subsystem: stage budgets and output-detector envelopes are calibrated
@@ -34,6 +45,7 @@
 #include "fault/campaign.h"
 #include "fault/coverage.h"
 #include "fault/detectors.h"
+#include "gate/gate.h"
 #include "pipeline/stage.h"
 #include "quality/sdc.h"
 #include "resil/hardening.h"
@@ -47,6 +59,8 @@ int main(int argc, char** argv) {
   std::string harden_level;
   std::string replicate_spec;
   bool replicate_set = false;
+  int gate_request = gate::kLevelInherit;
+  bool gate_sweep = false;
   supervise::supervisor_config super;
   bool supervised = false;
   for (int i = 1; i < argc; ++i) {
@@ -56,6 +70,10 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--replicate=", 12) == 0) {
       replicate_spec = argv[i] + 12;
       replicate_set = true;
+    } else if (std::strncmp(argv[i], "--gate=", 7) == 0) {
+      gate_request = static_cast<int>(gate::parse_level(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--gate-sweep") == 0) {
+      gate_sweep = true;
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       super.jobs = std::atoi(argv[i] + 7);
       supervised = true;
@@ -82,8 +100,78 @@ int main(int argc, char** argv) {
   const int frames =
       positional.size() > 3 ? std::atoi(positional[3].c_str()) : 20;
 
+  if (gate_sweep) {
+    // Per-gate-level outcome distributions across the scenario matrix: the
+    // gating analog of the paper's per-approximation resiliency comparison
+    // (Figs 10/11).  Each cell is its own campaign against the gated
+    // workload — the golden (and therefore the SDC verdicts) is the gated
+    // fault-free output, so a row measures how the approximation itself
+    // tolerates faults, not how far gating drifts from exact.
+    const std::vector<gate::level> levels = {
+        gate::level::off, gate::level::skip, gate::level::roi,
+        gate::level::cache, gate::level::all};
+    for (const auto input :
+         {video::input_id::input1, video::input_id::input2,
+          video::input_id::input3}) {
+      const auto source = video::make_input(input, frames);
+      std::printf("\n%s: %s, %d injections/level, %d frames%s\n",
+                  video::input_name(input), fpr ? "FPR" : "GPR", injections,
+                  frames,
+                  harden_level.empty() ? "" : (", hardening=" + harden_level)
+                                                  .c_str());
+      std::printf("%8s %8s %8s %8s %8s %9s %9s %10s\n", "gate", "masked",
+                  "crash", "sdc", "hang", "det(rec)", "det(deg)",
+                  "egregious");
+      for (const auto level : levels) {
+        app::pipeline_config config;
+        config.approx.alg = app::parse_algorithm(alg_name);
+        config.gate.request = static_cast<int>(level);
+        if (!harden_level.empty()) {
+          config.hardening.level = resil::parse_hardening_level(harden_level);
+          if (replicate_set) {
+            config.hardening.replicate_stages =
+                pipeline::parse_replicate_stages(replicate_spec);
+          }
+          app::pipeline_config profile_config = config;
+          profile_config.hardening = resil::hardening_config{};
+          rt::session profile;
+          const img::image_u8 golden =
+              app::summarize(*source, profile_config).panorama;
+          config.hardening.stage_budgets =
+              resil::derive_stage_budgets(profile.stats(), frames);
+          config.hardening.calibration = fault::calibrate_detectors({golden});
+        }
+        fault::campaign_config campaign;
+        campaign.cls = fpr ? rt::reg_class::fpr : rt::reg_class::gpr;
+        campaign.injections = injections;
+        const auto result = fault::run_campaign(
+            [&] { return app::summarize(*source, config).panorama; },
+            campaign);
+        std::size_t egregious = 0;
+        for (const auto& [index, faulty] : result.sdc_outputs) {
+          (void)index;
+          if (quality::compare_images(result.golden, faulty).egregious) {
+            ++egregious;
+          }
+        }
+        const auto& r = result.rates;
+        std::printf("%8s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %8.2f%% %8.2f%% %10zu\n",
+                    gate::level_name(level),
+                    100.0 * r.rate(fault::outcome::masked),
+                    100.0 * r.crash_rate(),
+                    100.0 * r.rate(fault::outcome::sdc),
+                    100.0 * r.rate(fault::outcome::hang),
+                    100.0 * r.rate(fault::outcome::detected_recovered),
+                    100.0 * r.rate(fault::outcome::detected_degraded),
+                    egregious);
+      }
+    }
+    return 0;
+  }
+
   app::pipeline_config config;
   config.approx.alg = app::parse_algorithm(alg_name);
+  config.gate.request = gate_request;
   const auto source = video::make_input(video::input_id::input1, frames);
 
   if (!harden_level.empty()) {
@@ -109,6 +197,10 @@ int main(int argc, char** argv) {
               injections, frames,
               harden_level.empty() ? "" : ", hardening=",
               harden_level.c_str());
+  if (gate_request != gate::kLevelInherit) {
+    std::printf("gating: %s\n",
+                gate::level_name(static_cast<gate::level>(gate_request)));
+  }
   if (!harden_level.empty()) {
     std::printf("replication: %s\n",
                 pipeline::replicate_stages_name(
@@ -131,7 +223,11 @@ int main(int argc, char** argv) {
     super.workload_label =
         alg_name + (fpr ? "/fpr" : "/gpr") + "/f" + std::to_string(frames) +
         (harden_level.empty() ? "" : "/" + harden_level) +
-        (replicate_set ? "/r=" + replicate_spec : "");
+        (replicate_set ? "/r=" + replicate_spec : "") +
+        (gate_request == gate::kLevelInherit
+             ? ""
+             : std::string("/gate=") +
+                   gate::level_name(static_cast<gate::level>(gate_request)));
     auto sharded = supervise::run_sharded_campaign(work, campaign, super);
     result = std::move(sharded.campaign);
     stats = std::move(sharded.stats);

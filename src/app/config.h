@@ -6,6 +6,7 @@
 #include <string>
 
 #include "features/orb.h"
+#include "gate/gate.h"
 #include "image/image.h"
 #include "match/matcher.h"
 #include "pipeline/scheduler.h"
@@ -69,6 +70,13 @@ struct pipeline_config {
   /// batch frames from different clips into single dispatches.  Must
   /// outlive the run.  Null = own scheduler when batching is on.
   pipeline::stage_scheduler* scheduler = nullptr;
+
+  /// Real-time frame gating (src/gate/): the temporal-approximation axis.
+  /// gate.request defaults to gate::kLevelInherit, deferring to --gate /
+  /// VS_GATE; the resolved default is off, which is bit-identical —
+  /// including the instrumented-lane hook stream — to builds without the
+  /// subsystem.
+  gate::gate_config gate;
 
   /// Fault containment & recovery (src/resil/).  Off by default: the
   /// unhardened pipeline is bit-identical — including its instrumented-lane

@@ -6,6 +6,8 @@
 
 #include "core/error.h"
 #include "core/rng.h"
+#include "gate/change.h"
+#include "gate/extrapolate.h"
 #include "pipeline/executor.h"
 #include "resil/recovery.h"
 #include "resil/runtime.h"
@@ -105,9 +107,16 @@ struct pipeline_state {
   /// place a failing frame by dead reckoning).
   geo::mat3 last_delta = geo::mat3::identity();
   bool have_last_delta = false;
+  /// Real-time gating state (reference thumb/frame, streaks, descriptor
+  /// cache).  Inside the recovery boundary's snapshot like everything else
+  /// a frame may mutate; recovery paths additionally invalidate it.
+  gate::runtime_state gate;
 
   pipeline_state(const pipeline_config& config)
-      : builder(config.max_panorama_pixels, config.gain_compensation) {}
+      : builder(config.max_panorama_pixels, config.gain_compensation) {
+    gate.cache.configure(config.gate.cache_capacity,
+                         config.gate.cache_max_age);
+  }
 };
 
 }  // namespace
@@ -117,6 +126,12 @@ summary_result summarize(const video::video_source& source,
   const bool hardened = config.hardening.enabled();
   std::optional<resil::session> hardening(std::nullopt);
   if (hardened) hardening.emplace(config.hardening);
+
+  // Real-time gating: resolved once per run (flag/env beaten by an explicit
+  // config request).  Off is the exact pipeline, bit-identical — hook
+  // stream included — to builds without the gate subsystem.
+  const gate::level glevel = gate::resolve(config.gate.request);
+  const bool gating = glevel != gate::level::off;
 
   pipeline_state st(config);
   st.result.stats.frames_total = source.frame_count();
@@ -194,20 +209,192 @@ summary_result summarize(const video::video_source& source,
                 const feat::frame_features& features) {
         return feat::orb_verify_features(frame, features, config.orb);
       },
-      config.batch, config.scheduler);
+      config.batch, config.scheduler,
+      // Gated runs prefetch acquisition only: whether (and over which ROI)
+      // extraction happens is decided per frame behind the gate stage.
+      /*acquire_only=*/gating);
+
+  // Remembers the frame the reference feature set describes (the
+  // extrapolator refines predicted motion against its pixels) and re-seeds
+  // the descriptor cache after a full extraction.
+  auto note_reference_frame = [&](const img::image_u8& frame) {
+    if (!gating || !gate::roi_enabled(glevel)) return;
+    st.gate.ref_frame = frame;
+    if (gate::cache_enabled(glevel)) st.gate.cache.refill(st.prev_features);
+  };
 
   // --- the per-frame unit of work: acquire -> detect -> describe ->
   // --- match -> estimate -> composite, exactly the legacy statement order -
   auto frame_body = [&](int index) {
     pipeline::frame_work work = exec.obtain(index);
+
+    // --- real-time gating: classify before any extraction ---------------
+    gate::frame_class cls = gate::frame_class::full;
+    bool delta_mode = false;
+    gate::roi_plan plan;
+    gate::extrapolation extra;
+    if (gating) {
+      const auto guard = exec.enter(stage_id::gate);
+      if (exec.retrying() && st.gate.have_ref) {
+        // A failed attempt may have computed this state from corrupted
+        // values; the retry starts from a cold gate.
+        st.gate.invalidate();
+        ++st.result.stats.gate_invalidations;
+      }
+      img::image_u8 thumb =
+          gate::make_thumb(work.frame, config.gate.thumb_factor);
+      gate::change_stats stats;
+      if (st.gate.have_ref && st.have_reference) {
+        stats = gate::change_score(thumb, st.gate.ref_thumb,
+                                   config.gate.thumb_search,
+                                   config.gate.thumb_factor);
+        // Dual-execution contract of the gate stage: recompute the
+        // decision values hook-free and require bitwise agreement (both
+        // lanes accumulate the same integers).
+        resil::verify_recomputed(
+            stage_id::gate, stats,
+            [&] {
+              return gate::change_score_clean(thumb, st.gate.ref_thumb,
+                                              config.gate.thumb_search,
+                                              config.gate.thumb_factor);
+            },
+            std::equal_to<gate::change_stats>());
+      }
+      st.gate.last_score = stats.score;
+      const bool can_skip =
+          gate::skip_enabled(glevel) && st.gate.have_ref &&
+          st.have_reference &&
+          st.gate.consecutive_skips < config.gate.max_consecutive_skips;
+      const bool can_delta =
+          gate::roi_enabled(glevel) && st.have_reference &&
+          !st.gate.ref_frame.empty() &&
+          st.gate.consecutive_deltas < config.gate.max_consecutive_deltas;
+      cls = gate::classify(stats, config.gate, can_skip, can_delta);
+      if (cls == gate::frame_class::skip) {
+        ++st.gate.consecutive_skips;
+      } else {
+        // The shift and score accumulate against the last *processed*
+        // frame, so a slow pan eventually crosses the motion bound even if
+        // every single step is tiny.
+        st.gate.ref_thumb = std::move(thumb);
+        st.gate.have_ref = true;
+        st.gate.consecutive_skips = 0;
+      }
+      if (cls == gate::frame_class::delta) {
+        // Restricted processing is only committed once the extrapolated
+        // model verifies against the actual pixels; otherwise the frame
+        // falls back to the exact path.  The thumb-measured shift is the
+        // translation prior (reference -> current content motion, so the
+        // current -> reference model starts at its negation) — which is
+        // how a delta frame bridges the gap across skipped frames.
+        const geo::mat3 prior = geo::mat3::translation(
+            -double(stats.shift_x), -double(stats.shift_y));
+        extra = gate::extrapolate_alignment(work.frame, st.gate.ref_frame,
+                                            prior, config.gate);
+        if (extra.valid) {
+          plan = gate::predict_roi(extra.delta, work.frame.width(),
+                                   work.frame.height());
+        }
+        delta_mode = extra.valid && plan.valid;
+        if (!delta_mode) cls = gate::frame_class::full;
+      }
+      if (cls == gate::frame_class::full) st.gate.consecutive_deltas = 0;
+    }
+
+    if (cls == gate::frame_class::skip) {
+      // Near-duplicate: the canvas already shows this content; the frame
+      // rides the previous placement and no feature stage runs.
+      ++st.result.stats.frames_gated_skip;
+      ++st.result.stats.frames_stitched;
+      record_placement(index, st.cumulative);
+      exec.end_frame();
+      return;
+    }
+
+    if (gating) {
+      // Extraction moved behind the gate: full frames extract everywhere,
+      // delta frames only over the newly-revealed ROI strips.
+      const auto guard = exec.enter(stage_id::detect);
+      if (delta_mode) {
+        work.features = gate::extract_roi(work.frame, plan.fresh, config.orb,
+                                          config.gate.roi_margin);
+      } else {
+        work.features = exec.extract(work.frame);
+      }
+      exec.mark(stage_id::describe);
+      // Freshly extracted features only: cached descriptors merged later
+      // intentionally differ from a re-derivation against this frame.
+      exec.check_extract(work);
+    }
     st.result.stats.keypoints_detected += work.features.size();
 
     // --- VS_KDS: selective computation ----------------------------------
-    if (config.approx.alg == algorithm::vs_kds) {
+    if (!delta_mode && config.approx.alg == algorithm::vs_kds) {
       work.features = subsample_features(work.features,
                                          config.approx.kds_keypoint_fraction);
     }
-    st.result.stats.keypoints_matched_on += work.features.size();
+    if (!delta_mode) {
+      st.result.stats.keypoints_matched_on += work.features.size();
+    }
+
+    if (delta_mode) {
+      // --- restricted processing: extrapolated alignment ----------------
+      // The refined model replaces match + estimate; compositing still
+      // runs in full.  The reference feature set is carried across the
+      // step (descriptor reuse) instead of re-extracted.
+      ++st.result.stats.frames_gated_delta;
+      ++st.gate.consecutive_deltas;
+      const int w = work.frame.width();
+      const int h = work.frame.height();
+      const int border = config.orb.fast.border;
+      feat::frame_features carried;
+      if (const auto inv = extra.delta.inverse()) {
+        if (gate::cache_enabled(glevel)) {
+          st.gate.cache.rebase(*inv, w, h, border);
+          st.result.stats.keypoints_reused += st.gate.cache.size();
+          st.gate.cache.insert(work.features);
+          carried = st.gate.cache.snapshot();
+        } else {
+          carried =
+              gate::rebase_features(st.prev_features, *inv, w, h, border);
+          st.result.stats.keypoints_reused += carried.size();
+          for (std::size_t i = 0; i < work.features.size(); ++i) {
+            carried.keypoints.push_back(work.features.keypoints[i]);
+            carried.descriptors.push_back(work.features.descriptors[i]);
+          }
+        }
+      } else {
+        carried = work.features;
+      }
+
+      const geo::mat3 frame_to_anchor = st.cumulative * extra.delta;
+      const auto guard = exec.enter(stage_id::composite);
+      if (st.builder.add_frame(work.frame, frame_to_anchor)) {
+        st.cumulative = frame_to_anchor;
+        record_placement(index, frame_to_anchor);
+        st.prev_features = std::move(carried);
+        ++st.result.stats.frames_stitched;
+        st.consecutive_discards = 0;
+        st.last_delta = extra.delta;
+        st.have_last_delta = true;
+        st.gate.ref_frame = work.frame;
+      } else {
+        // Implausible accumulated drift or canvas overflow: same hard
+        // view-change handling as the exact path.
+        ++st.result.stats.frames_discarded;
+        close_mini_panorama();
+        if (st.builder.add_frame(work.frame, geo::mat3::identity())) {
+          ++st.result.stats.frames_stitched;
+          --st.result.stats.frames_discarded;
+          record_placement(index, geo::mat3::identity());
+          st.prev_features = std::move(carried);
+          st.have_reference = true;
+          note_reference_frame(work.frame);
+        }
+      }
+      exec.end_frame();
+      return;
+    }
 
     if (!st.have_reference) {
       // First (usable) frame anchors the mini-panorama.
@@ -218,6 +405,7 @@ summary_result summarize(const video::video_source& source,
         st.prev_features = std::move(work.features);
         st.have_reference = true;
         st.consecutive_discards = 0;
+        note_reference_frame(work.frame);
       } else {
         ++st.result.stats.frames_discarded;
       }
@@ -246,6 +434,7 @@ summary_result summarize(const video::video_source& source,
           record_placement(index, geo::mat3::identity());
           st.prev_features = std::move(work.features);
           st.have_reference = true;
+          note_reference_frame(work.frame);
         }
       }
       exec.end_frame();
@@ -269,6 +458,7 @@ summary_result summarize(const video::video_source& source,
       st.consecutive_discards = 0;
       st.last_delta = aligned->transform;
       st.have_last_delta = true;
+      note_reference_frame(work.frame);
     } else {
       // Implausible accumulated drift or canvas overflow: treat like a hard
       // view change.
@@ -280,6 +470,7 @@ summary_result summarize(const video::video_source& source,
         record_placement(index, geo::mat3::identity());
         st.prev_features = std::move(work.features);
         st.have_reference = true;
+        note_reference_frame(work.frame);
       }
     }
     exec.end_frame();
@@ -294,6 +485,12 @@ summary_result summarize(const video::video_source& source,
   // panorama's state cannot outlive a re-anchor.
   auto degrade_frame = [&](int index) {
     ++resil::tls.report.frames_degraded;
+    if (gating) {
+      // Dead-reckoned frames advance the canvas without a trusted model:
+      // everything the gate learned before the failure is suspect.
+      st.gate.invalidate();
+      ++st.result.stats.gate_invalidations;
+    }
     if (config.hardening.reuse_last_motion && st.have_reference &&
         st.have_last_delta) {
       const bool placed = !resil::attempt([&] {

@@ -19,6 +19,8 @@ namespace vs::app {
 
 /// Per-run statistics (the quantities behind the paper's Section IV-A
 /// discussion of why approximations speed Input 1 up more than Input 2).
+/// Field order is deliberate: every int precedes every size_t so the
+/// struct has no padding bytes (goldens digest it bytewise).
 struct run_stats {
   int frames_total = 0;        ///< frames offered by the source
   int frames_dropped_rfd = 0;  ///< dropped up-front by VS_RFD
@@ -27,9 +29,14 @@ struct run_stats {
   int homography_alignments = 0;
   int affine_alignments = 0;
   int mini_panoramas = 0;
+  // Real-time gating (src/gate/; all zero at --gate=off):
+  int frames_gated_skip = 0;   ///< near-duplicates riding the last placement
+  int frames_gated_delta = 0;  ///< extrapolated alignment + ROI extraction
+  int gate_invalidations = 0;  ///< gated state dropped by recovery/re-anchor
   std::size_t keypoints_detected = 0;
   std::size_t keypoints_matched_on = 0;  ///< after KDS subsetting
   std::size_t total_matches = 0;
+  std::size_t keypoints_reused = 0;  ///< descriptors carried across frames
 };
 
 /// Where one stitched frame landed: which mini-panorama, under what

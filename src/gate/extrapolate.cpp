@@ -1,0 +1,176 @@
+#include "gate/extrapolate.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "rt/instrument.h"
+
+namespace vs::gate {
+
+roi_plan predict_roi(const geo::mat3& cur_to_prev, int width, int height) {
+  roi_plan plan;
+  const auto inv = cur_to_prev.inverse();
+  if (!inv) return plan;
+  // The previous frame's footprint in current-frame coordinates is the
+  // image of its rect under the prev -> cur mapping.
+  const auto footprint = geo::projected_bounds(*inv, width, height);
+  if (!footprint) return plan;
+  const geo::rect frame{0, 0, width, height};
+  plan.overlap = geo::rect_intersect(frame, *footprint);
+  if (plan.overlap.empty()) return plan;
+  plan.valid = true;
+
+  // Complement strips, disjoint by construction: full-height left/right,
+  // then top/bottom limited to the overlap's column span.
+  const int ox0 = plan.overlap.x0;
+  const int ox1 = plan.overlap.x0 + plan.overlap.w;
+  const int oy0 = plan.overlap.y0;
+  const int oy1 = plan.overlap.y0 + plan.overlap.h;
+  const auto push = [&](int x0, int y0, int w, int h) {
+    const geo::rect r{x0, y0, w, h};
+    if (!r.empty()) plan.fresh.push_back(r);
+  };
+  push(0, 0, ox0, height);
+  push(ox1, 0, width - ox1, height);
+  push(ox0, 0, ox1 - ox0, oy0);
+  push(ox0, oy1, ox1 - ox0, height - oy1);
+  return plan;
+}
+
+feat::frame_features extract_roi(const img::image_u8& frame,
+                                 const std::vector<geo::rect>& rois,
+                                 const feat::orb_params& params, int margin) {
+  feat::frame_features out;
+  const geo::rect bounds{0, 0, frame.width(), frame.height()};
+  for (const geo::rect& roi : rois) {
+    const geo::rect padded = geo::rect_intersect(
+        bounds, {roi.x0 - margin, roi.y0 - margin, roi.w + 2 * margin,
+                 roi.h + 2 * margin});
+    if (padded.empty()) continue;
+    img::image_u8 crop(padded.w, padded.h, 1);
+    for (int y = 0; y < padded.h; ++y) {
+      for (int x = 0; x < padded.w; ++x) {
+        crop.at(x, y) = frame.at(padded.x0 + x, padded.y0 + y);
+      }
+    }
+    const feat::frame_features found = feat::orb_extract(crop, params);
+    for (std::size_t i = 0; i < found.keypoints.size(); ++i) {
+      feat::keypoint kp = found.keypoints[i];
+      kp.x += static_cast<float>(padded.x0);
+      kp.y += static_cast<float>(padded.y0);
+      if (kp.x < static_cast<float>(roi.x0) ||
+          kp.x >= static_cast<float>(roi.x0 + roi.w) ||
+          kp.y < static_cast<float>(roi.y0) ||
+          kp.y >= static_cast<float>(roi.y0 + roi.h)) {
+        continue;  // belongs to a neighbouring rect (or the pad ring)
+      }
+      out.keypoints.push_back(kp);
+      out.descriptors.push_back(found.descriptors[i]);
+    }
+  }
+  return out;
+}
+
+extrapolation extrapolate_alignment(const img::image_u8& cur,
+                                    const img::image_u8& prev,
+                                    const geo::mat3& last_delta,
+                                    const gate_config& cfg) {
+  rt::scope attributed(rt::fn::gate);
+  extrapolation ex;
+  if (cur.empty() || prev.empty()) return ex;
+  const int w = cur.width();
+  const int h = cur.height();
+  const int step = std::max(1, cfg.sample_step);
+
+  // Precompute the sparse grid: the current pixel and its constant-velocity
+  // mapped position in the previous frame (rounded once — the search then
+  // only shifts integers).
+  struct sample {
+    int value;
+    int mx;
+    int my;
+  };
+  std::vector<sample> grid;
+  grid.reserve(static_cast<std::size_t>((w / step + 1) * (h / step + 1)));
+  for (int y = step / 2; y < h; y += step) {
+    for (int x = step / 2; x < w; x += step) {
+      const geo::vec2 m =
+          last_delta.apply({static_cast<double>(x), static_cast<double>(y)});
+      if (!std::isfinite(m.x) || !std::isfinite(m.y)) continue;
+      grid.push_back({int(cur.at(x, y)), static_cast<int>(std::lround(m.x)),
+                      static_cast<int>(std::lround(m.y))});
+    }
+  }
+
+  const int r = std::max(0, cfg.search_radius);
+  long long best_sum = 0;
+  int best_count = 0;
+  int best_ox = 0;
+  int best_oy = 0;
+  bool have_best = false;
+  for (int oy = -r; oy <= r; ++oy) {
+    for (int ox = -r; ox <= r; ++ox) {
+      long long sum = 0;
+      int count = 0;
+      for (const sample& s : grid) {
+        const int px = s.mx + ox;
+        const int py = s.my + oy;
+        if (!prev.in_bounds(px, py)) continue;
+        sum += std::abs(s.value - int(prev.at(px, py)));
+        ++count;
+      }
+      if (count < cfg.min_samples) continue;
+      // Compare mean residuals without division: sum/count < best/bestc.
+      if (!have_best ||
+          sum * static_cast<long long>(best_count) <
+              best_sum * static_cast<long long>(count)) {
+        have_best = true;
+        best_sum = sum;
+        best_count = count;
+        best_ox = ox;
+        best_oy = oy;
+      }
+    }
+  }
+  rt::account(rt::op::int_alu,
+              grid.size() * static_cast<std::uint64_t>((2 * r + 1)) *
+                  static_cast<std::uint64_t>((2 * r + 1)) * 4);
+  rt::account(rt::op::mem, grid.size() *
+                               static_cast<std::uint64_t>((2 * r + 1)) *
+                               static_cast<std::uint64_t>((2 * r + 1)));
+  if (!have_best) return ex;
+
+  // The chosen correction and its residual are live decision values.
+  best_ox = rt::g32(best_ox);
+  best_oy = rt::g32(best_oy);
+  ex.residual = rt::f64(static_cast<double>(best_sum) /
+                        static_cast<double>(best_count));
+  if (!(ex.residual <= cfg.max_residual)) return ex;
+  ex.delta = geo::mat3::translation(best_ox, best_oy) * last_delta;
+  ex.valid = true;
+  return ex;
+}
+
+feat::frame_features rebase_features(const feat::frame_features& prev,
+                                     const geo::mat3& prev_to_cur, int width,
+                                     int height, int border) {
+  feat::frame_features out;
+  const std::size_t n =
+      std::min(prev.keypoints.size(), prev.descriptors.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const geo::vec2 p =
+        prev_to_cur.apply({prev.keypoints[i].x, prev.keypoints[i].y});
+    if (!(p.x >= border && p.x < width - border && p.y >= border &&
+          p.y < height - border)) {
+      continue;
+    }
+    feat::keypoint kp = prev.keypoints[i];
+    kp.x = static_cast<float>(p.x);
+    kp.y = static_cast<float>(p.y);
+    out.keypoints.push_back(kp);
+    out.descriptors.push_back(prev.descriptors[i]);
+  }
+  return out;
+}
+
+}  // namespace vs::gate

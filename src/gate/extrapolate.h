@@ -1,0 +1,76 @@
+// The motion extrapolator: predicts where the previous frame's content
+// lands in the next frame from the last estimated inter-frame model,
+// refines the prediction with a small translation-correction search against
+// the actual pixels, and derives the ROI decomposition that restricts
+// FAST/ORB to newly-revealed image area (arXiv 1605.08470's feature-reuse
+// idea applied to the stitching front-end).
+//
+// Conventions: an inter-frame model ("delta") maps current-frame
+// coordinates to previous-frame coordinates, exactly like
+// stitch::alignment::transform.  Constant-velocity extrapolation assumes
+// the next frame's delta approximately equals the last one; the refinement
+// search corrects the residual acceleration with a translation.
+#pragma once
+
+#include <vector>
+
+#include "features/orb.h"
+#include "gate/gate.h"
+#include "geometry/warp.h"
+#include "image/image.h"
+
+namespace vs::gate {
+
+/// The ROI decomposition of a frame under a predicted inter-frame model.
+struct roi_plan {
+  bool valid = false;           ///< model invertible and overlap plausible
+  geo::rect overlap;            ///< area predicted covered by the previous frame
+  std::vector<geo::rect> fresh; ///< <= 4 disjoint newly-revealed rects
+};
+
+/// Splits the `width` x `height` frame into the region the previous frame
+/// is predicted to cover under `cur_to_prev` and the complement strips
+/// (left / right / top / bottom, disjoint, in that deterministic order).
+/// Invalid when the model cannot be inverted, projects absurdly, or leaves
+/// no overlap (a full re-extraction is the only correct answer then).
+[[nodiscard]] roi_plan predict_roi(const geo::mat3& cur_to_prev, int width,
+                                   int height);
+
+/// ROI-restricted extraction: each rect is padded by `margin` (clamped to
+/// the frame), cropped, extracted with the ordinary full-precision
+/// extractor, offset back into frame coordinates, and filtered to the
+/// unpadded rect.  With margin >= the FAST border every kept keypoint's
+/// descriptor support lies strictly inside the crop, so descriptors are
+/// byte-identical to full-frame extraction at the same coordinates.
+[[nodiscard]] feat::frame_features extract_roi(
+    const img::image_u8& frame, const std::vector<geo::rect>& rois,
+    const feat::orb_params& params, int margin);
+
+/// A refined inter-frame model from extrapolation.
+struct extrapolation {
+  bool valid = false;
+  geo::mat3 delta;       ///< refined current -> previous model
+  double residual = 0.0; ///< mean |pixel diff| at the accepted correction
+};
+
+/// Refines `last_delta` against the actual frames: searches translation
+/// corrections in [-search_radius, search_radius]^2 minimizing the mean
+/// absolute difference between `cur` sampled on a sparse grid and `prev`
+/// at the corrected mapped positions.  Deterministic tie-break (first
+/// minimum in row-major offset order).  Invalid when too few grid points
+/// land inside `prev` or the best residual exceeds max_residual — callers
+/// must fall back to full processing.  Instrumented under rt::fn::gate.
+[[nodiscard]] extrapolation extrapolate_alignment(const img::image_u8& cur,
+                                                  const img::image_u8& prev,
+                                                  const geo::mat3& last_delta,
+                                                  const gate_config& cfg);
+
+/// Carries a feature set across one frame step: positions are mapped
+/// through `prev_to_cur`; keypoints leaving [border, dim - border) are
+/// dropped, descriptors ride along unchanged.  The roi-level (cacheless)
+/// reuse path.
+[[nodiscard]] feat::frame_features rebase_features(
+    const feat::frame_features& prev, const geo::mat3& prev_to_cur,
+    int width, int height, int border);
+
+}  // namespace vs::gate

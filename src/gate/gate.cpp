@@ -1,0 +1,75 @@
+#include "gate/gate.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+
+#include "core/error.h"
+
+namespace vs::gate {
+
+const char* level_name(level l) noexcept {
+  switch (l) {
+    case level::off:
+      return "off";
+    case level::skip:
+      return "skip";
+    case level::roi:
+      return "roi";
+    case level::cache:
+      return "cache";
+    case level::all:
+      return "all";
+    case level::count_:
+      break;
+  }
+  return "?";
+}
+
+level parse_level(const std::string& spec) {
+  std::string lower;
+  lower.reserve(spec.size());
+  for (char c : spec) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower.empty() || lower == "off" || lower == "none") return level::off;
+  if (lower == "skip") return level::skip;
+  if (lower == "roi") return level::roi;
+  if (lower == "cache") return level::cache;
+  if (lower == "all") return level::all;
+  throw invalid_argument("unknown gate level: " + spec +
+                         " (expected off, skip, roi, cache, all)");
+}
+
+namespace {
+std::atomic<int> g_level_flag{kLevelInherit};
+}  // namespace
+
+void set_level(level l) noexcept {
+  g_level_flag.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+level requested_level() noexcept {
+  // The environment is read once: VS_GATE is a process-launch axis (CI
+  // forcing jobs), not something to toggle mid-run.
+  static const level env_value = [] {
+    if (const char* env = std::getenv("VS_GATE")) {
+      try {
+        return parse_level(env);
+      } catch (...) {
+        // An unrecognized VS_GATE is a configuration error; fail closed to
+        // the exact (ungated) pipeline rather than silently approximating.
+        return level::off;
+      }
+    }
+    return level::off;
+  }();
+  const int flag = g_level_flag.load(std::memory_order_relaxed);
+  return flag == kLevelInherit ? env_value : static_cast<level>(flag);
+}
+
+level resolve(int request) noexcept {
+  if (request == kLevelInherit) return requested_level();
+  if (request < 0 || request >= level_count) return level::off;
+  return static_cast<level>(request);
+}
+
+}  // namespace vs::gate

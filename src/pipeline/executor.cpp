@@ -11,12 +11,13 @@ frame_executor::frame_executor(const resil::hardening_config& hardening,
                                int frame_count, int frames_in_flight,
                                acquire_fn acquire, detect_fn detect,
                                verify_fn verify, int batch,
-                               stage_scheduler* scheduler)
+                               stage_scheduler* scheduler, bool acquire_only)
     : hardening_(hardening),
       hardened_(hardening.enabled()),
       frame_count_(frame_count),
       depth_(std::max(0, frames_in_flight)),
       batch_(resolve_batch(batch)),
+      acquire_only_(acquire_only),
       // The instrumented lane never prefetches: acquisition must stay
       // inline so its hooks keep their position in the dynamic-instruction
       // stream the fault plans address.
@@ -59,7 +60,7 @@ frame_executor::stage_guard::stage_guard(const frame_executor& exec,
 frame_work frame_executor::produce(int index) const {
   frame_work w;
   w.frame = acquire_(index);
-  w.features = detect_(w.frame);
+  if (!acquire_only_) w.features = detect_(w.frame);
   return w;
 }
 
@@ -101,12 +102,15 @@ void frame_executor::top_up(int index) {
     // CFCSS marks and retry semantics don't move.
     while (next_prefetch_ < horizon) {
       const int i = next_prefetch_++;
-      ring_.push_back(
-          {i, scheduler_->submit(
-                  job_, i, [this, i] { return acquire_(i); },
-                  [this](const img::image_u8& frame) {
-                    return detect_(frame);
-                  })});
+      stage_scheduler::extract_step extract;
+      if (!acquire_only_) {
+        extract = [this](const img::image_u8& frame) {
+          return detect_(frame);
+        };
+      }
+      ring_.push_back({i, scheduler_->submit(
+                              job_, i, [this, i] { return acquire_(i); },
+                              std::move(extract))});
     }
     return;
   }
@@ -144,7 +148,7 @@ frame_work frame_executor::obtain(int index) {
         const stage_guard g = enter(stage_id::acquire);
         w = work.get();
       }
-      {
+      if (!acquire_only_) {
         const stage_guard g = enter(stage_id::detect);
         mark(stage_id::describe);
         check_extract_replica(w);
@@ -160,7 +164,7 @@ frame_work frame_executor::obtain(int index) {
     const stage_guard g = enter(stage_id::acquire);
     w.frame = acquire_(index);
   }
-  {
+  if (!acquire_only_) {
     const stage_guard g = enter(stage_id::detect);
     w.features = detect_(w.frame);
     mark(stage_id::describe);

@@ -70,10 +70,18 @@ class frame_executor {
   /// batching is on the executor owns a private one dispatching to the
   /// pool its own kernels use.  Output is byte-identical along the whole
   /// axis: tickets are consumed in stitch order either way.
+  ///
+  /// `acquire_only` degrades the prefetchable prefix to frame acquisition
+  /// (gated runs: whether — and over which ROI — extraction happens is
+  /// decided per frame at the stitch point, behind the gate stage, so it
+  /// cannot run ahead).  obtain() then returns frames with empty features
+  /// and the caller drives extraction through enter(detect) + extract() +
+  /// mark(describe) + check_extract().
   frame_executor(const resil::hardening_config& hardening, int frame_count,
                  int frames_in_flight, acquire_fn acquire, detect_fn detect,
                  verify_fn verify = {}, int batch = kBatchInherit,
-                 stage_scheduler* scheduler = nullptr);
+                 stage_scheduler* scheduler = nullptr,
+                 bool acquire_only = false);
   /// Drains every in-flight prefetch before the frame source can die.
   ~frame_executor();
   frame_executor(const frame_executor&) = delete;
@@ -116,6 +124,24 @@ class frame_executor {
   [[nodiscard]] img::image_u8 reacquire(int index) const {
     return acquire_(index);
   }
+
+  /// Runs the extraction callback inline (acquire-only mode: the caller
+  /// owns the detect stage guard and the describe mark).
+  [[nodiscard]] feat::frame_features extract(const img::image_u8& frame) const {
+    return detect_(frame);
+  }
+
+  /// Dual-execution check of an extraction product the caller produced at
+  /// the stitch point (acquire-only mode).  Call inside the detect stage
+  /// guard, on freshly extracted features only — reused/cached descriptors
+  /// intentionally differ from a re-derivation against the current frame.
+  void check_extract(const frame_work& work) const {
+    check_extract_replica(work);
+  }
+
+  /// Whether the current obtain() call is a recovery retry (gated callers
+  /// must invalidate learned state before trusting it on a retry).
+  [[nodiscard]] bool retrying() const noexcept { return retrying_; }
 
   /// The frame-level recovery boundary over one frame's unit of work:
   /// re-seeds the CFCSS monitor, attempts `body`, and on a contained
@@ -199,6 +225,7 @@ class frame_executor {
   const int frame_count_;
   const int depth_;
   const int batch_;  ///< resolved batch knob (kBatchOff / kBatchAuto / k)
+  const bool acquire_only_;
   const bool overlap_;
   bool retrying_ = false;
   acquire_fn acquire_;

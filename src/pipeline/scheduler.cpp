@@ -199,6 +199,12 @@ std::vector<std::unique_ptr<stage_scheduler::item>> stage_scheduler::run_batch(
       try {
         if (stage == stage_id::acquire) {
           it->image = it->acquire();
+          // Acquire-only tickets (a gated executor: extraction moves to the
+          // stitch point, behind the frame-gate classification) complete
+          // here instead of advancing to the detect queue.
+          if (!it->extract) {
+            it->done.set_value(frame_work{std::move(it->image), {}});
+          }
         } else {
           feat::frame_features features = it->extract(it->image);
           it->done.set_value(
@@ -222,7 +228,9 @@ std::vector<std::unique_ptr<stage_scheduler::item>> stage_scheduler::run_batch(
       slot->done.set_exception(slot->error);
       continue;
     }
-    if (stage == stage_id::acquire) advanced.push_back(std::move(slot));
+    if (stage == stage_id::acquire && slot->extract) {
+      advanced.push_back(std::move(slot));
+    }
   }
   return advanced;
 }

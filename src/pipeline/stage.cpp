@@ -25,40 +25,62 @@ using resil::cfcss::node;
 // Composite is replicable even though blending mutates the canvas: the
 // checked product is the warped patch the blend consumes, computed
 // *before* any canvas mutation.
+// The gate stage is the one stitch-point stage *inside* the prefetchable
+// prefix: classification consumes the previous processed frame's state, so
+// it can never run ahead, and when a gate level is active the executor
+// degrades its prefetch to acquire-only (extraction moves behind the
+// classification).  Its dual execution recomputes the change score hook-free
+// and compares bitwise (dual_check::recompute).
 constexpr stage_desc kRegistry[stage_count] = {
     {stage_id::acquire, "acquire", node::acquire, budget_key::acquire,
      /*opens_scope=*/true, /*executor_marked=*/true,
      {rt::fn::video_decode, rt::fn::count_, rt::fn::count_},
      /*prefetchable=*/true, /*clean_lane=*/true,
      /*replicable=*/false, dual_check::none,
-     /*batch_queue=*/stage_id::acquire},
+     /*batch_queue=*/stage_id::acquire,
+     /*gate_skip=*/false, /*gate_roi=*/false},
+    {stage_id::gate, "gate", node::gate, budget_key::gate,
+     /*opens_scope=*/true, /*executor_marked=*/true,
+     {rt::fn::gate, rt::fn::count_, rt::fn::count_},
+     /*prefetchable=*/false, /*clean_lane=*/false,
+     /*replicable=*/true, dual_check::recompute,
+     /*batch_queue=*/stage_id::count_,
+     /*gate_skip=*/false, /*gate_roi=*/false},
     {stage_id::detect, "detect", node::detect, budget_key::extract,
      /*opens_scope=*/true, /*executor_marked=*/true,
      {rt::fn::fast_detect, rt::fn::count_, rt::fn::count_},
      /*prefetchable=*/true, /*clean_lane=*/true,
      /*replicable=*/true, dual_check::recompute,
-     /*batch_queue=*/stage_id::detect},
+     /*batch_queue=*/stage_id::detect,
+     /*gate_skip=*/true, /*gate_roi=*/true},
     {stage_id::describe, "describe", node::describe, budget_key::extract,
      /*opens_scope=*/false, /*executor_marked=*/true,
      {rt::fn::orb_describe, rt::fn::count_, rt::fn::count_},
      /*prefetchable=*/true, /*clean_lane=*/true,
      /*replicable=*/true, dual_check::recompute,
-     /*batch_queue=*/stage_id::detect},
+     /*batch_queue=*/stage_id::detect,
+     /*gate_skip=*/true, /*gate_roi=*/true},
     {stage_id::match, "match", node::match, budget_key::align,
      /*opens_scope=*/true, /*executor_marked=*/true,
      {rt::fn::match, rt::fn::count_, rt::fn::count_},
      /*prefetchable=*/false, /*clean_lane=*/true,
-     /*replicable=*/true, dual_check::recompute},
+     /*replicable=*/true, dual_check::recompute,
+     /*batch_queue=*/stage_id::count_,
+     /*gate_skip=*/true, /*gate_roi=*/true},
     {stage_id::estimate, "estimate", node::estimate, budget_key::align,
      /*opens_scope=*/false, /*executor_marked=*/false,
      {rt::fn::ransac, rt::fn::homography, rt::fn::count_},
      /*prefetchable=*/false, /*clean_lane=*/false,
-     /*replicable=*/true, dual_check::recompute},
+     /*replicable=*/true, dual_check::recompute,
+     /*batch_queue=*/stage_id::count_,
+     /*gate_skip=*/true, /*gate_roi=*/true},
     {stage_id::composite, "composite", node::composite, budget_key::composite,
      /*opens_scope=*/true, /*executor_marked=*/true,
      {rt::fn::warp, rt::fn::remap, rt::fn::stitch},
      /*prefetchable=*/false, /*clean_lane=*/true,
-     /*replicable=*/true, dual_check::checksum},
+     /*replicable=*/true, dual_check::checksum,
+     /*batch_queue=*/stage_id::count_,
+     /*gate_skip=*/true, /*gate_roi=*/false},
 };
 
 }  // namespace
@@ -67,6 +89,8 @@ const char* budget_key_name(budget_key key) noexcept {
   switch (key) {
     case budget_key::acquire:
       return "acquire";
+    case budget_key::gate:
+      return "gate";
     case budget_key::extract:
       return "extract";
     case budget_key::align:
@@ -153,7 +177,7 @@ std::uint32_t parse_replicate_stages(const std::string& spec) {
       throw invalid_argument(
           "unknown stage in replicate list: " + name +
           " (expected off, geometry, all, or a comma-separated list of "
-          "detect, describe, match, estimate, composite)");
+          "gate, detect, describe, match, estimate, composite)");
     }
   }
   return mask;
@@ -177,6 +201,8 @@ std::uint64_t budget_value(const resil::stage_budget_config& budgets,
   switch (key) {
     case budget_key::acquire:
       return budgets.acquire;
+    case budget_key::gate:
+      return budgets.gate;
     case budget_key::extract:
       return budgets.extract;
     case budget_key::align:

@@ -28,6 +28,8 @@ namespace vs::pipeline {
 /// Stable identifiers of the per-frame stages, in canonical dataflow order.
 enum class stage_id : std::uint8_t {
   acquire = 0,  ///< frame acquisition / synthetic decode
+  gate,         ///< frame-gate classification (skip / delta / full); a
+                ///< no-op passthrough unless a gate level is active
   detect,       ///< FAST corner detection (enters feature extraction)
   describe,     ///< ORB description (finishes feature extraction)
   match,        ///< brute-force descriptor matching
@@ -44,6 +46,7 @@ inline constexpr int stage_count = static_cast<int>(stage_id::count_);
 /// half still names the work that corrupted it).
 enum class budget_key : std::uint8_t {
   acquire = 0,
+  gate,
   extract,
   align,
   composite,
@@ -107,6 +110,12 @@ struct stage_desc {
   /// queue, mirroring opens_scope); count_ = not batchable — the stage
   /// runs at the stitch point and never enters a queue.
   stage_id batch_queue = stage_id::count_;
+  /// Real-time gating (src/gate/): whether an active frame gate may elide
+  /// this stage entirely on a skip-classified frame...
+  bool gate_skip = false;
+  /// ...and whether a delta-classified frame runs it restricted (ROI
+  /// extraction / extrapolated alignment) instead of in full.
+  bool gate_roi = false;
 };
 
 /// Whether a stage's work can enter a scheduler queue (prefetchable stages

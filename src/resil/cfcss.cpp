@@ -22,6 +22,7 @@ constexpr std::uint64_t kSig[node_count] = {
     0x8ebc6af09c88c6e3ULL,  // frame_end
     0x589965cc75374cc3ULL,  // recover
     0x1d8e4e27c47d124fULL,  // prefetch
+    0x3c79ac492ba7b653ULL,  // gate
 };
 
 // Designated primary predecessor p(v) of each node: the fall-through edge
@@ -39,6 +40,7 @@ constexpr node kPrimary[node_count] = {
     node::composite,    // frame_end
     node::recover,      // recover (entered by re-seed, never by transition)
     node::frame_begin,  // prefetch
+    node::acquire,      // gate
 };
 
 // Legal predecessor sets (bit i = node i is a legal predecessor):
@@ -49,24 +51,30 @@ constexpr node kPrimary[node_count] = {
 //   composite <- estimate | describe | match | composite
 //               (anchor frames skip matching; a view-change closes the
 //                panorama and re-anchors; canvas-cap retries re-composite)
-//   frame_end <- composite | describe | match | estimate
-//               (discard paths end the frame from any post-extract stage)
+//   frame_end <- composite | describe | match | estimate | gate
+//               (discard paths end the frame from any post-extract stage;
+//                a gate skip-classification ends the frame before extraction)
 //   prefetch  <- frame_begin                 (the executor's ring is
 //               consumed at the top of a frame, before acquisition)
+//   gate      <- acquire                     (classification runs on the
+//               freshly acquired frame, before feature extraction)
+//   detect    <- acquire | gate              (gated runs reach extraction
+//               through the classification node)
 constexpr std::uint32_t bit(node n) { return 1u << static_cast<int>(n); }
 constexpr std::uint32_t kPreds[node_count] = {
     bit(node::frame_end) | bit(node::recover),             // frame_begin
     bit(node::frame_begin) | bit(node::prefetch),          // acquire
-    bit(node::acquire),                                    // detect
+    bit(node::acquire) | bit(node::gate),                  // detect
     bit(node::detect),                                     // describe
     bit(node::describe),                                   // match
     bit(node::match) | bit(node::estimate),                // estimate
     bit(node::estimate) | bit(node::describe) |            // composite
         bit(node::match) | bit(node::composite),
     bit(node::composite) | bit(node::describe) |           // frame_end
-        bit(node::match) | bit(node::estimate),
+        bit(node::match) | bit(node::estimate) | bit(node::gate),
     0,                                                     // recover
     bit(node::frame_begin),                                // prefetch
+    bit(node::acquire),                                    // gate
 };
 
 }  // namespace
@@ -93,6 +101,8 @@ const char* node_name(node n) noexcept {
       return "recover";
     case node::prefetch:
       return "prefetch";
+    case node::gate:
+      return "gate";
     case node::count_:
       break;
   }

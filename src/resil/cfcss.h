@@ -40,6 +40,7 @@ enum class node : std::uint8_t {
   // the per-frame stage sequence and follows the callers around it.
   recover,          ///< the recovery/retry path between failed attempts
   prefetch,         ///< consuming the executor's clean-lane prefetch ring
+  gate,             ///< frame-gate classification (skip / delta / full)
   count_,
 };
 inline constexpr int node_count = static_cast<int>(node::count_);

@@ -40,6 +40,7 @@ enum class hardening_level : std::uint8_t {
 /// fresh allowance instead of inheriting a nearly-exhausted global budget.
 struct stage_budget_config {
   std::uint64_t acquire = 0;
+  std::uint64_t gate = 0;       ///< frame-gate change score (gated runs)
   std::uint64_t extract = 0;    ///< FAST detection + ORB description
   std::uint64_t align = 0;      ///< matching + RANSAC model estimation
   std::uint64_t composite = 0;  ///< warp + blend + feather

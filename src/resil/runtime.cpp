@@ -101,6 +101,7 @@ stage_budget_config derive_stage_budgets(const rt::counters& golden,
     return per_frame(totals[static_cast<int>(key)]);
   };
   budgets.acquire = total(pipeline::budget_key::acquire);
+  budgets.gate = total(pipeline::budget_key::gate);
   budgets.extract = total(pipeline::budget_key::extract);
   budgets.align = total(pipeline::budget_key::align);
   budgets.composite = total(pipeline::budget_key::composite);

@@ -30,6 +30,8 @@ const char* fn_name(fn f) noexcept {
       return "stitch";
     case fn::quality:
       return "quality";
+    case fn::gate:
+      return "gate";
     case fn::count_:
       break;
   }

@@ -47,6 +47,7 @@ enum class fn : std::uint8_t {
   remap,          ///< remapBilinear pixel interpolation (hot function)
   stitch,         ///< panorama compositing / blending
   quality,        ///< output quality metric (not part of the measured app)
+  gate,           ///< frame-gate change score / motion extrapolation
   count_          ///< sentinel
 };
 inline constexpr int fn_count = static_cast<int>(fn::count_);

@@ -23,6 +23,7 @@
 #include "features/fast.h"
 #include "features/orb.h"
 #include "features/pyramid.h"
+#include "gate/gate.h"
 #include "geometry/warp.h"
 #include "match/matcher.h"
 #include "pipeline/scheduler.h"
@@ -241,6 +242,9 @@ void expect_same_summary(const app::summary_result& a,
   EXPECT_EQ(a.stats.homography_alignments, b.stats.homography_alignments);
   EXPECT_EQ(a.stats.affine_alignments, b.stats.affine_alignments);
   EXPECT_EQ(a.stats.mini_panoramas, b.stats.mini_panoramas);
+  EXPECT_EQ(a.stats.frames_gated_skip, b.stats.frames_gated_skip);
+  EXPECT_EQ(a.stats.frames_gated_delta, b.stats.frames_gated_delta);
+  EXPECT_EQ(a.stats.keypoints_reused, b.stats.keypoints_reused);
   EXPECT_EQ(a.stats.keypoints_detected, b.stats.keypoints_detected);
   EXPECT_EQ(a.stats.keypoints_matched_on, b.stats.keypoints_matched_on);
   EXPECT_EQ(a.stats.total_matches, b.stats.total_matches);
@@ -332,6 +336,42 @@ TEST(ParallelEquivalence, EndToEndBatchAxis) {
                             std::string(video::input_name(id)) + " batch " +
                                 pipeline::batch_name(batch) + " at " + at);
       });
+    }
+  }
+}
+
+// The gate axis: gating changes WHAT is computed (that is its point), but
+// it must never change it differently across execution shapes.  For every
+// gate level the gated summary — including the skip/delta counters and the
+// descriptor-reuse count, which expose the cache's contents — must be
+// byte-identical across pool widths x batch {off, auto} x SIMD levels to
+// the sequential instrumented-lane reference at the same level.
+TEST(ParallelEquivalence, EndToEndGateAxis) {
+  const pool_width_guard guard;
+  const simd_level_guard simd_guard;
+  for (const auto id : {video::input_id::input1, video::input_id::input2}) {
+    const auto& source = clip(id);
+    for (const auto level : {gate::level::skip, gate::level::roi,
+                             gate::level::cache, gate::level::all}) {
+      app::pipeline_config gated;
+      gated.gate.request = static_cast<int>(level);
+      app::summary_result reference;
+      {
+        rt::session session;
+        reference = app::summarize(source, gated);
+      }
+      for (const int batch : {pipeline::kBatchOff, pipeline::kBatchAuto}) {
+        app::pipeline_config config = gated;
+        config.frames_in_flight = 4;
+        config.batch = batch;
+        for_each_matrix_point([&](const std::string& at) {
+          const auto clean = app::summarize(source, config);
+          expect_same_summary(reference, clean,
+                              std::string(video::input_name(id)) + " gate " +
+                                  gate::level_name(level) + " batch " +
+                                  pipeline::batch_name(batch) + " at " + at);
+        });
+      }
     }
   }
 }

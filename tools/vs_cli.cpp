@@ -3,7 +3,10 @@
 // A global --simd=scalar|sse4|avx2|auto flag (any position) selects the
 // clean lane's vector tier; a global --batch=off|K|auto flag selects the
 // clean lane's stage-batching axis.  Output is byte-identical at every
-// level of both.
+// level of both.  A global --gate=off|skip|roi|cache|all flag arms the
+// real-time gating subsystem (src/gate/) — a deliberate temporal
+// approximation, so unlike --simd/--batch it changes the output; off (the
+// default) is bit-identical to an ungated build.
 //
 //   vs generate  <input1|input2|input3> <frames> <out_dir>        write clip frames
 //   vs summarize <input1|input2|input3> [VS|VS_RFD|VS_KDS|VS_SM] [frames] [out.pgm]
@@ -44,6 +47,7 @@
 #include "app/pipeline.h"
 #include "core/simd.h"
 #include "fault/analysis.h"
+#include "gate/gate.h"
 #include "fault/detectors.h"
 #include "fault/report.h"
 #include "image/image_io.h"
@@ -67,8 +71,8 @@ using namespace vs;
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: vs [--simd=scalar|sse4|avx2|auto] [--batch=off|K|auto] "
-      "<command> ...\n"
+      "usage: vs [--simd=scalar|sse4|avx2|auto] [--batch=off|K|auto]\n"
+      "          [--gate=off|skip|roi|cache|all] <command> ...\n"
       "  vs generate  <input1|input2|input3> <frames> <out_dir>\n"
       "  vs summarize <input1|input2|input3> [algorithm] [frames] [out.pgm]\n"
       "  vs events    <input1|input2|input3> [frames] [out.ppm]\n"
@@ -412,11 +416,14 @@ int cmd_stages() {
               core::simd::level_name(core::simd::detected()),
               core::simd::level_name(core::simd::active()));
   std::printf("batching: request=%s (override with --batch=off|K|auto or "
-              "VS_BATCH)\n\n",
+              "VS_BATCH)\n",
               pipeline::batch_name(pipeline::requested_batch()).c_str());
-  std::printf("%-10s %-12s %-18s %-8s %-6s %-6s %-6s %-8s %-10s %s\n",
+  std::printf("gating: request=%s (override with --gate=LEVEL or "
+              "VS_GATE)\n\n",
+              gate::level_name(gate::requested_level()));
+  std::printf("%-10s %-12s %-18s %-8s %-6s %-6s %-6s %-8s %-10s %-9s %s\n",
               "stage", "budget", "cfcss signature", "scope?", "ahead",
-              "clean", "batch?", "queue", "replica", "rt scopes");
+              "clean", "batch?", "queue", "replica", "gate?", "rt scopes");
   for (const auto& stage : pipeline::stage_registry()) {
     std::string scopes;
     for (const rt::fn f : stage.scopes) {
@@ -425,7 +432,11 @@ int cmd_stages() {
       scopes += rt::fn_name(f);
     }
     const bool batchable = pipeline::stage_batchable(stage);
-    std::printf("%-10s %-12s 0x%016llx %-8s %-6s %-6s %-6s %-8s %-10s %s\n",
+    const char* gated = stage.gate_skip
+                            ? (stage.gate_roi ? "skip+roi" : "skip")
+                            : (stage.gate_roi ? "roi" : "-");
+    std::printf("%-10s %-12s 0x%016llx %-8s %-6s %-6s %-6s %-8s %-10s %-9s "
+                "%s\n",
                 stage.name, pipeline::budget_key_name(stage.budget),
                 static_cast<unsigned long long>(
                     resil::cfcss::static_signature(stage.node)),
@@ -435,7 +446,7 @@ int cmd_stages() {
                 batchable ? pipeline::stage_name(stage.batch_queue) : "-",
                 stage.replicable ? pipeline::dual_check_name(stage.check)
                                  : "-",
-                scopes.c_str());
+                gated, scopes.c_str());
   }
   std::printf(
       "\n'ahead' stages form the clean lane's prefetchable frame prefix; "
@@ -446,7 +457,10 @@ int cmd_stages() {
       "fused into detect's queue).\n'replica' is the stage's dual-execution "
       "contract (--replicate / hardening full):\nrecompute stages re-run "
       "and compare structurally, checksum stages digest the\nproduced "
-      "buffer.\n");
+      "buffer.\n'gate?' is what the gating subsystem may elide: 'skip' "
+      "stages are skipped\nentirely on gated-out frames, 'roi' stages run "
+      "restricted (ROI extraction /\nextrapolated alignment) on delta "
+      "frames.\n");
   return 0;
 }
 
@@ -930,10 +944,10 @@ int cmd_submit(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Global --simd=LEVEL / --batch=SPEC flags: consumed here, before command
-  // dispatch, so every command sees the requested clean-lane SIMD tier and
-  // stage-batching axis.  The flags win over the VS_SIMD / VS_BATCH
-  // environment variables.
+  // Global --simd=LEVEL / --batch=SPEC / --gate=LEVEL flags: consumed here,
+  // before command dispatch, so every command sees the requested clean-lane
+  // SIMD tier, stage-batching axis and gating level.  The flags win over
+  // the VS_SIMD / VS_BATCH / VS_GATE environment variables.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -953,6 +967,15 @@ int main(int argc, char** argv) {
         vs::pipeline::set_batch(vs::pipeline::parse_batch(arg + 8));
       } catch (const std::exception& e) {
         std::fprintf(stderr, "error: --batch: %s\n", e.what());
+        return 2;
+      }
+      continue;
+    }
+    if (std::strncmp(arg, "--gate=", 7) == 0) {
+      try {
+        vs::gate::set_level(vs::gate::parse_level(arg + 7));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: --gate: %s\n", e.what());
         return 2;
       }
       continue;
